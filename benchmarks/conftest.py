@@ -1,0 +1,15 @@
+"""Shared benchmark plumbing.
+
+The experiment benchmarks run a *simulated* cluster: the interesting
+number is simulated TPS (stored in benchmark.extra_info), while
+pytest-benchmark's wall time measures the harness itself.  Each benchmark
+also asserts the paper's qualitative shape, so `pytest benchmarks/
+--benchmark-only` doubles as the reproduction check.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

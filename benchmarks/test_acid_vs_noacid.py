@@ -1,0 +1,38 @@
+"""Section 4.2's disk-cost isolation: ACID vs No-ACID.
+
+Paper: "The ACID version achieves 534 TPS while the No-ACID one scores
+1155, an approximately 2x performance boost."
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_acid_comparison
+from repro.harness.reporting import format_acid
+
+
+@pytest.fixture(scope="module")
+def acid_results():
+    return run_acid_comparison(measure_s=0.8)
+
+
+def test_bench_acid_vs_noacid(benchmark, acid_results):
+    acid, noacid = run_once(benchmark, lambda: acid_results)
+    print("\n" + format_acid(acid, noacid))
+    benchmark.extra_info["acid_tps"] = round(acid.tps)
+    benchmark.extra_info["noacid_tps"] = round(noacid.tps)
+
+    ratio = noacid.tps / acid.tps
+    assert 1.5 < ratio < 2.8  # paper: 2.16x
+    assert 350 < acid.tps < 800  # paper: 534
+    assert 800 < noacid.tps < 1600  # paper: 1155
+
+
+def test_bench_acid_state_machines_agree(benchmark, acid_results):
+    """Replica execution counts agree to within one in-flight batch — the
+    measurement cuts the simulation mid-round, so a replica may be a few
+    requests ahead, but never diverges."""
+    acid, noacid = run_once(benchmark, lambda: acid_results)
+    for measurement in (acid, noacid):
+        counts = measurement.extras["replica_exec_counts"]
+        assert max(counts) - min(counts) <= 64  # one max_batch

@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the substrates (real wall time, classic
+pytest-benchmark usage): crypto primitives, Merkle updates, b-tree
+inserts, SQL statements, and the simulator's event loop."""
+
+import pytest
+
+from repro.crypto.digests import md5_digest
+from repro.crypto.mac import MacKey, compute_mac
+from repro.crypto.rabin import rabin_generate, rabin_sign, rabin_verify
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+from repro.sqlstate.engine import Database
+from repro.statemgr.merkle import MerkleTree
+from repro.statemgr.pages import PagedState
+
+
+@pytest.fixture(scope="module")
+def rabin_pair():
+    return rabin_generate(RngStreams(71).stream("bench"), bits=512)
+
+
+def test_bench_rabin_sign(benchmark, rabin_pair):
+    benchmark(lambda: rabin_sign(rabin_pair, b"benchmark message"))
+
+
+def test_bench_rabin_verify(benchmark, rabin_pair):
+    sig = rabin_sign(rabin_pair, b"benchmark message")
+    result = benchmark(lambda: rabin_verify(rabin_pair.public, b"benchmark message", sig))
+    assert result
+
+
+def test_bench_mac_compute(benchmark):
+    key = MacKey.generate(RngStreams(72).stream("bench"))
+    data = bytes(1024)
+    benchmark(lambda: compute_mac(key, data))
+
+
+def test_bench_md5_1k(benchmark):
+    data = bytes(1024)
+    benchmark(lambda: md5_digest(data))
+
+
+def test_bench_merkle_leaf_update(benchmark):
+    tree = MerkleTree(256)
+    digest = md5_digest(b"x")
+    counter = iter(range(10**9))
+
+    def update():
+        tree.update_leaf(next(counter) % 256, md5_digest(str(next(counter)).encode()))
+
+    benchmark(update)
+
+
+def test_bench_state_write_and_root(benchmark):
+    state = PagedState(64, 4096)
+
+    def work():
+        state.modify(1000, 64)
+        state.write(1000, bytes(64))
+        state.end_of_execution()
+        return state.refresh_tree()
+
+    benchmark(work)
+
+
+def test_bench_sql_insert(benchmark):
+    db = Database()
+    db.executescript(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT, v BLOB);"
+        "CREATE INDEX idx_k ON t(k);"
+    )
+    counter = iter(range(10**9))
+
+    def insert():
+        i = next(counter)
+        db.execute("INSERT INTO t (k, v) VALUES (?, randomblob(8))", (f"key{i}",))
+
+    benchmark(insert)
+
+
+def test_bench_sql_indexed_select(benchmark):
+    db = Database()
+    db.executescript(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT);"
+        "CREATE INDEX idx_k ON t(k);"
+    )
+    for i in range(500):
+        db.execute("INSERT INTO t (k) VALUES (?)", (f"key{i}",))
+    result = benchmark(lambda: db.execute("SELECT id FROM t WHERE k = 'key250'"))
+    assert len(result.rows) == 1
+
+
+def test_bench_simulator_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        remaining = [2000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(10, tick)
+
+        sim.schedule(10, tick)
+        sim.run()
+        return sim.events_run
+
+    events = benchmark(run_events)
+    assert events == 2000

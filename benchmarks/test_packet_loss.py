@@ -1,0 +1,35 @@
+"""Section 2.4: one lost UDP datagram vs the big-request optimization."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_packet_loss_experiment
+
+
+@pytest.fixture(scope="module")
+def loss_results():
+    return (
+        run_packet_loss_experiment(all_big=True),
+        run_packet_loss_experiment(all_big=False),
+    )
+
+
+def test_bench_big_request_loss_wedges_one_replica(benchmark, loss_results):
+    big, _small = run_once(benchmark, lambda: loss_results)
+    benchmark.extra_info["wedge_ms"] = round(big.wedge_duration_ns / 1e6, 1)
+    benchmark.extra_info["state_transfers"] = big.state_transfers
+    assert big.wedged_replicas == [3]
+    assert big.state_transfers >= 1
+    assert big.all_caught_up
+    # The wedge lasts until the next checkpoint's recovery — a sizeable
+    # service interruption from a single datagram.
+    assert big.wedge_duration_ns > 50e6
+
+
+def test_bench_non_big_loss_is_benign(benchmark, loss_results):
+    _big, small = run_once(benchmark, lambda: loss_results)
+    benchmark.extra_info["retransmissions"] = small.client_retransmissions
+    assert small.wedged_replicas == []
+    assert small.state_transfers == 0
+    assert small.client_retransmissions >= 1
+    assert small.all_caught_up

@@ -1,0 +1,47 @@
+"""Section 2.3: the authenticator-staleness recovery stall.
+
+"The only way to lower the time frame for this service interruption, is
+to reduce the authenticator retransmission timeout, which results in
+increased load for the network."
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.common.units import MILLISECOND, SECOND
+from repro.harness.experiments import run_recovery_experiment
+
+
+@pytest.fixture(scope="module")
+def recovery_sweep():
+    intervals = (int(0.5 * SECOND), 1 * SECOND, 2 * SECOND)
+    mac_runs = [
+        run_recovery_experiment(use_macs=True, rebroadcast_interval_ns=interval)
+        for interval in intervals
+    ]
+    sig_run = run_recovery_experiment(use_macs=False, rebroadcast_interval_ns=1 * SECOND)
+    return intervals, mac_runs, sig_run
+
+
+def test_bench_recovery_tracks_rebroadcast_interval(benchmark, recovery_sweep):
+    intervals, mac_runs, _sig = run_once(benchmark, lambda: recovery_sweep)
+    times = [run.recovery_time_ns for run in mac_runs]
+    benchmark.extra_info["recovery_ms_by_interval"] = {
+        f"{i / 1e9:.1f}s": round(t / 1e6, 1) for i, t in zip(intervals, times)
+    }
+    assert all(run.caught_up for run in mac_runs)
+    assert all(run.replay_auth_failures > 0 for run in mac_runs)
+    # Monotone in the rebroadcast interval, roughly proportionally.
+    assert times[0] < times[1] < times[2]
+    assert times[2] > 2.5 * times[0]
+
+
+def test_bench_signature_mode_recovers_fast(benchmark, recovery_sweep):
+    _intervals, mac_runs, sig_run = run_once(benchmark, lambda: recovery_sweep)
+    benchmark.extra_info["sig_recovery_ms"] = round(sig_run.recovery_time_ns / 1e6, 2)
+    assert sig_run.caught_up
+    assert sig_run.replay_auth_failures == 0
+    assert sig_run.recovery_time_ns < 50 * MILLISECOND
+    # The robustness/performance trade-off in one line: the optimization
+    # that wins Table 1 costs two orders of magnitude at recovery.
+    assert mac_runs[1].recovery_time_ns > 10 * sig_run.recovery_time_ns

@@ -1,0 +1,74 @@
+"""Table 1: null-operation throughput across the ten library configurations.
+
+Regenerates the paper's Table 1 rows and asserts the qualitative shape:
+
+* the default configuration (MACs + all-big + batching) is an order of
+  magnitude above every robust configuration;
+* disabling big-request handling alone lands near the paper's 18 %;
+* disabling MACs collapses throughput to a few percent of optimal;
+* dynamic client management costs under ~2 % (paper: 0.5 %).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.configs import TABLE1_CONFIGS
+from repro.harness.experiments import run_table1
+from repro.harness.reporting import format_table1
+
+MEASURE_S = 0.4
+
+
+@pytest.fixture(scope="module")
+def table1_results():
+    return run_table1(measure_s=MEASURE_S)
+
+
+def test_bench_table1(benchmark, table1_results):
+    results = run_once(benchmark, lambda: table1_results)
+    by_name = {row.name: m.tps for row, m in results}
+    benchmark.extra_info["tps"] = {k: round(v) for k, v in by_name.items()}
+    print("\n" + format_table1(results))
+
+    best = by_name["sta_mac_allbig_batch"]
+    # The headline: ~17k null ops/s for the default configuration
+    # (paper: 17014; the simulated testbed is calibrated to its ratios).
+    assert 12_000 < best < 25_000
+
+    # Robust configurations collapse to a few percent of optimal.
+    robust = by_name["sta_nomac_noallbig_batch"]
+    assert robust < 0.12 * best
+    assert 600 < robust < 1600  # paper: 992
+
+    # Disabling big-request handling alone: ~18% of optimal (paper 17.8%).
+    noallbig = by_name["sta_mac_noallbig_batch"]
+    assert 0.10 * best < noallbig < 0.30 * best
+
+    # Disabling MACs alone: under 12% of optimal (paper 7.6%).
+    nomac = by_name["sta_nomac_allbig_batch"]
+    assert nomac < 0.12 * best
+
+    # Batching is essential with MACs (paper: 16x; ours: >3x).
+    assert by_name["sta_mac_allbig_batch"] > 3 * by_name["sta_mac_allbig_nobatch"]
+
+
+def test_bench_dynamic_client_overhead(benchmark, table1_results):
+    """Section 4.1: 'The performance decrease is 0.5% (988 vs 992), which
+    is negligible.'"""
+    by_name = {row.name: m.tps for row, m in run_once(benchmark, lambda: table1_results)}
+    static = by_name["sta_nomac_noallbig_batch"]
+    dynamic = by_name["nosta_nomac_noallbig_batch"]
+    overhead = (static - dynamic) / static
+    benchmark.extra_info["overhead_percent"] = round(100 * overhead, 2)
+    assert abs(overhead) < 0.02
+
+
+def test_bench_ordering_matches_paper(benchmark, table1_results):
+    """The paper's ranking of batched configurations holds."""
+    by_name = {row.name: m.tps for row, m in run_once(benchmark, lambda: table1_results)}
+    assert (
+        by_name["sta_mac_allbig_batch"]
+        > by_name["sta_mac_noallbig_batch"]
+        > by_name["sta_nomac_allbig_batch"]
+        > by_name["sta_nomac_noallbig_batch"]
+    )

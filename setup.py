@@ -1,0 +1,9 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+pip falls back to `setup.py develop` for legacy editable installs when a
+setup.py is present and PEP 517 build requirements (wheel) are unavailable.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — a reproduction of Chondros, Kokordelis & Roussopoulos,
+"On the Practicality of 'Practical' Byzantine Fault Tolerance"
+(MIDDLEWARE 2012).
+
+The package contains the complete system the paper studies and extends:
+
+* :mod:`repro.pbft` — the Castro-Liskov PBFT middleware with all the
+  toggleable optimizations of the paper's Table 1;
+* :mod:`repro.membership` — the paper's dynamic client-membership
+  extension (section 3.1);
+* :mod:`repro.sqlstate` — the paper's SQL/ACID state abstraction: an
+  embedded relational engine whose database file lives inside the PBFT
+  state region (section 3.2);
+* :mod:`repro.apps` — the motivating e-voting application and benchmark
+  services;
+* :mod:`repro.harness` — the evaluation harness that regenerates the
+  paper's Table 1, Figure 4 and Figure 5;
+* substrates: :mod:`repro.sim` (discrete-event kernel), :mod:`repro.net`
+  (lossy datagram fabric), :mod:`repro.crypto` (MD5/UMAC-style
+  MACs/Rabin/threshold signatures), :mod:`repro.statemgr` (paged state,
+  Merkle tree, checkpoints).
+
+Quick start::
+
+    from repro.pbft import PbftConfig, build_cluster
+
+    cluster = build_cluster(PbftConfig(), seed=1)
+    result = cluster.invoke_and_wait(cluster.clients[0], b"hello")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

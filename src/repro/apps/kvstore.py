@@ -1,0 +1,112 @@
+"""A key-value service directly on the paged state region.
+
+Exercises the raw state-management contract (modify-before-write, fixed
+slots) without the SQL layer — the style of application the original PBFT
+library was actually comfortable with, for contrast with
+:mod:`repro.apps.sqlapp`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import StateError
+from repro.common.units import MICROSECOND
+from repro.crypto.digests import md5_digest
+from repro.pbft.replica import Application
+from repro.pbft.wire import Decoder, Encoder
+
+_OP_PUT = 0x01
+_OP_GET = 0x02
+
+_SLOT = struct.Struct(">B16sH")  # in_use, key digest, value length
+
+
+def encode_put(key: bytes, value: bytes) -> bytes:
+    return Encoder().u8(_OP_PUT).blob(key).blob(value).finish()
+
+
+def encode_get(key: bytes) -> bytes:
+    return Encoder().u8(_OP_GET).blob(key).finish()
+
+
+class KvApplication(Application):
+    """Fixed-slot hash table over the state region.
+
+    Keys hash to one of ``num_slots`` fixed-size slots (open addressing
+    with linear probing); each slot holds the key digest and up to
+    ``value_size`` bytes of value.
+    """
+
+    def __init__(self, num_slots: int = 512, value_size: int = 256) -> None:
+        self.num_slots = num_slots
+        self.value_size = value_size
+        self.slot_size = _SLOT.size + value_size
+        self.state = None
+        self.app_offset = 0
+        self.puts = 0
+        self.gets = 0
+
+    def bind_state(self, state, app_offset: int) -> None:
+        needed = self.num_slots * self.slot_size
+        if app_offset + needed > state.size:
+            raise StateError(
+                f"kv store needs {needed} bytes, state has "
+                f"{state.size - app_offset}"
+            )
+        self.state = state
+        self.app_offset = app_offset
+
+    def execute(self, op: bytes, client_id: int, nondet_ts: int, readonly: bool) -> bytes:
+        dec = Decoder(op)
+        kind = dec.u8()
+        if kind == _OP_PUT:
+            key = dec.blob()
+            value = dec.blob()
+            return self._put(key, value)
+        if kind == _OP_GET:
+            return self._get(dec.blob())
+        return b"\x00ERR bad op"
+
+    def execute_cost_ns(self, op: bytes, readonly: bool) -> int:
+        return 5 * MICROSECOND
+
+    def _slot_offset(self, slot: int) -> int:
+        return self.app_offset + slot * self.slot_size
+
+    def _find_slot(self, digest: bytes) -> tuple[int, bool]:
+        """(slot, exists): the slot holding the key, or the first free one."""
+        start = int.from_bytes(digest[:4], "big") % self.num_slots
+        first_free = -1
+        for probe in range(self.num_slots):
+            slot = (start + probe) % self.num_slots
+            raw = self.state.read(self._slot_offset(slot), _SLOT.size)
+            in_use, stored, _length = _SLOT.unpack(raw)
+            if in_use and stored == digest:
+                return slot, True
+            if not in_use and first_free < 0:
+                first_free = slot
+        if first_free < 0:
+            raise StateError("kv store is full")
+        return first_free, False
+
+    def _put(self, key: bytes, value: bytes) -> bytes:
+        if len(value) > self.value_size:
+            return b"\x00ERR value too large"
+        digest = md5_digest(key)
+        slot, _exists = self._find_slot(digest)
+        offset = self._slot_offset(slot)
+        self.state.modify(offset, self.slot_size)
+        self.state.write(offset, _SLOT.pack(1, digest, len(value)) + value)
+        self.puts += 1
+        return b"\x01OK"
+
+    def _get(self, key: bytes) -> bytes:
+        digest = md5_digest(key)
+        slot, exists = self._find_slot(digest)
+        self.gets += 1
+        if not exists:
+            return b"\x00MISS"
+        raw = self.state.read(self._slot_offset(slot), self.slot_size)
+        _in_use, _digest, length = _SLOT.unpack(raw[: _SLOT.size])
+        return b"\x01" + raw[_SLOT.size : _SLOT.size + length]

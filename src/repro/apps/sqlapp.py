@@ -1,0 +1,195 @@
+"""The SQL application shim: PBFT state region + embedded engine.
+
+This is the paper's section 3.2 architecture end to end:
+
+* the **database file** is a sparse file mapped onto the PBFT state
+  region's application partition (every write triggers the library's
+  modify notification, so checkpointing/state transfer just work);
+* the **rollback journal** lives on the replica's local simulated disk —
+  it is recovery scaffolding, not replicated state — and its fsyncs are
+  what make ACID cost what it costs (section 4.2);
+* **non-determinism** (``now()``, ``random()``) comes from the agreed
+  pre-prepare data via :class:`~repro.sqlstate.vfs.VfsEnvironment`.
+
+Operations are encoded SQL statements with parameters; replies are
+encoded result rows (or an affected-row count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SqlError
+from repro.common.units import MICROSECOND
+from repro.crypto.digests import md5_digest
+from repro.pbft.replica import Application
+from repro.pbft.wire import Decoder, Encoder
+from repro.sqlstate.engine import Database, ResultSet
+from repro.sqlstate.records import decode_record, encode_record
+from repro.sqlstate.vfs import DiskModel, MemoryVfsFile, StateRegionVfsFile, VfsEnvironment
+from repro.sqlstate.values import SqlNull
+
+_OP_SQL = 0x01
+
+
+def encode_sql_op(sql: str, params: tuple = ()) -> bytes:
+    """Encode one SQL operation for submission through PBFT."""
+    normalized = [None if p is SqlNull else p for p in params]
+    record_params = [SqlNull if p is None else p for p in normalized]
+    return (
+        Encoder()
+        .u8(_OP_SQL)
+        .blob(sql.encode())
+        .blob(encode_record(record_params))
+        .finish()
+    )
+
+
+def decode_sql_op(op: bytes) -> tuple[str, tuple]:
+    dec = Decoder(op)
+    if dec.u8() != _OP_SQL:
+        raise SqlError("not a SQL operation")
+    sql = dec.blob().decode()
+    params = tuple(decode_record(dec.blob()))
+    return sql, params
+
+
+def encode_rows_reply(result: ResultSet) -> bytes:
+    enc = Encoder().u8(1).u32(len(result.rows))
+    for row in result.rows:
+        enc.blob(encode_record(list(row)))
+    return enc.finish()
+
+
+def decode_rows_reply(reply: bytes):
+    """Decode a reply: list of row tuples, or an int count, or None."""
+    dec = Decoder(reply)
+    kind = dec.u8()
+    if kind == 0:
+        return None
+    if kind == 1:
+        count = dec.u32()
+        return [tuple(decode_record(dec.blob())) for _ in range(count)]
+    if kind == 2:
+        return dec.u64()
+    if kind == 3:
+        raise SqlError(dec.blob().decode())
+    raise SqlError(f"bad reply kind {kind}")
+
+
+@dataclass(frozen=True)
+class SqlCosts:
+    """Simulated costs of SQL work (calibrated for Figure 5 / section 4.2)."""
+
+    parse_ns: int = 40 * MICROSECOND
+    per_row_written_ns: int = 60 * MICROSECOND
+    per_row_scanned_ns: int = 4 * MICROSECOND
+    per_page_journaled_ns: int = 25 * MICROSECOND
+    fsync_ns: int = 400 * MICROSECOND
+    disk_write_ns: int = 15 * MICROSECOND
+
+
+class SqlApplication(Application):
+    """A PBFT application whose whole state is a relational database."""
+
+    def __init__(
+        self,
+        schema_sql: str = "",
+        acid: bool = True,
+        costs: SqlCosts | None = None,
+    ) -> None:
+        self.schema_sql = schema_sql
+        self.acid = acid
+        self.costs = costs or SqlCosts()
+        self.env = VfsEnvironment()
+        self.db: Database | None = None
+        self.state = None
+        self.app_offset = 0
+        self._accumulated_ns = 0
+        self._request_counter = 0
+        self.disk = DiskModel(
+            charge=self._charge,
+            sync_ns=self.costs.fsync_ns,
+            write_ns_per_page=self.costs.disk_write_ns,
+        )
+
+    # -- Application interface ------------------------------------------------------
+
+    def bind_state(self, state, app_offset: int) -> None:
+        self.state = state
+        self.app_offset = app_offset
+        self._open_database(fresh=True)
+
+    def _open_database(self, fresh: bool) -> None:
+        file = StateRegionVfsFile(self.state, self.app_offset)
+        journal_file = MemoryVfsFile(disk=self.disk) if self.acid else None
+        self.db = Database(
+            file=file,
+            journal_file=journal_file,
+            env=self.env,
+            journal=self.acid,
+        )
+        if fresh and self.schema_sql and not self.db.table_names():
+            self.db.executescript(self.schema_sql)
+            self.state.end_of_execution()
+
+    def on_state_installed(self) -> None:
+        """Pages were replaced wholesale: reopen over the new contents.
+
+        The journal is local scaffolding; the transferred state is a
+        committed snapshot, so the journal is simply discarded.
+        """
+        if self.db is not None and self.db.journal_file is not None:
+            self.db.journal_file.truncate(0)
+        self._open_database(fresh=False)
+
+    def execute(self, op: bytes, client_id: int, nondet_ts: int, readonly: bool) -> bytes:
+        sql, params = decode_sql_op(op)
+        self._request_counter += 1
+        # Seed from (agreed timestamp, client, operation bytes): identical
+        # at every replica AND stable across log replay/rollback, so
+        # random() results never diverge the state roots.
+        seed = md5_digest(
+            nondet_ts.to_bytes(8, "big", signed=True)
+            + client_id.to_bytes(8, "big")
+            + md5_digest(op)
+        )
+        self.env.set_from_nondet(nondet_ts, seed)
+        try:
+            result = self.db.execute(sql, params)
+        except SqlError as exc:
+            # Errors are part of the deterministic reply, not a crash.
+            message = str(exc).encode()
+            return Encoder().u8(3).blob(message).finish()
+        stats = self.db.last_stats
+        self._accumulated_ns += (
+            self.costs.parse_ns
+            + stats.rows_written * self.costs.per_row_written_ns
+            + stats.rows_scanned * self.costs.per_row_scanned_ns
+            + stats.pages_journaled * self.costs.per_page_journaled_ns
+        )
+        if isinstance(result, ResultSet):
+            return encode_rows_reply(result)
+        if isinstance(result, int):
+            return Encoder().u8(2).u64(result).finish()
+        return Encoder().u8(0).finish()
+
+    def execute_cost_ns(self, op: bytes, readonly: bool) -> int:
+        return 0  # all cost is accounted dynamically via take_accumulated_cost
+
+    def take_accumulated_cost(self) -> int:
+        """Simulated time accrued by the last execution (engine work plus
+        journal disk traffic); the replica charges it to its host CPU."""
+        cost = self._accumulated_ns
+        self._accumulated_ns = 0
+        return cost
+
+    def _charge(self, ns: int) -> None:
+        self._accumulated_ns += ns
+
+    def authorize_join(self, idbuf: bytes) -> int | None:
+        """Default authorization: any non-empty identification buffer is a
+        principal (hash of the buffer).  Applications override."""
+        if not idbuf:
+            return None
+        return int.from_bytes(md5_digest(idbuf)[:6], "big")

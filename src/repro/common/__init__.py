@@ -1,0 +1,51 @@
+"""Shared utilities: errors, time units, identifiers, configuration helpers.
+
+Everything in :mod:`repro` builds on the small vocabulary defined here:
+integer-nanosecond timestamps, stable node identifiers, and a common
+exception hierarchy.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    CryptoError,
+    NetworkError,
+    ProtocolError,
+    StateError,
+    SqlError,
+)
+from repro.common.units import (
+    NANOSECOND,
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    nanoseconds,
+    microseconds,
+    milliseconds,
+    seconds,
+    format_duration,
+)
+from repro.common.ids import NodeId, ReplicaId, ClientId, make_client_id
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "CryptoError",
+    "NetworkError",
+    "ProtocolError",
+    "StateError",
+    "SqlError",
+    "NANOSECOND",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "nanoseconds",
+    "microseconds",
+    "milliseconds",
+    "seconds",
+    "format_duration",
+    "NodeId",
+    "ReplicaId",
+    "ClientId",
+    "make_client_id",
+]

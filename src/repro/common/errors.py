@@ -1,0 +1,42 @@
+"""Exception hierarchy for the reproduction library.
+
+Every package raises subclasses of :class:`ReproError` so applications can
+catch library failures with a single ``except`` clause while tests can pin
+down the precise failure class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, failed verification...)."""
+
+
+class NetworkError(ReproError):
+    """A network-substrate operation failed (unknown host, closed socket)."""
+
+
+class ProtocolError(ReproError):
+    """A PBFT protocol invariant was violated or a malformed message seen."""
+
+
+class StateError(ReproError):
+    """The state manager detected misuse (unnotified write, bad page...)."""
+
+
+class SqlError(ReproError):
+    """The embedded SQL engine rejected a statement or transaction."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SqlConstraintError(SqlError):
+    """A constraint (primary key, NOT NULL, type check) was violated."""

@@ -1,0 +1,46 @@
+"""Node identifiers.
+
+PBFT distinguishes *replicas* (the static 3f+1 group, identified by their
+index ``0..n-1``) from *clients*.  With static membership, clients also get
+small dense indices known a priori.  With the paper's dynamic-membership
+extension (section 3.1), clients get *arbitrary* identifiers which a
+redirection table maps onto internal node-entry slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ReplicaId = int
+ClientId = int
+
+# Client ids are offset away from replica ids so a glance at a trace tells
+# the two apart; replicas occupy 0..n-1.
+CLIENT_ID_BASE = 1000
+
+
+def make_client_id(index: int) -> ClientId:
+    """Return the client id for the ``index``-th statically configured client."""
+    return CLIENT_ID_BASE + index
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """A qualified node identifier: kind plus numeric id.
+
+    Used by the network trace to label endpoints unambiguously.
+    """
+
+    kind: str  # "replica" or "client"
+    num: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.num}"
+
+    @staticmethod
+    def replica(num: int) -> "NodeId":
+        return NodeId("replica", num)
+
+    @staticmethod
+    def client(num: int) -> "NodeId":
+        return NodeId("client", num)

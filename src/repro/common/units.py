@@ -1,0 +1,50 @@
+"""Time units.
+
+All simulated time in this library is an ``int`` count of nanoseconds.
+Integers keep the discrete-event simulation exactly deterministic (no
+floating-point drift between runs or platforms).
+"""
+
+from __future__ import annotations
+
+NANOSECOND: int = 1
+MICROSECOND: int = 1_000
+MILLISECOND: int = 1_000_000
+SECOND: int = 1_000_000_000
+
+
+def nanoseconds(value: float) -> int:
+    """Convert a value in nanoseconds to integer nanoseconds."""
+    return round(value)
+
+
+def microseconds(value: float) -> int:
+    """Convert a value in microseconds to integer nanoseconds."""
+    return round(value * MICROSECOND)
+
+
+def milliseconds(value: float) -> int:
+    """Convert a value in milliseconds to integer nanoseconds."""
+    return round(value * MILLISECOND)
+
+
+def seconds(value: float) -> int:
+    """Convert a value in seconds to integer nanoseconds."""
+    return round(value * SECOND)
+
+
+def format_duration(ns: int) -> str:
+    """Render a nanosecond duration with a human-friendly unit.
+
+    >>> format_duration(1_500_000)
+    '1.500ms'
+    """
+    if ns < 0:
+        return "-" + format_duration(-ns)
+    if ns < MICROSECOND:
+        return f"{ns}ns"
+    if ns < MILLISECOND:
+        return f"{ns / MICROSECOND:.3f}us"
+    if ns < SECOND:
+        return f"{ns / MILLISECOND:.3f}ms"
+    return f"{ns / SECOND:.3f}s"

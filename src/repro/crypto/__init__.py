@@ -1,0 +1,58 @@
+"""Cryptographic substrate.
+
+Matches the primitives of the original PBFT implementation (paper section
+2.1): MD5 digests, UMAC32-style message authentication codes combined into
+per-replica *authenticators*, and the Rabin cryptosystem for asymmetric
+signatures.  Section 3.3.1's proposed remedy — an (f+1, n) threshold
+signature scheme — is implemented in :mod:`repro.crypto.threshold`.
+
+Two layers:
+
+* **functional** — the operations really compute and really verify, so a
+  corrupted message genuinely fails authentication in tests;
+* **cost** — every operation has a simulated CPU cost
+  (:class:`repro.crypto.costs.CryptoCosts`); the signature >> MAC asymmetry
+  is what produces the paper's Table 1 throughput collapse when MACs are
+  disabled.
+"""
+
+from repro.crypto.digests import md5_digest, digest_parts, DIGEST_SIZE
+from repro.crypto.mac import MacKey, compute_mac, verify_mac, MAC_SIZE
+from repro.crypto.authenticators import Authenticator, make_authenticator, verify_authenticator
+from repro.crypto.rabin import RabinKeyPair, RabinPublicKey, rabin_generate, rabin_sign, rabin_verify
+from repro.crypto.threshold import (
+    ThresholdScheme,
+    ThresholdShare,
+    PartialSignature,
+    threshold_setup,
+    threshold_sign_partial,
+    threshold_combine,
+    threshold_verify,
+)
+from repro.crypto.costs import CryptoCosts
+
+__all__ = [
+    "md5_digest",
+    "digest_parts",
+    "DIGEST_SIZE",
+    "MacKey",
+    "compute_mac",
+    "verify_mac",
+    "MAC_SIZE",
+    "Authenticator",
+    "make_authenticator",
+    "verify_authenticator",
+    "RabinKeyPair",
+    "RabinPublicKey",
+    "rabin_generate",
+    "rabin_sign",
+    "rabin_verify",
+    "ThresholdScheme",
+    "ThresholdShare",
+    "PartialSignature",
+    "threshold_setup",
+    "threshold_sign_partial",
+    "threshold_combine",
+    "threshold_verify",
+    "CryptoCosts",
+]

@@ -1,0 +1,54 @@
+"""Authenticators: one MAC per replica, attached to a single message.
+
+This is the optimization Castro & Liskov introduced to avoid public-key
+signatures on the critical path (paper section 2.1).  A client (or replica)
+holds a distinct session key for every replica and stamps each message with
+a vector of MACs — each replica checks only its own entry.
+
+The paper's section 2.3 shows the dark side: a restarted replica has lost
+the session keys, so every authenticator in the replayed log fails to
+verify until the periodic blind rebroadcast re-delivers the keys.  That
+behaviour is reproduced in :mod:`repro.pbft.recovery`.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.mac import MacKey, compute_mac, verify_mac
+
+
+class Authenticator:
+    """A vector of per-replica MAC tags over one message digest."""
+
+    __slots__ = ("tags",)
+
+    def __init__(self, tags: dict[int, bytes]) -> None:
+        self.tags = tags
+
+    def tag_for(self, replica_id: int) -> bytes | None:
+        return self.tags.get(replica_id)
+
+    @property
+    def size(self) -> int:
+        """Wire size: 4 bytes of tag plus 2 bytes of replica id per entry."""
+        return len(self.tags) * 6
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def __repr__(self) -> str:
+        return f"Authenticator({sorted(self.tags)})"
+
+
+def make_authenticator(keys: dict[int, MacKey], data: bytes) -> Authenticator:
+    """MAC ``data`` once per replica with that replica's session key."""
+    return Authenticator({rid: compute_mac(key, data) for rid, key in keys.items()})
+
+
+def verify_authenticator(
+    key: MacKey, replica_id: int, data: bytes, auth: Authenticator
+) -> bool:
+    """Verify this replica's own entry; other entries are opaque to it."""
+    tag = auth.tag_for(replica_id)
+    if tag is None:
+        return False
+    return verify_mac(key, data, tag)

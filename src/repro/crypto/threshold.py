@@ -1,0 +1,138 @@
+"""An (f+1, n) threshold signature scheme (paper section 3.3.1).
+
+The paper proposes threshold signatures as the remedy for PBFT's inability
+to support server-side key material: "the set of n replicas would
+collectively generate a digital signature despite up to f byzantine
+faults", with no replica ever holding the whole private key.
+
+We implement a discrete-log based scheme over a Schnorr-style group:
+
+* setup (a trusted dealer, as in Desmedt-Frankel) picks a secret exponent
+  ``x``, publishes ``y = g**x mod p``, and deals Shamir shares of ``x``
+  over the exponent field GF(order);
+* a partial signature on message m is ``g**(share_i * H(m)) mod p``;
+* any ``threshold`` partials combine by Lagrange interpolation *in the
+  exponent* to ``g**(x * H(m))``;
+* verification checks the combined value against ``y**H(m) mod p``.
+
+This is a faithful mathematical model of threshold reconstruction (wrong or
+missing partials make combination fail verification); it is **not** intended
+as production cryptography — exactly like the paper, which proposes the
+mechanism rather than a hardened implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+from repro.crypto.digests import md5_digest
+from repro.crypto.primes import is_probable_prime, random_prime
+
+
+@dataclass(frozen=True)
+class ThresholdScheme:
+    """Public parameters: group, generator, public value, and the threshold."""
+
+    p: int  # safe prime: p = 2*order + 1
+    order: int
+    g: int
+    public: int  # g**x mod p
+    threshold: int
+    n: int
+
+
+@dataclass(frozen=True)
+class ThresholdShare:
+    """Replica i's Shamir share of the secret exponent."""
+
+    index: int  # 1-based share index (0 would expose the secret)
+    value: int
+
+
+@dataclass(frozen=True)
+class PartialSignature:
+    index: int
+    value: int
+
+
+def _hash_to_exponent(message: bytes, order: int) -> int:
+    h = int.from_bytes(md5_digest(message), "big") % order
+    return h or 1
+
+
+def _find_safe_prime(bits: int, rng) -> tuple[int, int]:
+    """Return (p, order) with p = 2*order + 1 both prime."""
+    while True:
+        order = random_prime(bits - 1, rng)
+        p = 2 * order + 1
+        if is_probable_prime(p, rng):
+            return p, order
+
+
+def threshold_setup(n: int, threshold: int, rng, bits: int = 128) -> tuple[ThresholdScheme, list[ThresholdShare]]:
+    """Deal shares of a fresh secret; ``threshold`` partials reconstruct.
+
+    For PBFT the paper prescribes ``threshold = f + 1`` out of ``n = 3f+1``.
+    """
+    if not 1 <= threshold <= n:
+        raise CryptoError(f"threshold {threshold} out of range for n={n}")
+    p, order = _find_safe_prime(bits, rng)
+    # A generator of the order-`order` subgroup: square any h not in {1, p-1}.
+    while True:
+        h = rng.randrange(2, p - 1)
+        g = pow(h, 2, p)
+        if g != 1:
+            break
+    secret = rng.randrange(1, order)
+    # Shamir polynomial of degree threshold-1 over GF(order).
+    coeffs = [secret] + [rng.randrange(order) for _ in range(threshold - 1)]
+    shares = []
+    for index in range(1, n + 1):
+        value = 0
+        for coeff in reversed(coeffs):
+            value = (value * index + coeff) % order
+        shares.append(ThresholdShare(index=index, value=value))
+    scheme = ThresholdScheme(
+        p=p, order=order, g=g, public=pow(g, secret, p), threshold=threshold, n=n
+    )
+    return scheme, shares
+
+
+def threshold_sign_partial(
+    scheme: ThresholdScheme, share: ThresholdShare, message: bytes
+) -> PartialSignature:
+    """Replica-local step: exponentiate by the share times the message hash."""
+    e = _hash_to_exponent(message, scheme.order)
+    return PartialSignature(
+        index=share.index, value=pow(scheme.g, share.value * e % scheme.order, scheme.p)
+    )
+
+
+def threshold_combine(
+    scheme: ThresholdScheme, partials: list[PartialSignature]
+) -> int:
+    """Lagrange-combine exactly ``threshold`` partials into a full signature."""
+    if len({part.index for part in partials}) < scheme.threshold:
+        raise CryptoError(
+            f"need {scheme.threshold} distinct partials, got {len(partials)}"
+        )
+    chosen = sorted(partials, key=lambda part: part.index)[: scheme.threshold]
+    indices = [part.index for part in chosen]
+    signature = 1
+    for part in chosen:
+        num, den = 1, 1
+        for j in indices:
+            if j == part.index:
+                continue
+            num = num * (-j) % scheme.order
+            den = den * (part.index - j) % scheme.order
+        coeff = num * pow(den, -1, scheme.order) % scheme.order
+        signature = signature * pow(part.value, coeff, scheme.p) % scheme.p
+    return signature
+
+
+def threshold_verify(scheme: ThresholdScheme, message: bytes, signature: int) -> bool:
+    """Check the combined signature against the public value."""
+    e = _hash_to_exponent(message, scheme.order)
+    return signature == pow(scheme.public, e, scheme.p)

@@ -1,0 +1,63 @@
+"""The evaluation harness: regenerates every table and figure.
+
+* Table 1 / Figure 4 — :func:`repro.harness.experiments.run_table1` and
+  :func:`run_fig4_size_sweep` (null-op throughput across the ten library
+  configurations and four payload sizes);
+* Figure 5 — :func:`run_fig5_sql` (SQL insert throughput across
+  configurations);
+* section 4.2's ACID vs No-ACID — :func:`run_acid_comparison`;
+* section 2.3's recovery stall — :func:`run_recovery_experiment`;
+* section 2.4's packet-loss wedge — :func:`run_packet_loss_experiment`.
+
+Each returns structured results; :mod:`repro.harness.reporting` renders
+them in the paper's row/series format.
+"""
+
+from repro.harness.configs import (
+    TABLE1_CONFIGS,
+    FIG5_CONFIGS,
+    ConfigRow,
+    build_config,
+)
+from repro.harness.measure import Measurement, run_null_workload, run_sql_workload
+from repro.harness.experiments import (
+    run_table1,
+    run_fig4_size_sweep,
+    run_fig5_sql,
+    run_acid_comparison,
+    run_recovery_experiment,
+    run_packet_loss_experiment,
+)
+from repro.harness.reporting import (
+    format_table1,
+    format_fig4,
+    format_fig5,
+    format_acid,
+)
+from repro.harness.wan import run_wan_sweep, format_wan, PROFILES
+from repro.harness.analysis import summarize, messages_per_request
+
+__all__ = [
+    "TABLE1_CONFIGS",
+    "FIG5_CONFIGS",
+    "ConfigRow",
+    "build_config",
+    "Measurement",
+    "run_null_workload",
+    "run_sql_workload",
+    "run_table1",
+    "run_fig4_size_sweep",
+    "run_fig5_sql",
+    "run_acid_comparison",
+    "run_recovery_experiment",
+    "run_packet_loss_experiment",
+    "format_table1",
+    "format_fig4",
+    "format_fig5",
+    "format_acid",
+    "run_wan_sweep",
+    "format_wan",
+    "PROFILES",
+    "summarize",
+    "messages_per_request",
+]

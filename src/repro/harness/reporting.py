@@ -1,0 +1,73 @@
+"""Render experiment results in the paper's row/series format."""
+
+from __future__ import annotations
+
+from repro.common.units import format_duration
+from repro.harness.configs import (
+    PAPER_SQL_ACID_TPS,
+    PAPER_SQL_NOACID_TPS,
+    ConfigRow,
+)
+from repro.harness.measure import Measurement
+
+
+def _yes_no(flag: bool) -> str:
+    return "Yes" if flag else "No"
+
+
+def format_table1(results: list[tuple[ConfigRow, Measurement]]) -> str:
+    """Table 1's exact columns, with paper values alongside ours."""
+    header = (
+        f"{'Name':32s} {'StaticClients':>13s} {'MACs':>5s} {'AllBig':>7s} "
+        f"{'Batching':>9s} {'TPS':>8s} {'Paper':>8s} {'%ofBest':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    best = max(m.tps for _r, m in results) or 1.0
+    for row, m in results:
+        paper = f"{row.paper_tps:.0f}" if row.paper_tps else "-"
+        lines.append(
+            f"{row.name:32s} {_yes_no(row.static_clients):>13s} "
+            f"{_yes_no(row.use_macs):>5s} {_yes_no(row.all_big):>7s} "
+            f"{_yes_no(row.batching):>9s} {m.tps:8.0f} {paper:>8s} "
+            f"{100 * m.tps / best:7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_fig4(sweep: dict[int, list[tuple[ConfigRow, Measurement]]]) -> str:
+    """Figure 4 as series: one column per payload size."""
+    sizes = sorted(sweep)
+    names = [row.name for row, _m in sweep[sizes[0]]]
+    header = f"{'Config':32s} " + " ".join(f"{size:>8d}B" for size in sizes)
+    lines = [header, "-" * len(header)]
+    for i, name in enumerate(names):
+        cells = " ".join(f"{sweep[size][i][1].tps:9.0f}" for size in sizes)
+        lines.append(f"{name:32s} {cells}")
+    return "\n".join(lines)
+
+
+def format_fig5(results: list[tuple[ConfigRow, Measurement]]) -> str:
+    """Figure 5: SQL insert TPS per configuration."""
+    header = f"{'Config':32s} {'TPS':>8s} {'%ofBest':>8s} {'p50 lat':>10s}"
+    lines = [header, "-" * len(header)]
+    best = max(m.tps for _r, m in results) or 1.0
+    for row, m in results:
+        lines.append(
+            f"{row.name:32s} {m.tps:8.0f} {100 * m.tps / best:7.1f}% "
+            f"{format_duration(m.p50_latency_ns):>10s}"
+        )
+    return "\n".join(lines)
+
+
+def format_acid(acid: Measurement, noacid: Measurement) -> str:
+    ratio = noacid.tps / acid.tps if acid.tps else float("inf")
+    return "\n".join(
+        [
+            f"{'Mode':12s} {'TPS':>8s} {'Paper':>8s}",
+            "-" * 32,
+            f"{'ACID':12s} {acid.tps:8.0f} {PAPER_SQL_ACID_TPS:8d}",
+            f"{'No-ACID':12s} {noacid.tps:8.0f} {PAPER_SQL_NOACID_TPS:8d}",
+            f"speedup without ACID: {ratio:.2f}x (paper: "
+            f"{PAPER_SQL_NOACID_TPS / PAPER_SQL_ACID_TPS:.2f}x)",
+        ]
+    )

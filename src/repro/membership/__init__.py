@@ -1,0 +1,46 @@
+"""Dynamic client membership — the paper's first contribution (section 3.1).
+
+PBFT assumes every node knows every other a priori.  This package adds the
+paper's extension: clients join and leave the replicated service at run
+time while replicas stay statically bound to one another.
+
+Design, following the paper:
+
+* **Join/Leave are system requests** that travel the normal request
+  life-cycle, so all membership changes are totally ordered with
+  application requests and every replica processes them against the same
+  shared state.  They are handled by the middleware and invisible to the
+  application.
+* **Two-phase join with a challenge** — phase 1 announces the client's
+  address, public key and a nonce; replicas answer with a deterministic
+  challenge sent to the *claimed* address; only a client that truly owns
+  the address can compute the phase-2 response.  This blocks the
+  phony-address node-table exhaustion attack.
+* **Application-level identification buffer** — phase 2 carries an opaque
+  buffer (e.g. user id + password) that the application authorizes; the
+  middleware then enforces a single live session per principal, bounding
+  the damage of a distributed credential attack.
+* **Redirection table** — arbitrary client identifiers map to node-table
+  slots, checked before any expensive signature work.
+* **Timestamp-based stale-session cleanup** — requests carry the primary's
+  timestamp; joins that find the table full evict sessions idle longer
+  than a threshold, or are denied.
+
+The client-table state lives in the *library partition* of the shared
+state region, so it is checkpointed, transferred and rolled back together
+with application state.
+"""
+
+from repro.membership.messages import JoinPhase1, JoinChallenge
+from repro.membership.manager import MembershipManager
+from repro.membership.joiner import join_client, leave_client
+from repro.membership.sessions import SessionStateManager
+
+__all__ = [
+    "JoinPhase1",
+    "JoinChallenge",
+    "MembershipManager",
+    "join_client",
+    "leave_client",
+    "SessionStateManager",
+]

@@ -1,0 +1,34 @@
+"""Simulated network substrate.
+
+Models what the paper's testbed provided physically: hosts with CPUs and
+NICs, a switched 1 GbE network, and UDP datagram service — including UDP's
+failure mode (silent packet loss) that section 2.4 of the paper shows
+interacts badly with the "all requests are big" optimization.
+
+The fabric also keeps the common-clock message trace the authors built to
+reason about the middleware (paper section 2.2).
+"""
+
+from repro.net.fabric import (
+    Address,
+    DatagramSocket,
+    DropRule,
+    Host,
+    LinkSpec,
+    NetworkConfig,
+    NetworkFabric,
+    Packet,
+    TraceRecord,
+)
+
+__all__ = [
+    "Address",
+    "DatagramSocket",
+    "DropRule",
+    "Host",
+    "LinkSpec",
+    "NetworkConfig",
+    "NetworkFabric",
+    "Packet",
+    "TraceRecord",
+]

@@ -1,0 +1,67 @@
+"""The PBFT middleware — the system the paper studies.
+
+This package implements the Castro-Liskov protocol (paper section 2.1) with
+the optimizations whose robustness/performance trade-offs the paper
+measures, each individually toggleable from :class:`PbftConfig`:
+
+* MAC authenticators vs. Rabin signatures;
+* "big request" handling (client multicasts the body, the primary
+  circulates only the digest) with a configurable size threshold — the
+  default threshold of 0 treats *all* requests as big;
+* request batching behind a congestion window;
+* tentative execution before commit, with the matching client quorums;
+* the read-only fast path.
+
+It also implements checkpointing and state transfer over
+:mod:`repro.statemgr`, view changes, replica restart/recovery (including
+the authenticator staleness stall of paper section 2.3), and the BASE-style
+non-determinism upcalls (section 2.5).
+"""
+
+from repro.pbft.config import PbftConfig, CostModel
+from repro.pbft.messages import (
+    Request,
+    PrePrepare,
+    Prepare,
+    Commit,
+    Reply,
+    CheckpointMsg,
+    ViewChangeMsg,
+    NewViewMsg,
+    StatusMsg,
+    BatchRetransmit,
+    FetchDigestsMsg,
+    DigestsMsg,
+    FetchPagesMsg,
+    PagesMsg,
+    AuthenticatorRefresh,
+)
+from repro.pbft.replica import Replica, Application, NullApplication
+from repro.pbft.client import PbftClient
+from repro.pbft.cluster import Cluster, build_cluster
+
+__all__ = [
+    "PbftConfig",
+    "CostModel",
+    "Request",
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "Reply",
+    "CheckpointMsg",
+    "ViewChangeMsg",
+    "NewViewMsg",
+    "StatusMsg",
+    "BatchRetransmit",
+    "FetchDigestsMsg",
+    "DigestsMsg",
+    "FetchPagesMsg",
+    "PagesMsg",
+    "AuthenticatorRefresh",
+    "Replica",
+    "Application",
+    "NullApplication",
+    "PbftClient",
+    "Cluster",
+    "build_cluster",
+]

@@ -1,0 +1,226 @@
+"""The PBFT client library.
+
+Implements the client side of the protocol as the paper describes it
+(section 2.1): one outstanding request at a time; requests go to the
+primary unless they are *big* or read-only (then they are multicast);
+replies are accepted once f+1 stable or 2f+1 tentative copies match; on
+timeout the request is retransmitted to the whole group.
+
+In MAC mode the client holds one session key per replica and stamps every
+request with an authenticator covering the full group.  It also runs the
+periodic blind authenticator rebroadcast of section 2.3 so restarted
+replicas can re-learn its keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import ConfigError
+from repro.crypto.mac import MacKey
+from repro.net.fabric import Host
+from repro.pbft.config import PbftConfig
+from repro.pbft.messages import AuthenticatorRefresh, Reply, Request
+from repro.pbft.node import Envelope, KeyDirectory, Node
+
+
+@dataclass
+class PendingOp:
+    """Bookkeeping for the single outstanding request."""
+
+    request: Request
+    callback: Optional[Callable[[bytes, int], None]]
+    sent_at: int
+    timer: object = None
+    # result digest -> {replica id -> is_tentative}
+    votes: dict[bytes, dict[int, bool]] = field(default_factory=dict)
+    full_result: dict[bytes, bytes] = field(default_factory=dict)
+    retransmits: int = 0
+    # Signed requests (join phase 2) are signature-authenticated because no
+    # session keys exist at the replicas yet.
+    signed: bool = False
+
+
+class PbftClient(Node):
+    """A client endpoint; supports static and (via join) dynamic membership."""
+
+    def __init__(
+        self,
+        client_id: int,
+        config: PbftConfig,
+        host: Host,
+        port: int,
+        keys: KeyDirectory,
+        real_crypto: bool = True,
+    ) -> None:
+        super().__init__(config, host, port, keys, "client", client_id, real_crypto)
+        self.view_guess = 0
+        self.next_req_id = 0
+        self.pending: Optional[PendingOp] = None
+        self.joined = not config.dynamic_clients
+        self.join_state = None  # managed by repro.membership.joiner
+        self.completed_ops = 0
+        self.failed_ops = 0
+        self.retransmissions = 0
+        self.latencies_ns: list[int] = []
+        self._refresh_timer = None
+        if config.use_macs:
+            self._start_authenticator_rebroadcast()
+
+    # -- session keys ------------------------------------------------------------
+
+    def generate_session_keys(self, rng) -> dict[int, MacKey]:
+        """Create one session key per replica and remember them."""
+        keys = {rid: MacKey.generate(rng) for rid in range(self.config.n)}
+        for rid, key in keys.items():
+            self.install_session_key("replica", rid, key)
+        return keys
+
+    def _start_authenticator_rebroadcast(self) -> None:
+        self._refresh_timer = self.host.sim.schedule(
+            self.config.authenticator_rebroadcast_ns, self._rebroadcast_authenticators
+        )
+
+    def _rebroadcast_authenticators(self) -> None:
+        self._refresh_timer = None
+        key_entries = tuple(
+            (rid, key.key)
+            for (kind, rid), key in sorted(self.session_keys.items())
+            if kind == "replica"
+        )
+        if key_entries and self.joined:
+            msg = AuthenticatorRefresh(client=self.node_id, keys=key_entries)
+            # Signed so a replica with no session key can still trust it.
+            for rid in range(self.config.n):
+                from repro.pbft.node import replica_address
+
+                self.send_signed(replica_address(rid), msg)
+        self._start_authenticator_rebroadcast()
+
+    # -- invoking operations ------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self.pending is not None
+
+    def invoke(
+        self,
+        op: bytes,
+        readonly: bool = False,
+        callback: Optional[Callable[[bytes, int], None]] = None,
+    ) -> Request:
+        """Submit one operation; at most one may be outstanding."""
+        if self.pending is not None:
+            raise ConfigError(f"client {self.node_id} already has a request in flight")
+        if not self.joined:
+            raise ConfigError(f"client {self.node_id} has not joined the service yet")
+        self.next_req_id += 1
+        request = Request(
+            client=self.node_id,
+            req_id=self.next_req_id,
+            op=op,
+            readonly=readonly,
+            big=self.config.is_big(len(op)),
+        )
+        self.pending = PendingOp(
+            request=request, callback=callback, sent_at=self.host.sim.now
+        )
+        self._transmit(first=True)
+        return request
+
+    def _transmit(self, first: bool) -> None:
+        pending = self.pending
+        if pending is None:
+            return
+        request = pending.request
+        if pending.signed:
+            from repro.pbft.node import replica_address
+
+            for rid in range(self.config.n):
+                self.send_signed(replica_address(rid), request)
+        elif request.big or request.readonly or not first:
+            # Big and read-only requests are always multicast; ordinary
+            # requests are multicast on retransmission so backups start
+            # their view-change timers.
+            self.broadcast_to_replicas(request)
+        else:
+            primary = self.view_guess % self.config.n
+            self.broadcast_to_replicas(request, only=[primary])
+        pending.timer = self.host.sim.schedule(
+            self.config.client_retransmit_ns, self._on_retransmit_timeout
+        )
+
+    def _on_retransmit_timeout(self) -> None:
+        pending = self.pending
+        if pending is None:
+            return
+        pending.retransmits += 1
+        self.retransmissions += 1
+        self._transmit(first=False)
+
+    # -- replies ------------------------------------------------------------------------
+
+    def dispatch(self, env: Envelope) -> None:
+        msg = env.msg
+        if isinstance(msg, Reply):
+            self.on_reply(msg, env)
+        elif self.join_state is not None:
+            self.join_state.dispatch(env)
+
+    def on_reply(self, reply: Reply, env: Envelope = None) -> None:
+        pending = self.pending
+        if pending is None or reply.req_id != pending.request.req_id:
+            return
+        if reply.client != self.node_id:
+            return
+        digest = reply.result_digest
+        votes = pending.votes.setdefault(digest, {})
+        # A stable reply supersedes a tentative one from the same replica.
+        if not votes.get(reply.sender, True) and reply.tentative:
+            pass
+        else:
+            votes[reply.sender] = reply.tentative
+        if not reply.digest_only:
+            pending.full_result[digest] = reply.result
+        if reply.view > self.view_guess:
+            self.view_guess = reply.view
+        self._check_quorum(digest)
+
+    def _check_quorum(self, digest: bytes) -> None:
+        pending = self.pending
+        if pending is None:
+            return
+        votes = pending.votes.get(digest, {})
+        stable = sum(1 for tentative in votes.values() if not tentative)
+        total = len(votes)
+        if pending.request.readonly:
+            done = total >= self.config.quorum
+        else:
+            done = stable >= self.config.weak_quorum or total >= self.config.quorum
+        if not done or digest not in pending.full_result:
+            return
+        result = pending.full_result[digest]
+        latency = self.host.sim.now - pending.sent_at
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.pending = None
+        self.completed_ops += 1
+        self.latencies_ns.append(latency)
+        if pending.callback is not None:
+            pending.callback(result, latency)
+
+    def cancel_pending(self) -> None:
+        """Abort the outstanding request (used by workload teardown)."""
+        if self.pending is not None and self.pending.timer is not None:
+            self.pending.timer.cancel()
+        if self.pending is not None:
+            self.failed_ops += 1
+        self.pending = None
+
+    def stop(self) -> None:
+        """Quiesce timers so the simulation can drain."""
+        self.cancel_pending()
+        if self._refresh_timer is not None:
+            self._refresh_timer.cancel()
+            self._refresh_timer = None

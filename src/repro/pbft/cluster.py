@@ -1,0 +1,161 @@
+"""Cluster builder: wires hosts, replicas, clients, and keys together.
+
+Reproduces the paper's testbed shape by default: 4 replicas, each alone on
+a host, and 12 clients spread evenly across 4 client machines (paper
+section 4), all behind a simulated 1 GbE switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.ids import make_client_id
+from repro.net.fabric import NetworkConfig, NetworkFabric
+from repro.pbft.client import PbftClient
+from repro.pbft.config import PbftConfig
+from repro.pbft.node import CLIENT_PORT, KeyDirectory
+from repro.pbft.replica import Application, NullApplication, Replica
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class Cluster:
+    """A built deployment: simulator, fabric, replicas and clients."""
+
+    sim: Simulator
+    rng: RngStreams
+    fabric: NetworkFabric
+    config: PbftConfig
+    keys: KeyDirectory
+    replicas: list[Replica]
+    clients: list[PbftClient]
+    apps: list[Application] = field(default_factory=list)
+
+    def run_for(self, duration_ns: int) -> None:
+        self.sim.run_for(duration_ns)
+
+    def primary(self) -> Replica:
+        view = max(r.view for r in self.replicas if not r.crashed)
+        return self.replicas[view % self.config.n]
+
+    def total_completed(self) -> int:
+        return sum(c.completed_ops for c in self.clients)
+
+    def total_executed(self) -> int:
+        return sum(r.stats["requests_executed"] for r in self.replicas)
+
+    def invoke_and_wait(
+        self, client: PbftClient, op: bytes, readonly: bool = False,
+        max_wait_ns: int = 10_000_000_000,
+    ) -> bytes:
+        """Test helper: submit one op and run the simulation to completion."""
+        box: list[bytes] = []
+        client.invoke(op, readonly=readonly, callback=lambda res, _lat: box.append(res))
+        deadline = self.sim.now + max_wait_ns
+        step = 1_000_000  # 1 ms
+        while not box and self.sim.now < deadline:
+            self.sim.run_for(step)
+        if not box:
+            raise TimeoutError(
+                f"request by client {client.node_id} did not complete within "
+                f"{max_wait_ns} ns"
+            )
+        return box[0]
+
+    def stop_clients(self) -> None:
+        for client in self.clients:
+            client.stop()
+
+
+def build_cluster(
+    config: Optional[PbftConfig] = None,
+    seed: int = 1,
+    app_factory: Optional[Callable[[], Application]] = None,
+    real_crypto: bool = True,
+    trace: bool = False,
+    client_hosts: int = 4,
+    net_config: Optional[NetworkConfig] = None,
+    nondet_provider_factory=None,
+    nondet_validator_factory=None,
+    clock_skew_ns: int = 0,
+) -> Cluster:
+    """Build a full deployment ready to run.
+
+    With ``config.dynamic_clients`` False (the default), clients are
+    statically registered at every replica with pre-shared session keys —
+    PBFT's a-priori-knowledge model.  With it True, replicas get membership
+    managers and clients must :func:`repro.membership.join_client` first.
+    """
+    config = config or PbftConfig()
+    config.validate()
+    sim = Simulator()
+    rng = RngStreams(seed)
+    fabric = NetworkFabric(sim, rng, config=net_config, trace_enabled=trace)
+    keys = KeyDirectory(config, rng.stream("keys"))
+
+    skew_rng = rng.stream("clock-skew")
+    replicas: list[Replica] = []
+    apps: list[Application] = []
+    for rid in range(config.n):
+        skew = skew_rng.randrange(-clock_skew_ns, clock_skew_ns + 1) if clock_skew_ns else 0
+        host = fabric.add_host(f"replica{rid}", clock_skew_ns=skew)
+        app = app_factory() if app_factory else NullApplication()
+        apps.append(app)
+        replica = Replica(
+            replica_id=rid,
+            config=config,
+            host=host,
+            keys=keys,
+            app=app,
+            nondet_provider=nondet_provider_factory() if nondet_provider_factory else None,
+            nondet_validator=nondet_validator_factory() if nondet_validator_factory else None,
+            real_crypto=real_crypto,
+        )
+        replicas.append(replica)
+
+    if config.dynamic_clients:
+        from repro.membership.manager import MembershipManager
+
+        for replica in replicas:
+            replica.membership = MembershipManager(replica)
+
+    hosts = []
+    for h in range(client_hosts):
+        skew = skew_rng.randrange(-clock_skew_ns, clock_skew_ns + 1) if clock_skew_ns else 0
+        hosts.append(fabric.add_host(f"clienthost{h}", clock_skew_ns=skew))
+
+    clients: list[PbftClient] = []
+    session_rng = rng.stream("client-sessions")
+    for index in range(config.num_clients):
+        client_id = make_client_id(index)
+        host = hosts[index % client_hosts]
+        port = CLIENT_PORT + index
+        keys.new_client_keypair(client_id)
+        client = PbftClient(
+            client_id=client_id,
+            config=config,
+            host=host,
+            port=port,
+            keys=keys,
+            real_crypto=real_crypto,
+        )
+        session = client.generate_session_keys(session_rng)
+        if not config.dynamic_clients:
+            for replica in replicas:
+                replica.register_client(
+                    client_id, client.socket.address, session[replica.node_id]
+                )
+        clients.append(client)
+
+    return Cluster(
+        sim=sim,
+        rng=rng,
+        fabric=fabric,
+        config=config,
+        keys=keys,
+        replicas=replicas,
+        clients=clients,
+        apps=apps,
+    )

@@ -1,0 +1,182 @@
+"""The replica's message log: slots, certificates, watermarks, GC.
+
+A *slot* tracks one sequence number through the three phases.  A batch is
+*prepared* when the replica holds the pre-prepare plus 2f matching prepares
+from distinct backups; *committed-local* when additionally 2f+1 commits
+match (paper section 2.1).  Slots live between the low watermark (the last
+stable checkpoint) and low + log window; stabilizing a checkpoint garbage
+collects everything at or below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ProtocolError
+from repro.pbft.messages import PrePrepare, Request
+
+
+@dataclass
+class ViewSlot:
+    """Per-(seq, view) certificate state."""
+
+    pre_prepare: Optional[PrePrepare] = None
+    prepares: dict[int, bytes] = field(default_factory=dict)  # replica -> digest
+    commits: dict[int, bytes] = field(default_factory=dict)
+
+    def matching_prepares(self) -> int:
+        if self.pre_prepare is None:
+            return 0
+        want = self.pre_prepare.batch_digest
+        return sum(1 for d in self.prepares.values() if d == want)
+
+    def matching_commits(self) -> int:
+        if self.pre_prepare is None:
+            return 0
+        want = self.pre_prepare.batch_digest
+        return sum(1 for d in self.commits.values() if d == want)
+
+
+@dataclass
+class Slot:
+    """All protocol state for one sequence number."""
+
+    seq: int
+    views: dict[int, ViewSlot] = field(default_factory=dict)
+    executed: bool = False
+    tentative: bool = False  # executed tentatively, commit still pending
+    committed: bool = False
+    committed_view: int = 0
+
+    def view_slot(self, view: int) -> ViewSlot:
+        vs = self.views.get(view)
+        if vs is None:
+            vs = ViewSlot()
+            self.views[view] = vs
+        return vs
+
+    def pre_prepare_in(self, view: int) -> Optional[PrePrepare]:
+        vs = self.views.get(view)
+        return vs.pre_prepare if vs else None
+
+    def prepared(self, view: int, f: int) -> bool:
+        vs = self.views.get(view)
+        if vs is None or vs.pre_prepare is None:
+            return False
+        # The primary's pre-prepare counts as its prepare.
+        return vs.matching_prepares() >= 2 * f
+
+    def committed_local(self, view: int, f: int) -> bool:
+        vs = self.views.get(view)
+        if vs is None or vs.pre_prepare is None:
+            return False
+        return self.prepared(view, f) and vs.matching_commits() >= 2 * f + 1
+
+    def latest_prepared_proof(self, f: int) -> Optional[tuple[int, bytes]]:
+        """(view, batch digest) of the highest view in which this slot
+        prepared — the P-set entry for view changes."""
+        best = None
+        for view in sorted(self.views):
+            if self.prepared(view, f):
+                best = (view, self.views[view].pre_prepare.batch_digest)
+        return best
+
+
+class RequestStore:
+    """Request bodies by digest, plus per-client execution bookkeeping."""
+
+    def __init__(self) -> None:
+        self.by_digest: dict[bytes, Request] = {}
+        self.last_executed_req: dict[int, int] = {}  # client -> req_id
+        self.last_reply: dict[int, object] = {}  # client -> Reply
+        self.last_active: dict[int, int] = {}  # client -> primary-timestamp
+
+    def add(self, request: Request) -> None:
+        self.by_digest.setdefault(request.digest, request)
+
+    def get(self, digest: bytes) -> Optional[Request]:
+        return self.by_digest.get(digest)
+
+    def already_executed(self, request: Request) -> bool:
+        return self.last_executed_req.get(request.client, -1) >= request.req_id
+
+    def record_execution(self, request: Request, reply, timestamp: int) -> None:
+        self.last_executed_req[request.client] = request.req_id
+        self.last_reply[request.client] = reply
+        self.last_active[request.client] = timestamp
+
+    def forget_client(self, client: int) -> None:
+        self.last_executed_req.pop(client, None)
+        self.last_reply.pop(client, None)
+        self.last_active.pop(client, None)
+
+    def gc_digests(self, keep: set[bytes]) -> None:
+        """Drop executed bodies not referenced by any live slot.
+
+        Bodies that have not executed yet are always kept: they may be
+        pending at the primary or waiting for a pre-prepare at a backup,
+        and dropping them would wedge execution when their batch arrives.
+        """
+        for digest in [d for d in self.by_digest if d not in keep]:
+            if self.already_executed(self.by_digest[digest]):
+                del self.by_digest[digest]
+
+
+class MessageLog:
+    """Slots between the watermarks, with checkpoint-driven GC."""
+
+    def __init__(self, log_window: int) -> None:
+        self.log_window = log_window
+        self.low_watermark = 0  # last stable checkpoint seq
+        self.slots: dict[int, Slot] = {}
+
+    @property
+    def high_watermark(self) -> int:
+        return self.low_watermark + self.log_window
+
+    def in_window(self, seq: int) -> bool:
+        return self.low_watermark < seq <= self.high_watermark
+
+    def slot(self, seq: int) -> Slot:
+        if not self.in_window(seq):
+            raise ProtocolError(
+                f"seq {seq} outside watermarks ({self.low_watermark}, "
+                f"{self.high_watermark}]"
+            )
+        entry = self.slots.get(seq)
+        if entry is None:
+            entry = Slot(seq)
+            self.slots[seq] = entry
+        return entry
+
+    def peek(self, seq: int) -> Optional[Slot]:
+        return self.slots.get(seq)
+
+    def advance_stable(self, seq: int) -> None:
+        """Move the low watermark to a newly stable checkpoint and GC."""
+        if seq <= self.low_watermark:
+            return
+        self.low_watermark = seq
+        for old in [s for s in self.slots if s <= seq]:
+            del self.slots[old]
+
+    def live_request_digests(self) -> set[bytes]:
+        digests: set[bytes] = set()
+        for slot in self.slots.values():
+            for vs in slot.views.values():
+                if vs.pre_prepare is not None:
+                    digests.update(vs.pre_prepare.request_digests)
+        return digests
+
+    def prepared_proofs(self, f: int) -> list[tuple[int, int, "PrePrepare"]]:
+        """(seq, view, pre-prepare) for every slot prepared above the
+        watermark — the contents a view change must carry forward."""
+        proofs = []
+        for seq in sorted(self.slots):
+            slot = self.slots[seq]
+            proof = slot.latest_prepared_proof(f)
+            if proof is not None:
+                view = proof[0]
+                proofs.append((seq, view, slot.views[view].pre_prepare))
+        return proofs

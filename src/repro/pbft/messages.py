@@ -1,0 +1,799 @@
+"""Protocol messages.
+
+Every message knows how to encode itself canonically (for authentication
+and for wire sizing) and how to decode back; ``decode(encode(m)) == m`` is
+property-tested.  The set mirrors the original PBFT implementation: the
+three-phase agreement messages, replies, checkpointing, view changes,
+status/retransmission, state-transfer fetches, and the periodic
+authenticator refresh of paper section 2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.common.errors import ProtocolError
+from repro.crypto.digests import DIGEST_SIZE, md5_digest
+from repro.pbft.wire import Decoder, Encoder
+
+# Sequence number used before any request is assigned one.
+NO_SEQ = 0
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client operation submitted for total ordering.
+
+    ``req_id`` is the client-local timestamp: monotonically increasing per
+    client, used for at-most-once execution and reply matching.  ``big``
+    requests were multicast by the client and circulate by digest only.
+    """
+
+    TAG = 1
+
+    client: int
+    req_id: int
+    op: bytes
+    readonly: bool = False
+    big: bool = False
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .u8(self.TAG)
+            .u32(self.client)
+            .u64(self.req_id)
+            .blob(self.op)
+            .boolean(self.readonly)
+            .boolean(self.big)
+            .finish()
+        )
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "Request":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a Request")
+        return cls(
+            client=dec.u32(),
+            req_id=dec.u64(),
+            op=dec.blob(),
+            readonly=dec.boolean(),
+            big=dec.boolean(),
+        )
+
+    @cached_property
+    def digest(self) -> bytes:
+        return md5_digest(self.encode())
+
+    def body_size(self) -> int:
+        return 1 + 4 + 8 + (4 + len(self.op)) + 1 + 1
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """Primary's sequence-number assignment for a batch of requests.
+
+    ``request_digests`` identifies the batch; ``inline_requests`` carries
+    full bodies only when big-request handling did **not** divert them
+    (i.e. the client sent the body to the primary alone, so the primary
+    must forward it — the bandwidth/CPU cost the all-big optimization
+    avoids).  ``nondet`` is the primary's non-determinism data (section
+    2.5).
+    """
+
+    TAG = 2
+
+    view: int
+    seq: int
+    request_digests: tuple[bytes, ...]
+    nondet: bytes = b""
+    inline_requests: tuple[Request, ...] = ()
+    sender: int = 0
+
+    def encode_header(self) -> bytes:
+        enc = (
+            Encoder()
+            .u8(self.TAG)
+            .u16(self.sender)
+            .u64(self.view)
+            .u64(self.seq)
+            .blob(self.nondet)
+        )
+        enc.sequence(self.request_digests, lambda e, d: e.raw(d))
+        return enc.finish()
+
+    def encode(self) -> bytes:
+        enc = Encoder().raw(self.encode_header())
+        enc.sequence(self.inline_requests, lambda e, r: e.blob(r.encode()))
+        return enc.finish()
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "PrePrepare":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a PrePrepare")
+        sender = dec.u16()
+        view = dec.u64()
+        seq = dec.u64()
+        nondet = dec.blob()
+        digests = tuple(dec.sequence(lambda d: d.raw(DIGEST_SIZE)))
+        inline = tuple(
+            dec.sequence(lambda d: Request.decode(Decoder(d.blob())))
+        )
+        return cls(
+            view=view,
+            seq=seq,
+            request_digests=digests,
+            nondet=nondet,
+            inline_requests=inline,
+            sender=sender,
+        )
+
+    @cached_property
+    def batch_digest(self) -> bytes:
+        """Digest identifying (view, seq, batch, nondet) for prepare/commit."""
+        return md5_digest(self.encode_header())
+
+    def body_size(self) -> int:
+        size = 1 + 2 + 8 + 8 + (4 + len(self.nondet))
+        size += 4 + DIGEST_SIZE * len(self.request_digests)
+        size += 4 + sum(4 + r.body_size() for r in self.inline_requests)
+        return size
+
+    def auth_bytes(self) -> bytes:
+        # Inline bodies are covered transitively by their digests.
+        return self.encode_header()
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """A backup's agreement to the primary's sequence assignment."""
+
+    TAG = 3
+
+    view: int
+    seq: int
+    batch_digest: bytes
+    sender: int
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .u8(self.TAG)
+            .u16(self.sender)
+            .u64(self.view)
+            .u64(self.seq)
+            .raw(self.batch_digest)
+            .finish()
+        )
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "Prepare":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a Prepare")
+        return cls(
+            sender=dec.u16(),
+            view=dec.u64(),
+            seq=dec.u64(),
+            batch_digest=dec.raw(DIGEST_SIZE),
+        )
+
+    def body_size(self) -> int:
+        return 1 + 2 + 8 + 8 + DIGEST_SIZE
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Second-round vote guaranteeing total order across views."""
+
+    TAG = 4
+
+    view: int
+    seq: int
+    batch_digest: bytes
+    sender: int
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .u8(self.TAG)
+            .u16(self.sender)
+            .u64(self.view)
+            .u64(self.seq)
+            .raw(self.batch_digest)
+            .finish()
+        )
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "Commit":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a Commit")
+        return cls(
+            sender=dec.u16(),
+            view=dec.u64(),
+            seq=dec.u64(),
+            batch_digest=dec.raw(DIGEST_SIZE),
+        )
+
+    def body_size(self) -> int:
+        return 1 + 2 + 8 + 8 + DIGEST_SIZE
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A replica's reply, sent directly to the client.
+
+    With the reply-digest optimization only the designated replica sends
+    the full ``result``; the rest send its digest (``digest_only=True``).
+    ``tentative`` replies were produced by execution before commit; the
+    client needs 2f+1 of them (vs f+1 stable).
+    """
+
+    TAG = 5
+
+    view: int
+    req_id: int
+    client: int
+    sender: int
+    result: bytes
+    tentative: bool = False
+    digest_only: bool = False
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .u8(self.TAG)
+            .u16(self.sender)
+            .u64(self.view)
+            .u64(self.req_id)
+            .u32(self.client)
+            .boolean(self.tentative)
+            .boolean(self.digest_only)
+            .blob(self.result)
+            .finish()
+        )
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "Reply":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a Reply")
+        return cls(
+            sender=dec.u16(),
+            view=dec.u64(),
+            req_id=dec.u64(),
+            client=dec.u32(),
+            tentative=dec.boolean(),
+            digest_only=dec.boolean(),
+            result=dec.blob(),
+        )
+
+    @cached_property
+    def result_digest(self) -> bytes:
+        """Digest used to match full and digest-only replies."""
+        if self.digest_only:
+            return self.result
+        return md5_digest(self.result)
+
+    def body_size(self) -> int:
+        return 1 + 2 + 8 + 8 + 4 + 1 + 1 + (4 + len(self.result))
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class CheckpointMsg:
+    """Proof-of-state message broadcast every K executions."""
+
+    TAG = 6
+
+    seq: int
+    root: bytes
+    sender: int
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .u8(self.TAG)
+            .u16(self.sender)
+            .u64(self.seq)
+            .raw(self.root)
+            .finish()
+        )
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "CheckpointMsg":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a CheckpointMsg")
+        return cls(sender=dec.u16(), seq=dec.u64(), root=dec.raw(DIGEST_SIZE))
+
+    def body_size(self) -> int:
+        return 1 + 2 + 8 + DIGEST_SIZE
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class PreparedProof:
+    """One entry of a view-change message's P set: a prepared batch.
+
+    Carries the pre-prepare's *contents* (request digests + agreed
+    non-determinism data), not merely its digest: the new primary and the
+    backups must be able to re-propose the batch in the new view even if
+    they never received the original pre-prepare.
+    """
+
+    seq: int
+    view: int
+    batch_digest: bytes
+    request_digests: tuple[bytes, ...] = ()
+    nondet: bytes = b""
+
+    def encode_into(self, enc: Encoder) -> None:
+        enc.u64(self.seq).u64(self.view).raw(self.batch_digest)
+        enc.blob(self.nondet)
+        enc.sequence(self.request_digests, lambda e, d: e.raw(d))
+
+    @classmethod
+    def decode_from(cls, dec: Decoder) -> "PreparedProof":
+        seq = dec.u64()
+        view = dec.u64()
+        batch_digest = dec.raw(DIGEST_SIZE)
+        nondet = dec.blob()
+        digests = tuple(dec.sequence(lambda d: d.raw(DIGEST_SIZE)))
+        return cls(
+            seq=seq,
+            view=view,
+            batch_digest=batch_digest,
+            request_digests=digests,
+            nondet=nondet,
+        )
+
+    def size(self) -> int:
+        return (
+            8 + 8 + DIGEST_SIZE + (4 + len(self.nondet))
+            + 4 + DIGEST_SIZE * len(self.request_digests)
+        )
+
+
+@dataclass(frozen=True)
+class ViewChangeMsg:
+    """A replica's vote to depose the primary and move to ``new_view``."""
+
+    TAG = 7
+
+    new_view: int
+    stable_seq: int
+    stable_root: bytes
+    checkpoint_proof: tuple[tuple[int, bytes], ...]  # (replica, root) votes
+    prepared: tuple[PreparedProof, ...]
+    sender: int
+
+    def encode(self) -> bytes:
+        enc = (
+            Encoder()
+            .u8(self.TAG)
+            .u16(self.sender)
+            .u64(self.new_view)
+            .u64(self.stable_seq)
+            .raw(self.stable_root)
+        )
+        enc.sequence(
+            self.checkpoint_proof, lambda e, rv: e.u16(rv[0]).raw(rv[1])
+        )
+        enc.sequence(self.prepared, lambda e, p: p.encode_into(e))
+        return enc.finish()
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "ViewChangeMsg":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a ViewChangeMsg")
+        sender = dec.u16()
+        new_view = dec.u64()
+        stable_seq = dec.u64()
+        stable_root = dec.raw(DIGEST_SIZE)
+        proof = tuple(
+            dec.sequence(lambda d: (d.u16(), d.raw(DIGEST_SIZE)))
+        )
+        prepared = tuple(dec.sequence(PreparedProof.decode_from))
+        return cls(
+            new_view=new_view,
+            stable_seq=stable_seq,
+            stable_root=stable_root,
+            checkpoint_proof=proof,
+            prepared=prepared,
+            sender=sender,
+        )
+
+    @cached_property
+    def digest(self) -> bytes:
+        return md5_digest(self.encode())
+
+    def body_size(self) -> int:
+        return (
+            1 + 2 + 8 + 8 + DIGEST_SIZE
+            + 4 + len(self.checkpoint_proof) * (2 + DIGEST_SIZE)
+            + 4 + sum(p.size() for p in self.prepared)
+        )
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class NewViewMsg:
+    """The new primary's installation message.
+
+    ``view_change_digests`` prove 2f+1 replicas voted; ``pre_prepares``
+    re-propose (as :class:`PreparedProof` contents) every batch that might
+    have committed in earlier views.  An entry with no request digests is
+    a no-op filler for a sequence-number gap.
+    """
+
+    TAG = 8
+
+    view: int
+    view_change_digests: tuple[tuple[int, bytes], ...]
+    pre_prepares: tuple[PreparedProof, ...]
+    stable_seq: int
+    sender: int
+
+    def encode(self) -> bytes:
+        enc = (
+            Encoder()
+            .u8(self.TAG)
+            .u16(self.sender)
+            .u64(self.view)
+            .u64(self.stable_seq)
+        )
+        enc.sequence(
+            self.view_change_digests, lambda e, rv: e.u16(rv[0]).raw(rv[1])
+        )
+        enc.sequence(self.pre_prepares, lambda e, p: p.encode_into(e))
+        return enc.finish()
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "NewViewMsg":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a NewViewMsg")
+        sender = dec.u16()
+        view = dec.u64()
+        stable_seq = dec.u64()
+        vcs = tuple(dec.sequence(lambda d: (d.u16(), d.raw(DIGEST_SIZE))))
+        pps = tuple(dec.sequence(PreparedProof.decode_from))
+        return cls(
+            view=view,
+            view_change_digests=vcs,
+            pre_prepares=pps,
+            stable_seq=stable_seq,
+            sender=sender,
+        )
+
+    def body_size(self) -> int:
+        return (
+            1 + 2 + 8 + 8
+            + 4 + len(self.view_change_digests) * (2 + DIGEST_SIZE)
+            + 4 + sum(p.size() for p in self.pre_prepares)
+        )
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class StatusMsg:
+    """Periodic/recovery gossip of a replica's progress.
+
+    Peers respond with whatever the sender is missing (committed batches,
+    checkpoint messages) — the retransmission backbone for recovery.
+    """
+
+    TAG = 9
+
+    view: int
+    last_exec_seq: int
+    stable_seq: int
+    sender: int
+    recovering: bool = False
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .u8(self.TAG)
+            .u16(self.sender)
+            .u64(self.view)
+            .u64(self.last_exec_seq)
+            .u64(self.stable_seq)
+            .boolean(self.recovering)
+            .finish()
+        )
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "StatusMsg":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a StatusMsg")
+        return cls(
+            sender=dec.u16(),
+            view=dec.u64(),
+            last_exec_seq=dec.u64(),
+            stable_seq=dec.u64(),
+            recovering=dec.boolean(),
+        )
+
+    def body_size(self) -> int:
+        return 1 + 2 + 8 + 8 + 8 + 1
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class BatchRetransmit:
+    """A committed batch replayed to a lagging/recovering replica.
+
+    Carries the original pre-prepare (with full request bodies) plus the
+    commit certificate.  The receiver still authenticates the *client
+    requests* inside — which is exactly where the restarted replica of
+    paper section 2.3 stalls: its session keys are gone, so the
+    authenticators fail until the clients' periodic refresh re-arrives.
+    """
+
+    TAG = 10
+
+    pre_prepare: PrePrepare
+    commit_proof: tuple[int, ...]  # replicas whose commits certify the batch
+    requests: tuple[Request, ...]
+    sender: int
+
+    def encode(self) -> bytes:
+        enc = Encoder().u8(self.TAG).u16(self.sender)
+        enc.blob(self.pre_prepare.encode())
+        enc.sequence(self.commit_proof, lambda e, r: e.u16(r))
+        enc.sequence(self.requests, lambda e, r: e.blob(r.encode()))
+        return enc.finish()
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "BatchRetransmit":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a BatchRetransmit")
+        sender = dec.u16()
+        pp = PrePrepare.decode(Decoder(dec.blob()))
+        proof = tuple(dec.sequence(lambda d: d.u16()))
+        reqs = tuple(dec.sequence(lambda d: Request.decode(Decoder(d.blob()))))
+        return cls(pre_prepare=pp, commit_proof=proof, requests=reqs, sender=sender)
+
+    def body_size(self) -> int:
+        return (
+            1 + 2 + (4 + self.pre_prepare.body_size())
+            + 4 + 2 * len(self.commit_proof)
+            + 4 + sum(4 + r.body_size() for r in self.requests)
+        )
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class FetchDigestsMsg:
+    """State transfer: ask a peer for Merkle nodes of its stable checkpoint."""
+
+    TAG = 11
+
+    checkpoint_seq: int
+    node_indices: tuple[int, ...]
+    sender: int
+
+    def encode(self) -> bytes:
+        enc = Encoder().u8(self.TAG).u16(self.sender).u64(self.checkpoint_seq)
+        enc.sequence(self.node_indices, lambda e, i: e.u32(i))
+        return enc.finish()
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "FetchDigestsMsg":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a FetchDigestsMsg")
+        sender = dec.u16()
+        seq = dec.u64()
+        idx = tuple(dec.sequence(lambda d: d.u32()))
+        return cls(checkpoint_seq=seq, node_indices=idx, sender=sender)
+
+    def body_size(self) -> int:
+        return 1 + 2 + 8 + 4 + 4 * len(self.node_indices)
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class DigestsMsg:
+    """State transfer: Merkle node digests from a stable checkpoint."""
+
+    TAG = 12
+
+    checkpoint_seq: int
+    entries: tuple[tuple[int, bytes], ...]
+    sender: int
+
+    def encode(self) -> bytes:
+        enc = Encoder().u8(self.TAG).u16(self.sender).u64(self.checkpoint_seq)
+        enc.sequence(self.entries, lambda e, nd: e.u32(nd[0]).raw(nd[1]))
+        return enc.finish()
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "DigestsMsg":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a DigestsMsg")
+        sender = dec.u16()
+        seq = dec.u64()
+        entries = tuple(dec.sequence(lambda d: (d.u32(), d.raw(DIGEST_SIZE))))
+        return cls(checkpoint_seq=seq, entries=entries, sender=sender)
+
+    def body_size(self) -> int:
+        return 1 + 2 + 8 + 4 + len(self.entries) * (4 + DIGEST_SIZE)
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class FetchPagesMsg:
+    """State transfer: ask for the data of specific differing pages."""
+
+    TAG = 13
+
+    checkpoint_seq: int
+    page_indices: tuple[int, ...]
+    sender: int
+
+    def encode(self) -> bytes:
+        enc = Encoder().u8(self.TAG).u16(self.sender).u64(self.checkpoint_seq)
+        enc.sequence(self.page_indices, lambda e, i: e.u32(i))
+        return enc.finish()
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "FetchPagesMsg":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a FetchPagesMsg")
+        sender = dec.u16()
+        seq = dec.u64()
+        idx = tuple(dec.sequence(lambda d: d.u32()))
+        return cls(checkpoint_seq=seq, page_indices=idx, sender=sender)
+
+    def body_size(self) -> int:
+        return 1 + 2 + 8 + 4 + 4 * len(self.page_indices)
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class PagesMsg:
+    """State transfer: page payloads for a stable checkpoint."""
+
+    TAG = 14
+
+    checkpoint_seq: int
+    root: bytes
+    pages: tuple[tuple[int, bytes], ...]
+    sender: int
+    # Per-client execution watermarks from the checkpoint's library
+    # partition (the restarted replica needs them for at-most-once
+    # semantics after jumping forward).
+    client_marks: tuple[tuple[int, int], ...] = ()
+
+    def encode(self) -> bytes:
+        enc = Encoder().u8(self.TAG).u16(self.sender).u64(self.checkpoint_seq)
+        enc.raw(self.root)
+        enc.sequence(self.pages, lambda e, ip: e.u32(ip[0]).blob(ip[1]))
+        enc.sequence(self.client_marks, lambda e, cm: e.u32(cm[0]).u64(cm[1]))
+        return enc.finish()
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "PagesMsg":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a PagesMsg")
+        sender = dec.u16()
+        seq = dec.u64()
+        root = dec.raw(DIGEST_SIZE)
+        pages = tuple(dec.sequence(lambda d: (d.u32(), d.blob())))
+        marks = tuple(dec.sequence(lambda d: (d.u32(), d.u64())))
+        return cls(
+            checkpoint_seq=seq,
+            root=root,
+            pages=pages,
+            sender=sender,
+            client_marks=marks,
+        )
+
+    def body_size(self) -> int:
+        return (
+            1 + 2 + 8 + DIGEST_SIZE
+            + 4 + sum(4 + 4 + len(data) for _, data in self.pages)
+            + 4 + len(self.client_marks) * 12
+        )
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+@dataclass(frozen=True)
+class AuthenticatorRefresh:
+    """A client's blind periodic rebroadcast of its session keys.
+
+    Paper section 2.3: "the blind retransmission of the authenticators from
+    each node to all replicas, based on a timer" is the only way a
+    restarted replica re-learns the keys it needs to validate client
+    requests.  Keys are conceptually encrypted under each replica's public
+    key; the simulator charges the corresponding sizes and costs.
+    """
+
+    TAG = 15
+
+    client: int
+    keys: tuple[tuple[int, bytes], ...]  # (replica, 16-byte key material)
+
+    def encode(self) -> bytes:
+        enc = Encoder().u8(self.TAG).u32(self.client)
+        enc.sequence(self.keys, lambda e, rk: e.u16(rk[0]).raw(rk[1]))
+        return enc.finish()
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "AuthenticatorRefresh":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not an AuthenticatorRefresh")
+        client = dec.u32()
+        keys = tuple(dec.sequence(lambda d: (d.u16(), d.raw(16))))
+        return cls(client=client, keys=keys)
+
+    def body_size(self) -> int:
+        # Each key entry ships as a public-key encrypted block (~64 bytes
+        # for the small simulated Rabin moduli).
+        return 1 + 4 + 4 + len(self.keys) * (2 + 64)
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
+_TAG_TO_CLASS = {
+    cls.TAG: cls
+    for cls in (
+        Request,
+        PrePrepare,
+        Prepare,
+        Commit,
+        Reply,
+        CheckpointMsg,
+        ViewChangeMsg,
+        NewViewMsg,
+        StatusMsg,
+        BatchRetransmit,
+        FetchDigestsMsg,
+        DigestsMsg,
+        FetchPagesMsg,
+        PagesMsg,
+        AuthenticatorRefresh,
+    )
+}
+
+
+def decode_message(data: bytes):
+    """Decode any protocol message from its canonical bytes."""
+    if not data:
+        raise ProtocolError("empty message")
+    cls = _TAG_TO_CLASS.get(data[0])
+    if cls is None:
+        raise ProtocolError(f"unknown message tag {data[0]}")
+    dec = Decoder(data)
+    msg = cls.decode(dec)
+    dec.expect_end()
+    return msg

@@ -1,0 +1,317 @@
+"""Shared machinery for replicas and clients: keys, envelopes, send paths.
+
+Authentication modes mirror the original implementation (paper section
+2.1):
+
+* ``use_macs=True`` — messages to the replica group carry an
+  *authenticator* (one MAC per replica); point-to-point messages carry a
+  single MAC tag.  Cheap, but session keys are transient — the root cause
+  of the erratic recovery of section 2.3.
+* ``use_macs=False`` — every message carries a Rabin signature.  Slow
+  (Table 1's robust rows), but recovery works from public keys alone.
+
+The simulator charges the cost model for every generate/verify; when
+``real_crypto`` is on, the tags and signatures are also actually computed
+and checked, so corruption genuinely fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.crypto.authenticators import (
+    Authenticator,
+    make_authenticator,
+    verify_authenticator,
+)
+from repro.crypto.mac import MacKey, compute_mac, verify_mac
+from repro.crypto.rabin import (
+    RabinKeyPair,
+    RabinPublicKey,
+    RabinSignature,
+    rabin_generate,
+    rabin_sign,
+    rabin_verify,
+)
+from repro.net.fabric import Address, DatagramSocket, Host, Packet
+from repro.pbft.config import PbftConfig
+
+REPLICA_PORT = 5000
+CLIENT_PORT = 6000
+
+AUTH_NONE = 0
+AUTH_MAC = 1
+AUTH_VECTOR = 2  # authenticator: one MAC per replica
+AUTH_SIG = 3
+
+
+@dataclass
+class Envelope:
+    """A message plus its authentication trailer."""
+
+    msg: object
+    auth_kind: int
+    auth: object  # bytes tag | Authenticator | RabinSignature | None
+    sender_kind: str  # "replica" | "client"
+    sender_id: int
+
+    @property
+    def size(self) -> int:
+        base = self.msg.body_size() + 4  # 4-byte trailer header
+        if self.auth_kind == AUTH_MAC:
+            return base + 4
+        if self.auth_kind == AUTH_VECTOR:
+            return base + self.auth.size
+        if self.auth_kind == AUTH_SIG:
+            sig = self.auth
+            return base + (sig.size_bytes if sig is not None else 66)
+        return base
+
+
+class KeyDirectory:
+    """All long-lived key material for one deployment.
+
+    Public keys are a priori knowledge in PBFT's static-membership model;
+    with the dynamic extension, clients only need the *replica* public
+    keys (paper section 3.1).
+    """
+
+    def __init__(self, config: PbftConfig, rng) -> None:
+        self.config = config
+        bits = config.signature_key_bits
+        self.replica_keys: dict[int, RabinKeyPair] = {
+            rid: rabin_generate(rng, bits) for rid in range(config.n)
+        }
+        self.client_keys: dict[int, RabinKeyPair] = {}
+        # Pairwise replica-replica session keys (stable per deployment).
+        self.replica_session: dict[frozenset[int], MacKey] = {}
+        for i in range(config.n):
+            for j in range(i + 1, config.n):
+                self.replica_session[frozenset((i, j))] = MacKey.generate(rng)
+        self._rng = rng
+
+    def new_client_keypair(self, client_id: int) -> RabinKeyPair:
+        pair = rabin_generate(self._rng, self.config.signature_key_bits)
+        self.client_keys[client_id] = pair
+        return pair
+
+    def replica_public(self, rid: int) -> RabinPublicKey:
+        return self.replica_keys[rid].public
+
+    def client_public(self, client_id: int) -> Optional[RabinPublicKey]:
+        pair = self.client_keys.get(client_id)
+        return pair.public if pair else None
+
+    def replica_pair_key(self, a: int, b: int) -> MacKey:
+        return self.replica_session[frozenset((a, b))]
+
+
+def replica_address(rid: int) -> Address:
+    return (f"replica{rid}", REPLICA_PORT)
+
+
+class Node:
+    """Base class: a socket plus authenticated, cost-accounted send/verify."""
+
+    def __init__(
+        self,
+        config: PbftConfig,
+        host: Host,
+        port: int,
+        keys: KeyDirectory,
+        kind: str,
+        node_id: int,
+        real_crypto: bool = True,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.costs = config.costs
+        self.host = host
+        self.keys = keys
+        self.kind = kind
+        self.node_id = node_id
+        self.real_crypto = real_crypto
+        self.socket: DatagramSocket = host.fabric.bind(host.name, port)
+        self.socket.on_receive(self._on_packet)
+        # Session keys for MAC mode, keyed by (peer kind, peer id).
+        self.session_keys: dict[tuple[str, int], MacKey] = {}
+        self.auth_failures = 0
+        self.messages_handled = 0
+
+    # -- key management -------------------------------------------------------
+
+    def install_session_key(self, peer_kind: str, peer_id: int, key: MacKey) -> None:
+        self.session_keys[(peer_kind, peer_id)] = key
+
+    def drop_session_keys(self, peer_kind: str | None = None) -> None:
+        """Forget session keys (restart); replica-replica keys re-derive
+        from static configuration, client keys do not (section 2.3)."""
+        if peer_kind is None:
+            self.session_keys.clear()
+            return
+        for key in [k for k in self.session_keys if k[0] == peer_kind]:
+            del self.session_keys[key]
+
+    def _own_signing_key(self) -> RabinKeyPair:
+        if self.kind == "replica":
+            return self.keys.replica_keys[self.node_id]
+        pair = self.keys.client_keys.get(self.node_id)
+        if pair is None:
+            raise ConfigError(f"client {self.node_id} has no signing key")
+        return pair
+
+    # -- send paths ------------------------------------------------------------
+
+    def send_signed(self, dst: Address, msg, kind: str = "") -> None:
+        """Sign with our private key and send (expensive)."""
+        self.host.charge_cpu(self._marshal_cost(msg) + self.costs.crypto.sign_ns)
+        sig = rabin_sign(self._own_signing_key(), msg.auth_bytes()) if self.real_crypto else None
+        env = Envelope(msg, AUTH_SIG, sig, self.kind, self.node_id)
+        self.socket.send(dst, env, env.size, kind or type(msg).__name__)
+
+    def send_mac(self, dst: Address, peer_kind: str, peer_id: int, msg, kind: str = "") -> None:
+        """Authenticate with the pairwise session key and send (cheap)."""
+        self.host.charge_cpu(self._marshal_cost(msg) + self.costs.crypto.mac_ns)
+        key = self._session_key_for(peer_kind, peer_id)
+        tag = compute_mac(key, msg.auth_bytes()) if (self.real_crypto and key) else b"\0\0\0\0"
+        env = Envelope(msg, AUTH_MAC, tag, self.kind, self.node_id)
+        self.socket.send(dst, env, env.size, kind or type(msg).__name__)
+
+    def send_plain(self, dst: Address, msg, kind: str = "") -> None:
+        """Unauthenticated send (join phase 1, challenges)."""
+        self.host.charge_cpu(self._marshal_cost(msg))
+        env = Envelope(msg, AUTH_NONE, None, self.kind, self.node_id)
+        self.socket.send(dst, env, env.size, kind or type(msg).__name__)
+
+    def broadcast_to_replicas(
+        self,
+        msg,
+        kind: str = "",
+        exclude: int | None = None,
+        only: list[int] | None = None,
+    ) -> None:
+        """Send to replicas with the configured authentication mode.
+
+        In MAC mode this builds ONE authenticator covering every replica we
+        share a session key with (even when unicasting to the primary only,
+        so the message stays verifiable group-wide) and reuses it for each
+        unicast — the optimization that makes multicast cheap and that
+        section 2.3 shows complicates recovery.  Marshalling CPU is charged
+        per destination: each datagram is a separate copy out of the NIC.
+        """
+        rids = only if only is not None else list(range(self.config.n))
+        dests = [(rid, replica_address(rid)) for rid in rids if rid != exclude]
+        if not dests:
+            return
+        per_copy = self._marshal_cost(msg)
+        if self.config.use_macs:
+            all_keys = {
+                rid: self._session_key_for("replica", rid)
+                for rid in range(self.config.n)
+                if rid != (self.node_id if self.kind == "replica" else -1)
+            }
+            known = {rid: key for rid, key in all_keys.items() if key is not None}
+            self.host.charge_cpu(
+                per_copy * len(dests) + self.costs.crypto.authenticator_cost(len(known))
+            )
+            auth = (
+                make_authenticator(known, msg.auth_bytes())
+                if self.real_crypto
+                else Authenticator({rid: b"\0\0\0\0" for rid in known})
+            )
+            env = Envelope(msg, AUTH_VECTOR, auth, self.kind, self.node_id)
+            for _rid, addr in dests:
+                self.socket.send(addr, env, env.size, kind or type(msg).__name__)
+        else:
+            self.host.charge_cpu(per_copy * len(dests) + self.costs.crypto.sign_ns)
+            sig = (
+                rabin_sign(self._own_signing_key(), msg.auth_bytes())
+                if self.real_crypto
+                else None
+            )
+            env = Envelope(msg, AUTH_SIG, sig, self.kind, self.node_id)
+            for _rid, addr in dests:
+                self.socket.send(addr, env, env.size, kind or type(msg).__name__)
+
+    def _marshal_cost(self, msg) -> int:
+        return self.costs.msg_send_ns + self.costs.bytes_cost(msg.body_size())
+
+    def _session_key_for(self, peer_kind: str, peer_id: int) -> Optional[MacKey]:
+        key = self.session_keys.get((peer_kind, peer_id))
+        if key is not None:
+            return key
+        # Replica-replica keys come from static configuration.
+        if (
+            self.kind == "replica"
+            and peer_kind == "replica"
+            and peer_id != self.node_id
+        ):
+            key = self.keys.replica_pair_key(self.node_id, peer_id)
+            self.session_keys[(peer_kind, peer_id)] = key
+            return key
+        return None
+
+    # -- receive path ------------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        env = packet.payload
+        if not isinstance(env, Envelope):
+            return
+        cost = (
+            self.costs.msg_recv_ns
+            + self.costs.bytes_cost(env.msg.body_size())
+            + self._verify_cost(env)
+        )
+        self.host.execute(cost, lambda: self._verified_dispatch(env))
+
+    def _verify_cost(self, env: Envelope) -> int:
+        if env.auth_kind == AUTH_SIG:
+            return self.costs.crypto.verify_ns
+        if env.auth_kind in (AUTH_MAC, AUTH_VECTOR):
+            return self.costs.crypto.mac_ns
+        return 0
+
+    def _verified_dispatch(self, env: Envelope) -> None:
+        if not self.verify_envelope(env):
+            self.auth_failures += 1
+            self.on_auth_failure(env)
+            return
+        self.messages_handled += 1
+        self.dispatch(env)
+
+    def verify_envelope(self, env: Envelope) -> bool:
+        """Check the envelope's authentication trailer against our keys."""
+        if env.auth_kind == AUTH_NONE:
+            return True
+        data = env.msg.auth_bytes()
+        if env.auth_kind == AUTH_SIG:
+            public = (
+                self.keys.replica_public(env.sender_id)
+                if env.sender_kind == "replica"
+                else self.keys.client_public(env.sender_id)
+            )
+            if public is None:
+                return False
+            if not self.real_crypto:
+                return True
+            return rabin_verify(public, data, env.auth)
+        key = self._session_key_for(env.sender_kind, env.sender_id)
+        if key is None:
+            # No session key for this peer: exactly the restarted-replica
+            # condition of paper section 2.3.
+            return False
+        if not self.real_crypto:
+            return True
+        if env.auth_kind == AUTH_MAC:
+            return verify_mac(key, data, env.auth)
+        return verify_authenticator(key, self.node_id, data, env.auth)
+
+    # -- subclass hooks ---------------------------------------------------------
+
+    def dispatch(self, env: Envelope) -> None:
+        raise NotImplementedError
+
+    def on_auth_failure(self, env: Envelope) -> None:
+        """Called when a message fails authentication (default: drop)."""

@@ -1,0 +1,466 @@
+"""Replica recovery: restart, log replay, and checkpoint state transfer.
+
+Mixin methods for :class:`repro.pbft.replica.Replica` covering three paper
+observations:
+
+* **section 2.3** — a restarted replica re-synchronizes to the latest
+  checkpoint but cannot validate the requests remaining in the log: its
+  client session keys are transient and gone, so authenticators fail until
+  the clients' periodic blind rebroadcast re-delivers them.  With
+  signatures instead of MACs, replay works immediately.
+* **section 2.4** — a replica that missed a *big* request body commits the
+  digest but wedges at execution; it is only rescued by the next
+  checkpoint's state transfer.
+* **section 2.5** — non-determinism validation re-runs on replayed
+  requests, where the time delta is now large; unless the validator is
+  recovery-aware, replay stalls.
+
+State transfer itself is the Merkle tree walk of
+:mod:`repro.statemgr.transfer`, driven over Fetch/Digests/Pages messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pbft.messages import (
+    BatchRetransmit,
+    CheckpointMsg,
+    DigestsMsg,
+    FetchDigestsMsg,
+    FetchPagesMsg,
+    PagesMsg,
+    StatusMsg,
+)
+from repro.pbft.nondet import decode_timestamp
+from repro.statemgr.merkle import MerkleTree
+
+_FETCH_NODE_BATCH = 64
+_FETCH_PAGE_BATCH = 8
+_RETRANSMIT_LIMIT = 64
+
+
+class StateTransferTask:
+    """One in-progress checkpoint fetch: tree walk, then page download."""
+
+    def __init__(self, replica, target_seq: int, target_root: bytes, source: int) -> None:
+        self.replica = replica
+        self.target_seq = target_seq
+        self.target_root = target_root
+        self.source = source
+        self.pending_nodes: list[int] = [1]
+        self.outstanding_nodes: set[int] = set()
+        self.diff_pages: set[int] = set()
+        self.outstanding_pages: set[int] = set()
+        self.walk_done = False
+        self.digests_fetched = 0
+        self.pages_fetched = 0
+        self._progress_marker = (0, 0)
+
+    def start(self) -> None:
+        self._request_nodes()
+
+    def retry(self) -> None:
+        """Re-issue outstanding fetches if nothing arrived since the last
+        check (lost datagrams would otherwise hang the transfer forever)."""
+        marker = (self.digests_fetched, self.pages_fetched)
+        if marker != self._progress_marker:
+            self._progress_marker = marker
+            return
+        if not self.walk_done:
+            self.pending_nodes = sorted(set(self.pending_nodes) | self.outstanding_nodes)
+            self.outstanding_nodes.clear()
+            self._request_nodes()
+        elif self.diff_pages:
+            self.outstanding_pages.clear()
+            self._request_pages()
+
+    def _request_nodes(self) -> None:
+        batch = tuple(self.pending_nodes[:_FETCH_NODE_BATCH])
+        del self.pending_nodes[: len(batch)]
+        if not batch:
+            if not self.outstanding_nodes:
+                self._finish_walk()
+            return
+        self.outstanding_nodes.update(batch)
+        self.replica.send_to_replica(
+            self.source,
+            FetchDigestsMsg(
+                checkpoint_seq=self.target_seq,
+                node_indices=batch,
+                sender=self.replica.node_id,
+            ),
+        )
+
+    def on_digests(self, msg: DigestsMsg) -> None:
+        if msg.checkpoint_seq != self.target_seq or self.walk_done:
+            return
+        local_tree = self.replica.state.tree
+        for node, remote_digest in msg.entries:
+            self.outstanding_nodes.discard(node)
+            self.digests_fetched += 1
+            if remote_digest == local_tree.node(node):
+                continue
+            if node >= local_tree.leaf_base:
+                leaf = node - local_tree.leaf_base
+                if leaf < local_tree.num_leaves:
+                    self.diff_pages.add(leaf)
+                continue
+            self.pending_nodes.append(2 * node)
+            self.pending_nodes.append(2 * node + 1)
+        self._request_nodes()
+
+    def _finish_walk(self) -> None:
+        self.walk_done = True
+        if not self.diff_pages:
+            self.replica.finish_state_transfer(self, ())
+            return
+        self._request_pages()
+
+    def _request_pages(self) -> None:
+        want = sorted(self.diff_pages - self.outstanding_pages)
+        batch = tuple(want[:_FETCH_PAGE_BATCH])
+        if not batch:
+            return
+        self.outstanding_pages.update(batch)
+        self.replica.send_to_replica(
+            self.source,
+            FetchPagesMsg(
+                checkpoint_seq=self.target_seq,
+                page_indices=batch,
+                sender=self.replica.node_id,
+            ),
+        )
+
+    def on_pages(self, msg: PagesMsg) -> None:
+        if msg.checkpoint_seq != self.target_seq:
+            return
+        for index, data in msg.pages:
+            if index in self.diff_pages:
+                self.replica.state.install_page(index, data)
+                self.replica.host.charge_cpu(self.replica.costs.page_transfer_ns)
+                self.diff_pages.discard(index)
+                self.outstanding_pages.discard(index)
+                self.pages_fetched += 1
+        if msg.client_marks:
+            self._marks = dict(msg.client_marks)
+        if self.diff_pages:
+            self._request_pages()
+            return
+        marks = getattr(self, "_marks", {})
+        self.replica.finish_state_transfer(self, tuple(marks.items()))
+
+
+class RecoveryMixin:
+    """Crash/restart, status gossip, replay and state transfer handling."""
+
+    # -- crash & restart ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Stop the replica: close the socket, freeze all timers."""
+        self.crashed = True
+        self.socket.close()
+        self._disarm_vc_timer()
+        if self._status_timer is not None:
+            self._status_timer.cancel()
+            self._status_timer = None
+        if self._gossip_timer is not None:
+            self._gossip_timer.cancel()
+            self._gossip_timer = None
+        self.stats["crashes"] += 1
+
+    def restart(self) -> None:
+        """Come back up from durable state only (paper section 2.3).
+
+        Durable: the latest *stable* checkpoint (the original treats memory
+        as stable storage via UPS; the SQL backend adds true disk
+        durability).  Transient, and therefore lost: the message log, the
+        request store, and — crucially — the client MAC session keys.
+        """
+        from repro.pbft.log import MessageLog, RequestStore
+
+        self.socket = self.host.fabric.bind(self.host.name, self.socket.port)
+        self.socket.on_receive(self._on_packet)
+        self.crashed = False
+        stable = self.checkpoints.latest_stable()
+        stable_seq = self.checkpoints.stable_seq
+        self.log = MessageLog(self.config.log_window)
+        self.log.low_watermark = stable_seq
+        self.reqstore = RequestStore()
+        self.pending_requests = []
+        self.queued_digests = set()
+        self.exec_journal = {}
+        self.view_changes = {}
+        self.in_view_change = False
+        self.wedged = False
+        self.transfer = None
+        self.stalled_batches = {}
+        self.waiting_requests = set()
+        if stable is not None:
+            self.state.restore(stable.pages)
+            self.reqstore.last_executed_req = dict(stable.meta.get("client_marks", {}))
+        self.last_exec = stable_seq
+        self.committed_upto = stable_seq
+        self.next_seq = max(self.next_seq, stable_seq)
+        # Session keys: replica-replica keys re-derive from static
+        # configuration; client keys are gone until AuthenticatorRefresh.
+        self.drop_session_keys("client")
+        self._state_installed()
+        self.recovering = True
+        self.recovery_started_at = self.host.sim.now
+        self.recovery_target = stable_seq
+        self.stats["restarts"] += 1
+        if self._gossip_timer is None or not self._gossip_timer.pending:
+            self._gossip_timer = self.host.sim.schedule(
+                self.config.status_interval_ns, self._status_gossip
+            )
+        self._send_status(recovering=True)
+        self._schedule_status_retry()
+
+    def _schedule_status_retry(self) -> None:
+        if self._status_timer is not None and self._status_timer.pending:
+            return
+        self._status_timer = self.host.sim.schedule(
+            self.config.status_retry_ns, self._status_retry
+        )
+
+    def _status_retry(self) -> None:
+        self._status_timer = None
+        if self.crashed or not self.recovering:
+            return
+        self._retry_stalled_batches()
+        if self.recovering:
+            self._send_status(recovering=True)
+            self._schedule_status_retry()
+
+    def _send_status(self, recovering: bool) -> None:
+        msg = StatusMsg(
+            view=self.view,
+            last_exec_seq=self.last_exec,
+            stable_seq=self.checkpoints.stable_seq,
+            sender=self.node_id,
+            recovering=recovering,
+        )
+        self.broadcast_to_replicas(msg, exclude=self.node_id)
+
+    # -- serving peers ------------------------------------------------------------
+
+    def on_status(self, msg: StatusMsg, env=None) -> None:
+        peer = msg.sender
+        if msg.last_exec_seq >= self.last_exec and not msg.recovering:
+            return
+        stable_seq = self.checkpoints.stable_seq
+        if msg.last_exec_seq < stable_seq:
+            # Peer is behind our log horizon: it needs state transfer.
+            stable = self.checkpoints.latest_stable()
+            if stable is not None:
+                self.send_to_replica(
+                    peer,
+                    CheckpointMsg(seq=stable.seq, root=stable.root, sender=self.node_id),
+                )
+            return
+        sent = 0
+        seq = msg.last_exec_seq + 1
+        # Only *committed* batches may be exported: a tentatively executed
+        # batch could still be undone by a view change, and shipping it
+        # with a commit certificate would launder speculation into fact.
+        while seq <= self.committed_upto and sent < _RETRANSMIT_LIMIT:
+            entry = self.exec_journal.get(seq)
+            if entry is None:
+                break
+            pp, requests = entry
+            # Request bodies belong to clients: peers replay them only for
+            # a *recovering* replica rebuilding its log (section 2.3).  A
+            # merely lagging replica gets the certificate and must already
+            # hold the bodies — if a big-request body is what it lost, it
+            # stays wedged until the next checkpoint (section 2.4).
+            bodies = tuple(requests) if msg.recovering else tuple(
+                r for r in requests if not r.big
+            )
+            self.send_to_replica(
+                peer,
+                BatchRetransmit(
+                    pre_prepare=pp,
+                    commit_proof=tuple(range(self.config.quorum)),
+                    requests=bodies,
+                    sender=self.node_id,
+                ),
+            )
+            sent += 1
+            seq += 1
+        # Also help the peer catch up on view state.
+        if msg.view < self.view:
+            pass  # it will learn the view from retransmitted traffic
+
+    # -- replaying batches ------------------------------------------------------------
+
+    def on_batch_retransmit(self, msg: BatchRetransmit, env=None) -> None:
+        seq = msg.pre_prepare.seq
+        if seq <= self.last_exec:
+            return
+        if len(msg.commit_proof) < self.config.quorum:
+            return
+        self.recovery_target = max(self.recovery_target, seq)
+        self.stalled_batches[seq] = msg
+        self._retry_stalled_batches()
+
+    def _retry_stalled_batches(self) -> None:
+        """Replay contiguous stalled batches whose requests now validate."""
+        for seq in [s for s in self.stalled_batches if s <= self.last_exec]:
+            del self.stalled_batches[seq]
+        progressed = True
+        while progressed:
+            progressed = False
+            msg = self.stalled_batches.get(self.last_exec + 1)
+            if msg is None:
+                break
+            if not self._replay_batch(msg):
+                break
+            del self.stalled_batches[msg.pre_prepare.seq]
+            progressed = True
+        if self.recovering and self.last_exec >= self.recovery_target:
+            self._finish_recovery()
+
+    def _replay_batch(self, msg: BatchRetransmit) -> bool:
+        """Validate and execute one replayed batch; False if it must stall."""
+        pp = msg.pre_prepare
+        # Re-validate each client request, exactly as the original replays
+        # the log.  This is where section 2.3 bites: in MAC mode a missing
+        # session key fails authentication.
+        for request in msg.requests:
+            if not self._validate_replayed_request(request):
+                self.stats["replay_auth_failures"] += 1
+                return False
+        # Section 2.5: non-determinism data is re-validated with no replay
+        # awareness in the original implementation.
+        if not self.nondet_validator.validate(pp.nondet, self.host, replaying=True):
+            self.stats["replay_nondet_failures"] += 1
+            return False
+        for request in msg.requests:
+            self.reqstore.add(request)
+        # The message need not carry every body (big-request bodies come
+        # from clients); the rest must already be in the request store.
+        requests = [self.reqstore.get(d) for d in pp.request_digests]
+        if any(r is None for r in requests):
+            self._mark_wedged()
+            return False
+        slot = self.log.slot(pp.seq) if self.log.in_window(pp.seq) else None
+        self._execute_batch(pp, requests, tentative=False, slot=slot)
+        return True
+
+    def _validate_replayed_request(self, request) -> bool:
+        # Join system requests are self-certifying: the payload carries the
+        # public key, and the challenge response proves address ownership.
+        if request.op and request.op[0] == 0xFF:
+            self.host.charge_cpu(self.costs.crypto.verify_ns)
+            return True
+        if self.config.use_macs:
+            key = self.session_keys.get(("client", request.client))
+            if key is None:
+                return False
+            self.host.charge_cpu(self.costs.crypto.mac_ns)
+            return True
+        public = self.keys.client_public(request.client)
+        if public is None and self.membership is not None:
+            public = self.membership.client_public(request.client)
+        if public is None:
+            return False
+        self.host.charge_cpu(self.costs.crypto.verify_ns)
+        return True
+
+    def _finish_recovery(self) -> None:
+        self.recovering = False
+        self.recovery_completed_at = self.host.sim.now
+        self.stats["recoveries_completed"] += 1
+        if self._status_timer is not None:
+            self._status_timer.cancel()
+            self._status_timer = None
+
+    # -- state transfer ------------------------------------------------------------
+
+    def maybe_start_state_transfer(self, target_seq: int, target_root: bytes) -> None:
+        """Jump forward to a stable checkpoint we missed (section 2.4)."""
+        if self.transfer is not None and self.transfer.target_seq >= target_seq:
+            return
+        if target_seq <= self.last_exec:
+            return
+        source = next(
+            rid for rid in range(self.config.n) if rid != self.node_id
+        )
+        # Prefer a replica that voted for this checkpoint root.
+        votes = self.pending_votes.get(target_seq, {})
+        for rid, root in sorted(votes.items()):
+            if root == target_root and rid != self.node_id:
+                source = rid
+                break
+        self.transfer = StateTransferTask(self, target_seq, target_root, source)
+        self.stats["state_transfers_started"] += 1
+        self.transfer.start()
+
+    def finish_state_transfer(self, task: StateTransferTask, client_marks) -> None:
+        """Install the fetched checkpoint and resume from it."""
+        root = self.state.refresh_tree()
+        if root != task.target_root:
+            # Wrong or stale data from the peer: retry with another source.
+            self.stats["state_transfer_failures"] += 1
+            self.transfer = None
+            alt = (task.source + 1) % self.config.n
+            if alt == self.node_id:
+                alt = (alt + 1) % self.config.n
+            retry = StateTransferTask(self, task.target_seq, task.target_root, alt)
+            self.transfer = retry
+            retry.start()
+            return
+        for client, req_id in client_marks:
+            if self.reqstore.last_executed_req.get(client, -1) < req_id:
+                self.reqstore.last_executed_req[client] = req_id
+        self.last_exec = max(self.last_exec, task.target_seq)
+        self.committed_upto = max(self.committed_upto, task.target_seq)
+        self.next_seq = max(self.next_seq, task.target_seq)
+        self._clear_wedge()
+        self.transfer = None
+        self._state_installed()
+        self._install_own_checkpoint(task.target_seq)
+        self.stats["state_transfers_completed"] += 1
+        self.stats["state_transfer_pages"] += task.pages_fetched
+        self._execute_ready()
+
+    # -- answering fetches ------------------------------------------------------------
+
+    def on_fetch_digests(self, msg: FetchDigestsMsg, env=None) -> None:
+        checkpoint = self.checkpoints.get(msg.checkpoint_seq)
+        if checkpoint is None:
+            return
+        tree = MerkleTree.from_snapshot(self.state.num_pages, checkpoint.tree_nodes)
+        entries = tuple(
+            (node, tree.node(node))
+            for node in msg.node_indices
+            if 1 <= node < 2 * tree.capacity
+        )
+        self.send_to_replica(
+            msg.sender,
+            DigestsMsg(
+                checkpoint_seq=msg.checkpoint_seq, entries=entries, sender=self.node_id
+            ),
+        )
+
+    def on_fetch_pages(self, msg: FetchPagesMsg, env=None) -> None:
+        checkpoint = self.checkpoints.get(msg.checkpoint_seq)
+        if checkpoint is None:
+            return
+        pages = tuple(
+            (index, checkpoint.pages[index])
+            for index in msg.page_indices
+            if 0 <= index < len(checkpoint.pages)
+        )
+        marks = tuple(checkpoint.meta.get("client_marks", {}).items())
+        self.send_to_replica(
+            msg.sender,
+            PagesMsg(
+                checkpoint_seq=msg.checkpoint_seq,
+                root=checkpoint.root,
+                pages=pages,
+                sender=self.node_id,
+                client_marks=marks,
+            ),
+        )

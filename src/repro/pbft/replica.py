@@ -1,0 +1,816 @@
+"""The PBFT replica: the three-phase agreement state machine.
+
+One :class:`Replica` is one member of the 3f+1 group.  The primary of view
+``v`` is replica ``v mod n``; it sequences client requests into batches
+behind a congestion window.  Backups monitor it and fall back to view
+changes (:mod:`repro.pbft.viewchange`); restart and catch-up live in
+:mod:`repro.pbft.recovery`.
+
+Applications plug in through the up-call interface the original library
+defined (paper sections 2.1 and 3.2): an ``execute`` up-call over a shared
+:class:`~repro.statemgr.pages.PagedState` region, plus the BASE-style
+non-determinism up-calls.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.crypto.digests import DIGEST_SIZE
+from repro.net.fabric import Address, Host
+from repro.pbft.config import PbftConfig
+from repro.pbft.log import MessageLog, RequestStore, Slot
+from repro.pbft.messages import (
+    AuthenticatorRefresh,
+    BatchRetransmit,
+    CheckpointMsg,
+    Commit,
+    DigestsMsg,
+    FetchDigestsMsg,
+    FetchPagesMsg,
+    NewViewMsg,
+    PagesMsg,
+    PrePrepare,
+    Prepare,
+    Reply,
+    Request,
+    StatusMsg,
+    ViewChangeMsg,
+)
+from repro.pbft.node import Envelope, KeyDirectory, Node, REPLICA_PORT, replica_address
+from repro.pbft.nondet import (
+    AcceptAllValidator,
+    TimestampProvider,
+    decode_timestamp,
+)
+from repro.pbft.recovery import RecoveryMixin
+from repro.pbft.viewchange import ViewChangeMixin
+from repro.statemgr.checkpoints import Checkpoint, CheckpointStore
+from repro.statemgr.pages import PagedState
+from repro.crypto.mac import MacKey
+
+# Operations whose first byte is this prefix are middleware system
+# requests (Join phase 2, Leave) — ordered like client requests but
+# executed by the membership manager, invisible to the application.
+SYSTEM_OP_PREFIX = 0xFF
+
+
+class Application:
+    """The up-call interface an application implements (paper section 3.2)."""
+
+    def bind_state(self, state: PagedState, app_offset: int) -> None:
+        """Receive the shared state region; the application owns
+        ``[app_offset, state.size)`` and must not touch the library pages."""
+
+    def execute(self, op: bytes, client_id: int, nondet_ts: int, readonly: bool) -> bytes:
+        """Execute one operation deterministically and return the reply."""
+        raise NotImplementedError
+
+    def execute_cost_ns(self, op: bytes, readonly: bool) -> int:
+        """Simulated CPU cost of executing ``op``, known up front."""
+        return 0
+
+    def take_accumulated_cost(self) -> int:
+        """Simulated CPU/disk cost accrued *during* the last execution
+        (returned once, then reset).  Used by applications whose cost
+        depends on what the operation actually did (e.g. SQL)."""
+        return 0
+
+    def authorize_join(self, idbuf: bytes) -> Optional[int]:
+        """Dynamic membership: authorize a join and return a principal id
+        (e.g. a user id), or None to refuse (paper section 3.1)."""
+        return None
+
+    def on_state_installed(self) -> None:
+        """Called after state transfer or rollback replaced the pages."""
+
+
+class NullApplication(Application):
+    """The paper's benchmark application: null requests, sized replies.
+
+    To keep checkpoints meaningful it still dirties one state page per
+    request (a rolling execution counter), like the no-op service the
+    original benchmarks shipped.
+    """
+
+    def __init__(self, reply_size: int = 1024, execute_cost_ns: int = 2_000) -> None:
+        self.reply_size = reply_size
+        self._execute_cost_ns = execute_cost_ns
+        self.state: Optional[PagedState] = None
+        self.app_offset = 0
+        self.executed = 0
+
+    def bind_state(self, state: PagedState, app_offset: int) -> None:
+        self.state = state
+        self.app_offset = app_offset
+
+    def authorize_join(self, idbuf: bytes) -> Optional[int]:
+        # The benchmark service admits any non-empty identification buffer;
+        # the principal is a digest of it (one session per buffer).
+        if not idbuf:
+            return None
+        from repro.crypto.digests import md5_digest
+
+        return int.from_bytes(md5_digest(idbuf)[:6], "big")
+
+    def execute(self, op: bytes, client_id: int, nondet_ts: int, readonly: bool) -> bytes:
+        if not readonly and self.state is not None:
+            # The execution counter lives in the replicated state itself
+            # (first 8 bytes of the application partition), so a replica
+            # that catches up via state transfer continues exactly where
+            # the group is — a local attribute would diverge the roots.
+            counter = int.from_bytes(self.state.read(self.app_offset, 8), "big") + 1
+            self.executed = counter
+            self.state.modify(self.app_offset, 8)
+            self.state.write(self.app_offset, counter.to_bytes(8, "big"))
+            slot_space = self.state.size - self.app_offset - 16
+            offset = self.app_offset + 8 + (counter * 8) % max(8, slot_space)
+            self.state.modify(offset, 8)
+            self.state.write(offset, counter.to_bytes(8, "big"))
+        return bytes(self.reply_size)
+
+    def execute_cost_ns(self, op: bytes, readonly: bool) -> int:
+        return self._execute_cost_ns
+
+
+class Replica(ViewChangeMixin, RecoveryMixin, Node):
+    """One member of the replica group."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        config: PbftConfig,
+        host: Host,
+        keys: KeyDirectory,
+        app: Application,
+        nondet_provider=None,
+        nondet_validator=None,
+        real_crypto: bool = True,
+    ) -> None:
+        super().__init__(
+            config, host, REPLICA_PORT, keys, "replica", replica_id, real_crypto
+        )
+        self.app = app
+        self.nondet_provider = nondet_provider or TimestampProvider()
+        self.nondet_validator = nondet_validator or AcceptAllValidator()
+
+        self.view = 0
+        self.in_view_change = False
+        self.pending_new_view = 0
+        self.last_exec = 0
+        self.committed_upto = 0
+        self.next_seq = 0
+
+        self.log = MessageLog(config.log_window)
+        self.reqstore = RequestStore()
+        self.state = PagedState(config.state_pages, config.page_size)
+        self.checkpoints = CheckpointStore(quorum=config.quorum)
+        self.pending_votes: dict[int, dict[int, bytes]] = defaultdict(dict)
+        self.pending_requests: list[Request] = []
+        self.queued_digests: set[bytes] = set()
+        self.exec_journal: dict[int, tuple[PrePrepare, list[Request]]] = {}
+        self.client_addr: dict[int, Address] = {}
+        self.view_changes: dict[int, dict[int, ViewChangeMsg]] = {}
+        # Requests a backup has seen but not yet observed ordered —
+        # these keep the view-change timer armed.
+        self.waiting_requests: set[bytes] = set()
+
+        self.crashed = False
+        self.recovering = False
+        self.recovery_started_at: Optional[int] = None
+        self.recovery_completed_at: Optional[int] = None
+        self.recovery_target = 0
+        self.wedged = False
+        self.wedged_since: Optional[int] = None
+        self.transfer = None
+        self.stalled_batches: dict[int, BatchRetransmit] = {}
+
+        self._vc_timer = None
+        self._vc_timeout_current = config.view_change_timeout_ns
+        self._status_timer = None
+        self._gossip_timer = self.host.sim.schedule(
+            config.status_interval_ns, self._status_gossip
+        )
+
+        self.membership = None  # installed by repro.membership when enabled
+        self.stats: dict[str, int] = defaultdict(int)
+
+        app.bind_state(self.state, config.library_pages * config.page_size)
+
+        self._handlers = {
+            Request: self.on_request,
+            PrePrepare: self.on_pre_prepare,
+            Prepare: self.on_prepare,
+            Commit: self.on_commit,
+            CheckpointMsg: self.on_checkpoint,
+            StatusMsg: self.on_status,
+            BatchRetransmit: self.on_batch_retransmit,
+            FetchDigestsMsg: self.on_fetch_digests,
+            FetchPagesMsg: self.on_fetch_pages,
+            DigestsMsg: self.on_digests,
+            PagesMsg: self.on_pages,
+            ViewChangeMsg: lambda m, e=None: self.on_view_change(m),
+            NewViewMsg: lambda m, e=None: self.on_new_view(m),
+            AuthenticatorRefresh: self.on_authenticator_refresh,
+        }
+
+    # -- identity helpers ---------------------------------------------------------
+
+    def primary_of(self, view: int) -> int:
+        return view % self.config.n
+
+    def _status_gossip(self) -> None:
+        """Periodic status while work is outstanding: peers respond with
+        missing batches/checkpoints, healing losses without view changes."""
+        self._gossip_timer = self.host.sim.schedule(
+            self.config.status_interval_ns, self._status_gossip
+        )
+        if self.crashed:
+            return
+        lagging = any(not slot.executed for slot in self.log.slots.values())
+        if lagging or self.wedged or self.waiting_requests:
+            self._send_status(recovering=False)
+        if self.transfer is not None:
+            self.transfer.retry()
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary_of(self.view) == self.node_id
+
+    def register_client(self, client_id: int, addr: Address, session_key=None) -> None:
+        """Static-membership setup: record a client's address and session key."""
+        self.client_addr[client_id] = addr
+        if session_key is not None:
+            self.install_session_key("client", client_id, session_key)
+
+    def send_to_replica(self, rid: int, msg) -> None:
+        if self.config.use_macs:
+            self.send_mac(replica_address(rid), "replica", rid, msg)
+        else:
+            self.send_signed(replica_address(rid), msg)
+
+    def _state_installed(self) -> None:
+        """The state pages were replaced wholesale (transfer, rollback,
+        restart): let the application and the membership layer rebuild any
+        caches derived from them."""
+        if self.membership is not None:
+            self.membership.reload_from_state()
+        self.app.on_state_installed()
+
+    def lookup_client_public(self, client_id: int):
+        public = self.keys.client_public(client_id)
+        if public is None and self.membership is not None:
+            public = self.membership.client_public(client_id)
+        return public
+
+    def verify_envelope(self, env: Envelope) -> bool:
+        # Route client public-key lookups through the membership table so
+        # dynamically joined clients can be verified.
+        if env.auth_kind == 3 and env.sender_kind == "client":  # AUTH_SIG
+            public = self.lookup_client_public(env.sender_id)
+            if public is None:
+                return False
+            if not self.real_crypto:
+                return True
+            from repro.crypto.rabin import rabin_verify
+
+            return rabin_verify(public, env.msg.auth_bytes(), env.auth)
+        return super().verify_envelope(env)
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def dispatch(self, env: Envelope) -> None:
+        if self.crashed:
+            return
+        handler = self._handlers.get(type(env.msg))
+        if handler is None:
+            if self.membership is not None:
+                self.membership.dispatch(env)
+            return
+        handler(env.msg, env)
+
+    def on_auth_failure(self, env: Envelope) -> None:
+        self.stats["auth_failures"] += 1
+
+    # -- client requests ---------------------------------------------------------------
+
+    def on_request(self, req: Request, env: Envelope = None) -> None:
+        if self.membership is not None:
+            self.host.charge_cpu(self.costs.redirection_lookup_ns)
+            if not self.membership.admit_request(req):
+                self.stats["requests_rejected"] += 1
+                return
+        elif req.client not in self.client_addr and not self._is_system_op(req):
+            self.stats["requests_rejected"] += 1
+            return
+
+        if req.readonly and self.config.read_only_optimization:
+            self._execute_readonly(req)
+            return
+
+        if self.reqstore.already_executed(req):
+            self._resend_cached_reply(req)
+            return
+
+        self.reqstore.add(req)
+        if self.is_primary and not self.in_view_change:
+            if req.digest not in self.queued_digests:
+                self.queued_digests.add(req.digest)
+                self.pending_requests.append(req)
+                self._try_issue_batches()
+        else:
+            # A backup holding an unexecuted request starts the clock on
+            # the primary.
+            self.waiting_requests.add(req.digest)
+            self._arm_vc_timer()
+
+    @staticmethod
+    def _is_system_op(req: Request) -> bool:
+        return bool(req.op) and req.op[0] == SYSTEM_OP_PREFIX
+
+    def _execute_readonly(self, req: Request) -> None:
+        """Read-only fast path: execute immediately, sequencing permitting."""
+        self.host.charge_cpu(self.app.execute_cost_ns(req.op, True))
+        result = self.app.execute(req.op, req.client, self.host.local_time(), True)
+        self.host.charge_cpu(self.app.take_accumulated_cost())
+        reply = Reply(
+            view=self.view,
+            req_id=req.req_id,
+            client=req.client,
+            sender=self.node_id,
+            result=result,
+            tentative=False,
+        )
+        self.stats["readonly_executed"] += 1
+        self._send_reply(reply, req)
+
+    # -- primary batching ----------------------------------------------------------------
+
+    def _try_issue_batches(self) -> None:
+        """Issue pre-prepares while the congestion window allows.
+
+        The window counts sequence numbers assigned but not yet executed
+        (paper section 2.1); when it is full, arriving requests pool up and
+        later leave in one batch — that pooling is the entire batching
+        optimization.
+        """
+        if not self.is_primary or self.in_view_change or self.crashed:
+            return
+        while self.pending_requests:
+            # The window is measured against *committed* execution: a batch
+            # only leaves the window once its commit certificate completed,
+            # even if tentative execution already ran it.
+            if self.next_seq - self.committed_upto >= self.config.congestion_window:
+                return
+            if self.next_seq + 1 > self.log.high_watermark:
+                return  # wait for a checkpoint to advance the window
+            size = self.config.max_batch if self.config.batching else 1
+            batch = self.pending_requests[:size]
+            del self.pending_requests[:size]
+            self._issue_pre_prepare(batch)
+
+    def _issue_pre_prepare(self, batch: list[Request]) -> None:
+        self.next_seq += 1
+        seq = self.next_seq
+        nondet = self.nondet_provider.generate(self.host)
+        inline = tuple(r for r in batch if not r.big)
+        pp = PrePrepare(
+            view=self.view,
+            seq=seq,
+            request_digests=tuple(r.digest for r in batch),
+            nondet=nondet,
+            inline_requests=inline,
+            sender=self.node_id,
+        )
+        slot = self.log.slot(seq)
+        slot.view_slot(self.view).pre_prepare = pp
+        for req in batch:
+            self.queued_digests.discard(req.digest)
+        self.stats["batches_issued"] += 1
+        self.stats["batched_requests"] += len(batch)
+        if inline:
+            # Forwarding full request bodies inside the pre-prepare is the
+            # cost the "all requests big" optimization avoids: the primary
+            # re-marshals and re-digests every body once per backup, on the
+            # critical path of the agreement round.
+            inline_bytes = sum(r.body_size() for r in inline)
+            self.host.charge_cpu(
+                (self.config.n - 1)
+                * (inline_bytes * self.costs.inline_body_ns_x100) // 100
+            )
+        self.broadcast_to_replicas(pp, exclude=self.node_id)
+        self._maybe_prepared(seq, self.view)
+
+    # -- agreement ------------------------------------------------------------------------
+
+    def on_pre_prepare(self, pp: PrePrepare, env: Envelope = None) -> None:
+        if self.in_view_change or pp.view != self.view:
+            return
+        if env is not None and (
+            env.sender_kind != "replica" or env.sender_id != self.primary_of(pp.view)
+        ):
+            return
+        if not self.log.in_window(pp.seq):
+            return
+        slot = self.log.slot(pp.seq)
+        vs = slot.view_slot(pp.view)
+        if vs.pre_prepare is not None:
+            if vs.pre_prepare.batch_digest != pp.batch_digest:
+                # Two conflicting assignments from the primary: Byzantine.
+                self.stats["conflicting_pre_prepares"] += 1
+                self.start_view_change(self.view + 1)
+            return
+        if not self.nondet_validator.validate(pp.nondet, self.host, replaying=False):
+            self.stats["nondet_rejections"] += 1
+            self.start_view_change(self.view + 1)
+            return
+        vs.pre_prepare = pp
+        if pp.inline_requests:
+            # A backup must re-digest every inline body to check it against
+            # the pre-prepare's request digests before accepting.
+            inline_bytes = sum(r.body_size() for r in pp.inline_requests)
+            self.host.charge_cpu(
+                (inline_bytes * self.costs.inline_body_ns_x100) // 100
+            )
+        for req in pp.inline_requests:
+            self.reqstore.add(req)
+        self._send_prepare(pp)
+        self._arm_vc_timer()
+        self._maybe_prepared(pp.seq, pp.view)
+
+    def _send_prepare(self, pp: PrePrepare) -> None:
+        prepare = Prepare(
+            view=pp.view, seq=pp.seq, batch_digest=pp.batch_digest, sender=self.node_id
+        )
+        slot = self.log.slot(pp.seq)
+        slot.view_slot(pp.view).prepares[self.node_id] = pp.batch_digest
+        self.broadcast_to_replicas(prepare, exclude=self.node_id)
+
+    def on_prepare(self, msg: Prepare, env: Envelope = None) -> None:
+        if msg.view != self.view or self.in_view_change:
+            return
+        if not self.log.in_window(msg.seq):
+            return
+        slot = self.log.slot(msg.seq)
+        slot.view_slot(msg.view).prepares[msg.sender] = msg.batch_digest
+        if not slot.executed:
+            # Peer activity on an operation we have not executed is
+            # evidence of outstanding work: start the clock on the primary
+            # (we may be missing its pre-prepare entirely).
+            self._arm_vc_timer()
+        self._maybe_prepared(msg.seq, msg.view)
+
+    def _maybe_prepared(self, seq: int, view: int) -> None:
+        slot = self.log.peek(seq)
+        if slot is None or not slot.prepared(view, self.config.f):
+            return
+        vs = slot.view_slot(view)
+        if self.node_id not in vs.commits:
+            pp = vs.pre_prepare
+            commit = Commit(
+                view=view, seq=seq, batch_digest=pp.batch_digest, sender=self.node_id
+            )
+            vs.commits[self.node_id] = pp.batch_digest
+            self.broadcast_to_replicas(commit, exclude=self.node_id)
+            # Tentative execution: run the request as soon as it is
+            # prepared; the client compensates by demanding 2f+1 replies.
+            if self.config.tentative_execution:
+                self._execute_ready(allow_tentative=True)
+        self._maybe_committed(seq, view)
+
+    def on_commit(self, msg: Commit, env: Envelope = None) -> None:
+        if msg.view != self.view or self.in_view_change:
+            return
+        if not self.log.in_window(msg.seq):
+            return
+        slot = self.log.slot(msg.seq)
+        slot.view_slot(msg.view).commits[msg.sender] = msg.batch_digest
+        self._maybe_committed(msg.seq, msg.view)
+
+    def _maybe_committed(self, seq: int, view: int) -> None:
+        slot = self.log.peek(seq)
+        if slot is None or slot.committed:
+            return
+        if not slot.committed_local(view, self.config.f):
+            return
+        slot.committed = True
+        slot.committed_view = view
+        self._advance_committed()
+        self._execute_ready(allow_tentative=self.config.tentative_execution)
+
+    def _advance_committed(self) -> None:
+        seq = self.committed_upto + 1
+        while True:
+            slot = self.log.peek(seq)
+            if slot is None or not slot.committed:
+                break
+            if slot.executed and slot.tentative:
+                # A tentative execution just became final: upgrade the
+                # cached replies so retransmissions get stable answers.
+                self._finalize_tentative(slot)
+            self.committed_upto = seq
+            seq += 1
+        # Commits freed congestion-window space: issue pooled requests.
+        if self.is_primary:
+            self._try_issue_batches()
+
+    def _finalize_tentative(self, slot: Slot) -> None:
+        slot.tentative = False
+        entry = self.exec_journal.get(slot.seq)
+        if entry is None:
+            return
+        for req in entry[1]:
+            if req is None:
+                continue
+            cached = self.reqstore.last_reply.get(req.client)
+            if cached is not None and cached.req_id == req.req_id and cached.tentative:
+                self.reqstore.last_reply[req.client] = Reply(
+                    view=cached.view,
+                    req_id=cached.req_id,
+                    client=cached.client,
+                    sender=cached.sender,
+                    result=cached.result,
+                    tentative=False,
+                    digest_only=cached.digest_only,
+                )
+
+    # -- execution -----------------------------------------------------------------------
+
+    def _execute_ready(self, allow_tentative: bool = False) -> None:
+        """Execute slots in order; stop at gaps, missing bodies, or
+        uncommitted (non-tentative-eligible) batches."""
+        executed_any = False
+        while True:
+            seq = self.last_exec + 1
+            slot = self.log.peek(seq)
+            if slot is None or slot.executed:
+                if slot is None:
+                    break
+                if slot.executed:
+                    self.last_exec = seq
+                    continue
+            committed = slot.committed
+            tentative_ok = (
+                allow_tentative
+                and not committed
+                and not self.in_view_change
+                and slot.prepared(self.view, self.config.f)
+            )
+            if not committed and not tentative_ok:
+                break
+            view = slot.committed_view if committed else self.view
+            pp = slot.pre_prepare_in(view)
+            if pp is None:
+                # Commit certificate without the pre-prepare (lost
+                # datagram): cannot execute; wait for the checkpoint.
+                self._mark_wedged()
+                break
+            requests = [self.reqstore.get(d) for d in pp.request_digests]
+            if any(r is None for r in requests):
+                # Missing request body — the big-request wedge of paper
+                # section 2.4.
+                self._mark_wedged()
+                break
+            self._clear_wedge()
+            self._execute_batch(pp, requests, tentative=not committed, slot=slot)
+            executed_any = True
+        if executed_any:
+            # Progress resets the clock on the primary: the view-change
+            # timer measures time since the *oldest outstanding* request
+            # stopped moving, not time since the first request ever.
+            self._disarm_vc_timer()
+        if self._has_outstanding_work():
+            self._arm_vc_timer()
+        elif not executed_any:
+            self._disarm_vc_timer()
+
+    def _mark_wedged(self) -> None:
+        if not self.wedged:
+            self.wedged = True
+            self.wedged_since = self.host.sim.now
+            self.stats["wedged_events"] += 1
+
+    def _clear_wedge(self) -> None:
+        if self.wedged and self.wedged_since is not None:
+            self.stats["wedge_duration_ns"] += self.host.sim.now - self.wedged_since
+        self.wedged = False
+        self.wedged_since = None
+
+    def _execute_batch(
+        self,
+        pp: PrePrepare,
+        requests: list[Optional[Request]],
+        tentative: bool,
+        slot: Optional[Slot],
+        silent: bool = False,
+    ) -> None:
+        nondet_ts = decode_timestamp(pp.nondet)
+        for req in requests:
+            if req is None:
+                continue
+            if self.reqstore.already_executed(req):
+                if not silent:
+                    self._resend_cached_reply(req)
+                continue
+            if self._is_system_op(req) and self.membership is not None:
+                result = self.membership.execute_system(req, nondet_ts)
+            else:
+                self.host.charge_cpu(self.app.execute_cost_ns(req.op, False))
+                result = self.app.execute(req.op, req.client, nondet_ts, False)
+                self.host.charge_cpu(self.app.take_accumulated_cost())
+            reply = Reply(
+                view=self.view,
+                req_id=req.req_id,
+                client=req.client,
+                sender=self.node_id,
+                result=result,
+                tentative=tentative,
+            )
+            self.reqstore.record_execution(req, reply, nondet_ts)
+            if self.membership is not None:
+                self.membership.touch(req.client, nondet_ts)
+            self.waiting_requests.discard(req.digest)
+            self.stats["requests_executed"] += 1
+            if not silent:
+                self._send_reply(reply, req)
+        self.exec_journal[pp.seq] = (pp, [r for r in requests if r is not None])
+        self.state.end_of_execution()
+        self.last_exec = pp.seq
+        if slot is not None:
+            slot.executed = True
+            slot.tentative = tentative
+        if not tentative:
+            self.committed_upto = max(self.committed_upto, pp.seq)
+        if pp.seq % self.config.checkpoint_interval == 0:
+            self._install_own_checkpoint(pp.seq)
+        if self.is_primary:
+            self._try_issue_batches()
+
+    def _designated_replier(self, req: Request) -> int:
+        return (req.req_id + req.client) % self.config.n
+
+    def _send_reply(self, reply: Reply, req: Request, force_full: bool = False) -> None:
+        addr = self.client_addr.get(req.client)
+        if addr is None and self.membership is not None:
+            addr = self.membership.client_address(req.client)
+        if addr is None:
+            return
+        if (
+            not force_full
+            and self.config.reply_digest_optimization
+            and self._designated_replier(req) != self.node_id
+            and len(reply.result) > DIGEST_SIZE
+        ):
+            reply = Reply(
+                view=reply.view,
+                req_id=reply.req_id,
+                client=reply.client,
+                sender=reply.sender,
+                result=reply.result_digest,
+                tentative=reply.tentative,
+                digest_only=True,
+            )
+        self.stats["replies_sent"] += 1
+        if self.config.use_macs and ("client", req.client) in self.session_keys:
+            self.send_mac(addr, "client", req.client, reply)
+        else:
+            # No session with this client (e.g. a denied join): fall back
+            # to a signature the client can verify from public keys alone.
+            self.send_signed(addr, reply)
+
+    def _resend_cached_reply(self, req: Request) -> None:
+        cached = self.reqstore.last_reply.get(req.client)
+        if cached is None or cached.req_id != req.req_id:
+            return
+        self.stats["replies_resent"] += 1
+        # A retransmitting client may have missed the designated replier's
+        # full reply (e.g. that replica is wedged or crashed), so resends
+        # always carry the full result.
+        self._send_reply(cached, req, force_full=True)
+
+    # -- checkpoints --------------------------------------------------------------------
+
+    def _install_own_checkpoint(self, seq: int) -> None:
+        self.host.charge_cpu(self.costs.crypto.digest_cost(self.config.page_size))
+        root = self.state.refresh_tree()
+        checkpoint = Checkpoint(
+            seq=seq,
+            root=root,
+            pages=self.state.snapshot_pages(),
+            tree_nodes=self.state.tree.snapshot_nodes(),
+            meta={"client_marks": dict(self.reqstore.last_executed_req)},
+        )
+        self.checkpoints.add(checkpoint)
+        checkpoint.proof[self.node_id] = root
+        self.stats["checkpoints_taken"] += 1
+        # Fold in votes that arrived before we got here.
+        for rid, claimed in self.pending_votes.pop(seq, {}).items():
+            if self.checkpoints.record_vote(seq, rid, claimed):
+                self._on_checkpoint_stable(seq)
+        if checkpoint.stable_votes >= self.config.quorum:
+            if self.checkpoints.record_vote(seq, self.node_id, root):
+                self._on_checkpoint_stable(seq)
+        self.broadcast_to_replicas(
+            CheckpointMsg(seq=seq, root=root, sender=self.node_id),
+            exclude=self.node_id,
+        )
+
+    def on_checkpoint(self, msg: CheckpointMsg, env: Envelope = None) -> None:
+        if msg.seq <= self.checkpoints.stable_seq:
+            return
+        if self.checkpoints.get(msg.seq) is not None:
+            if self.checkpoints.record_vote(msg.seq, msg.sender, msg.root):
+                self._on_checkpoint_stable(msg.seq)
+            return
+        votes = self.pending_votes[msg.seq]
+        votes[msg.sender] = msg.root
+        # A checkpoint we have not reached: if enough correct replicas
+        # vouch for it and we are stuck or far behind, fetch the state.
+        matching = defaultdict(int)
+        for root in votes.values():
+            matching[root] += 1
+        for root, count in matching.items():
+            if count >= self.config.f + 1 and msg.seq > self.last_exec:
+                behind = msg.seq >= self.last_exec + self.config.checkpoint_interval
+                if self.wedged or behind:
+                    self.maybe_start_state_transfer(msg.seq, root)
+                break
+
+    def _on_checkpoint_stable(self, seq: int) -> None:
+        # A stable checkpoint proves every batch up to ``seq`` committed
+        # globally (2f+1 replicas executed it), even if our own commit
+        # certificates for the tail are still in flight.  (We only get here
+        # with a local checkpoint at ``seq``, so last_exec >= seq already.)
+        self.committed_upto = max(self.committed_upto, seq)
+        self.log.advance_stable(seq)
+        self.reqstore.gc_digests(self.log.live_request_digests())
+        # Anything GC'd was executed (directly or proven by transferred
+        # client marks): it is no longer outstanding.
+        self.waiting_requests &= set(self.reqstore.by_digest)
+        for old in [s for s in self.exec_journal if s <= seq]:
+            del self.exec_journal[old]
+        for old in [s for s in self.pending_votes if s <= seq]:
+            del self.pending_votes[old]
+        self.stats["checkpoints_stabilized"] += 1
+        if self.is_primary:
+            self._try_issue_batches()
+
+    # -- state transfer plumbing (tasks live in recovery.py) --------------------------------
+
+    def on_digests(self, msg: DigestsMsg, env: Envelope = None) -> None:
+        if self.transfer is not None:
+            self.transfer.on_digests(msg)
+
+    def on_pages(self, msg: PagesMsg, env: Envelope = None) -> None:
+        if self.transfer is not None:
+            self.transfer.on_pages(msg)
+
+    # -- session keys (section 2.3) ----------------------------------------------------------
+
+    def on_authenticator_refresh(self, msg: AuthenticatorRefresh, env: Envelope = None) -> None:
+        for rid, key_bytes in msg.keys:
+            if rid == self.node_id:
+                self.install_session_key("client", msg.client, MacKey(key_bytes))
+                self.stats["authenticators_refreshed"] += 1
+        if self.stalled_batches:
+            self._retry_stalled_batches()
+
+    # -- rollback (used by view changes) --------------------------------------------------------
+
+    def _rollback_uncommitted(self) -> None:
+        """Undo tentative executions beyond the committed prefix by
+        restoring the stable checkpoint and replaying committed batches."""
+        if self.last_exec <= self.committed_upto:
+            return
+        stable = self.checkpoints.latest_stable()
+        stable_seq = self.checkpoints.stable_seq
+        self.stats["rollbacks"] += 1
+        if stable is not None:
+            self.state.restore(stable.pages)
+            self.reqstore.last_executed_req = dict(
+                stable.meta.get("client_marks", {})
+            )
+        else:
+            self.state.restore([bytes(self.config.page_size)] * self.config.state_pages)
+            self.reqstore.last_executed_req = {}
+        self._state_installed()
+        replay = [
+            self.exec_journal[seq]
+            for seq in range(stable_seq + 1, self.committed_upto + 1)
+            if seq in self.exec_journal
+        ]
+        self.exec_journal = {}
+        self.last_exec = stable_seq
+        for pp, requests in replay:
+            self._execute_batch(pp, requests, tentative=False, slot=None, silent=True)
+        self.last_exec = self.committed_upto
+        # Discard any checkpoints taken on tentative state.
+        for seq in [s for s in self.checkpoints._by_seq if s > self.committed_upto]:
+            if seq != self.checkpoints.stable_seq:
+                del self.checkpoints._by_seq[seq]
+        for slot in self.log.slots.values():
+            if slot.seq > self.committed_upto and slot.executed:
+                slot.executed = False
+                slot.tentative = False

@@ -1,0 +1,263 @@
+"""View changes: deposing a faulty primary and electing the next.
+
+Mixin methods for :class:`repro.pbft.replica.Replica`.  The mechanics
+follow the paper's section 2.1 description of the Castro-Liskov protocol:
+backups monitor the primary with a timer armed whenever a known request is
+outstanding; on expiry they broadcast a view-change message carrying their
+stable-checkpoint proof and the set of prepared batches; the new primary
+(``new_view mod n``) collects 2f+1 and installs the view with a new-view
+message that re-proposes every batch that might have committed.
+"""
+
+from __future__ import annotations
+
+from repro.pbft.messages import (
+    NewViewMsg,
+    PrePrepare,
+    PreparedProof,
+    ViewChangeMsg,
+)
+
+
+class ViewChangeMixin:
+    """View-change behaviour, mixed into Replica."""
+
+    # -- timer management --------------------------------------------------------
+
+    def _arm_vc_timer(self) -> None:
+        if self.crashed or self.in_view_change:
+            return
+        if self.wedged or self.transfer is not None:
+            # A wedged or transferring replica is missing data *itself*;
+            # the primary is not the suspect, and deposing it would not
+            # recover the missing request bodies (paper section 2.4: the
+            # replica simply waits for the next checkpoint).
+            return
+        if self._vc_timer is not None and self._vc_timer.pending:
+            return
+        self._vc_timer = self.host.sim.schedule(
+            self._vc_timeout_current, self._on_vc_timeout
+        )
+
+    def _disarm_vc_timer(self) -> None:
+        if self._vc_timer is not None:
+            self._vc_timer.cancel()
+            self._vc_timer = None
+        self._vc_timeout_current = self.config.view_change_timeout_ns
+
+    def _on_vc_timeout(self) -> None:
+        if self.crashed:
+            return
+        self._vc_timer = None
+        if not self._has_outstanding_work():
+            return
+        # Exponential backoff: each failed view change doubles the patience
+        # granted to the next primary.
+        self._vc_timeout_current *= 2
+        self.start_view_change(self.view + 1)
+
+    def _has_outstanding_work(self) -> bool:
+        for slot in self.log.slots.values():
+            if not slot.executed:
+                return True
+        if self.is_primary and self.pending_requests:
+            return True
+        # Prune waiting requests that got executed through another path.
+        stale = {
+            digest
+            for digest in self.waiting_requests
+            if (req := self.reqstore.get(digest)) is not None
+            and self.reqstore.already_executed(req)
+        }
+        self.waiting_requests -= stale
+        return bool(self.waiting_requests)
+
+    # -- initiating ---------------------------------------------------------------
+
+    def start_view_change(self, new_view: int) -> None:
+        """Vote to move to ``new_view`` and stop participating in the old."""
+        if new_view <= self.view or self.crashed:
+            return
+        self.in_view_change = True
+        self.pending_new_view = new_view
+        if self._vc_timer is not None:
+            self._vc_timer.cancel()
+            self._vc_timer = None
+        self._rollback_uncommitted()
+        stable = self.checkpoints.latest_stable()
+        stable_seq = self.checkpoints.stable_seq
+        stable_root = stable.root if stable else bytes(16)
+        proof = (
+            tuple(sorted(stable.proof.items())) if stable else ()
+        )
+        prepared = tuple(
+            PreparedProof(
+                seq=seq,
+                view=view,
+                batch_digest=pp.batch_digest,
+                request_digests=pp.request_digests,
+                nondet=pp.nondet,
+            )
+            for seq, view, pp in self.log.prepared_proofs(self.config.f)
+            if seq > stable_seq
+        )
+        msg = ViewChangeMsg(
+            new_view=new_view,
+            stable_seq=stable_seq,
+            stable_root=stable_root,
+            checkpoint_proof=proof,
+            prepared=prepared,
+            sender=self.node_id,
+        )
+        self.view_changes.setdefault(new_view, {})[self.node_id] = msg
+        self.stats["view_changes_started"] += 1
+        self.broadcast_to_replicas(msg, exclude=self.node_id)
+        self._maybe_install_new_view(new_view)
+        # If the new primary never shows up, move on to the next view.
+        self._vc_timer = self.host.sim.schedule(
+            self._vc_timeout_current, self._on_vc_timeout_during_change
+        )
+
+    def _on_vc_timeout_during_change(self) -> None:
+        if self.crashed or not self.in_view_change:
+            return
+        supporters = len(self.view_changes.get(self.pending_new_view, {}))
+        if supporters <= self.config.f:
+            # Nobody shares our suspicion: we are the confused party, not
+            # the primary.  Abandon the view change, rejoin the current
+            # view, and ask peers to retransmit whatever we missed.
+            self.in_view_change = False
+            self._vc_timeout_current = self.config.view_change_timeout_ns
+            self.stats["view_changes_abandoned"] += 1
+            self._send_status(recovering=False)
+            self._execute_ready()
+            if self._has_outstanding_work():
+                self._arm_vc_timer()
+            return
+        self._vc_timeout_current *= 2
+        self.in_view_change = False  # allow re-entry for the next view
+        self.start_view_change(self.pending_new_view + 1)
+
+    # -- receiving ------------------------------------------------------------------
+
+    def on_view_change(self, msg: ViewChangeMsg) -> None:
+        if msg.new_view <= self.view:
+            return
+        self.view_changes.setdefault(msg.new_view, {})[msg.sender] = msg
+        # Liveness rule: if f+1 replicas are already asking for a higher
+        # view, join the earliest such view even without a local timeout.
+        if not self.in_view_change:
+            for view in sorted(self.view_changes):
+                if view <= self.view:
+                    continue
+                voters = set(self.view_changes[view])
+                voters.discard(self.node_id)
+                if len(voters) >= self.config.f + 1:
+                    self.start_view_change(view)
+                    break
+        self._maybe_install_new_view(msg.new_view)
+
+    def _maybe_install_new_view(self, new_view: int) -> None:
+        """If we are the would-be primary and have a quorum, send NEW-VIEW."""
+        if self.primary_of(new_view) != self.node_id:
+            return
+        votes = self.view_changes.get(new_view, {})
+        if len(votes) < self.config.quorum:
+            return
+        if self.view >= new_view:
+            return
+        min_s = max(vc.stable_seq for vc in votes.values())
+        chosen: dict[int, PreparedProof] = {}  # seq -> highest-view proof
+        max_s = min_s
+        for vc in votes.values():
+            for proof in vc.prepared:
+                if proof.seq <= min_s:
+                    continue
+                best = chosen.get(proof.seq)
+                if best is None or proof.view > best.view:
+                    chosen[proof.seq] = proof
+                max_s = max(max_s, proof.seq)
+        pre_prepares = tuple(
+            chosen.get(
+                seq,
+                PreparedProof(seq=seq, view=0, batch_digest=bytes(16)),  # no-op
+            )
+            for seq in range(min_s + 1, max_s + 1)
+        )
+        nv = NewViewMsg(
+            view=new_view,
+            view_change_digests=tuple(
+                (rid, vc.digest) for rid, vc in sorted(votes.items())
+            ),
+            pre_prepares=pre_prepares,
+            stable_seq=min_s,
+            sender=self.node_id,
+        )
+        self.broadcast_to_replicas(nv, exclude=self.node_id)
+        self._enter_view(new_view, nv)
+
+    def on_new_view(self, msg: NewViewMsg) -> None:
+        if msg.view <= self.view:
+            return
+        if msg.sender != self.primary_of(msg.view):
+            return
+        if len(msg.view_change_digests) < self.config.quorum:
+            return
+        self._enter_view(msg.view, msg)
+
+    # -- installation ------------------------------------------------------------------
+
+    def _enter_view(self, view: int, nv: NewViewMsg) -> None:
+        """Install ``view``, re-running agreement for the re-proposed set."""
+        self.view = view
+        self.in_view_change = False
+        self.pending_new_view = view
+        self.view_changes = {v: m for v, m in self.view_changes.items() if v > view}
+        self._disarm_vc_timer()
+        self.stats["views_installed"] += 1
+        is_primary = self.primary_of(view) == self.node_id
+        highest = nv.stable_seq
+        for proof in nv.pre_prepares:
+            seq = proof.seq
+            highest = max(highest, seq)
+            if seq <= self.log.low_watermark:
+                continue
+            # The proof carries the batch contents, so every replica can
+            # re-propose it in the new view — even one that never saw the
+            # original pre-prepare.
+            rebuilt = PrePrepare(
+                view=view,
+                seq=seq,
+                request_digests=proof.request_digests,
+                nondet=proof.nondet,
+                sender=nv.sender,
+            )
+            slot = self.log.slot(seq)
+            vs = slot.view_slot(view)
+            vs.pre_prepare = rebuilt
+            if not slot.executed:
+                if not is_primary:
+                    self._send_prepare(rebuilt)
+                self._maybe_prepared(seq, view)
+        if is_primary:
+            self.next_seq = max(self.next_seq, highest)
+            # Requests observed as outstanding while we were a backup are
+            # now our responsibility to order.
+            for digest in sorted(self.waiting_requests):
+                req = self.reqstore.get(digest)
+                if req is None or self.reqstore.already_executed(req):
+                    continue
+                if digest not in self.queued_digests:
+                    self.queued_digests.add(digest)
+                    self.pending_requests.append(req)
+            self.waiting_requests.clear()
+            self._try_issue_batches()
+        else:
+            # A deposed primary hands its queue back to the waiting set;
+            # clients retransmit and the new primary orders them.
+            for req in self.pending_requests:
+                self.waiting_requests.add(req.digest)
+            self.pending_requests = []
+            self.queued_digests = set()
+        if self._has_outstanding_work():
+            self._arm_vc_timer()

@@ -1,0 +1,16 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper's evaluation ran on an 8-machine cluster; this reproduction runs
+the same middleware on a simulated cluster instead (see DESIGN.md section 1).
+The kernel is a classic event-queue simulator:
+
+* time is an integer nanosecond counter (:mod:`repro.common.units`);
+* events are ``(time, tiebreak, callback)`` triples in a binary heap;
+* all randomness flows from named, seeded streams so a run is exactly
+  reproducible from its seed.
+"""
+
+from repro.sim.simulator import Simulator, Timer
+from repro.sim.rng import RngStreams
+
+__all__ = ["Simulator", "Timer", "RngStreams"]

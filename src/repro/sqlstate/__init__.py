@@ -1,0 +1,36 @@
+"""An embedded relational engine with a VFS — the paper's SQL state
+abstraction (section 3.2).
+
+The paper interposes SQLite between the application and the PBFT library:
+the *database file* is mapped into the PBFT state region (so replication
+and checkpointing see every change through modify notifications), the
+*rollback journal* stays on local disk (it is recovery scaffolding, not
+replicated state), and non-deterministic functions (time, randomness) are
+re-implemented over the PBFT non-determinism up-calls.
+
+This package is a from-scratch engine with the same architecture:
+
+* :mod:`repro.sqlstate.vfs` — the virtual file system layer with an
+  in-memory backend, a simulated-disk backend (fsync costs, crash
+  semantics) and the **PBFT state-region backend**;
+* :mod:`repro.sqlstate.pager` + :mod:`repro.sqlstate.journal` — page cache
+  and rollback-journal ACID;
+* :mod:`repro.sqlstate.btree` — B+trees for tables and indexes;
+* tokenizer/parser/executor for the SQL subset the paper's workloads need
+  (CREATE TABLE/INDEX, INSERT, SELECT with WHERE/JOIN/ORDER BY/LIMIT and
+  aggregates, UPDATE, DELETE, BEGIN/COMMIT/ROLLBACK);
+* :mod:`repro.sqlstate.engine` — the :class:`Database` facade.
+"""
+
+from repro.sqlstate.engine import Database
+from repro.sqlstate.vfs import MemoryVfsFile, DiskModel, StateRegionVfsFile, VfsEnvironment
+from repro.sqlstate.values import SqlNull
+
+__all__ = [
+    "Database",
+    "MemoryVfsFile",
+    "DiskModel",
+    "StateRegionVfsFile",
+    "VfsEnvironment",
+    "SqlNull",
+]

@@ -1,0 +1,221 @@
+"""Statement and expression AST nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # SqlValue
+
+
+@dataclass(frozen=True)
+class Parameter:
+    index: int  # 0-based position into the params tuple
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # "-", "+", "NOT"
+    operand: object
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str  # "=", "<", "AND", "+", "||", "LIKE", ...
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: object
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: object
+    items: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: object
+    low: object
+    high: object
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSelect:
+    """``expr IN (SELECT ...)`` — non-correlated subqueries only."""
+
+    operand: object
+    select: object  # a Select statement
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery:
+    """``(SELECT ...)`` as an expression: first column of the first row."""
+
+    select: object
+
+
+@dataclass(frozen=True)
+class Exists:
+    """``EXISTS (SELECT ...)``."""
+
+    select: object
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str  # lower-cased
+    args: tuple
+    star: bool = False  # COUNT(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpr:
+    operand: Optional[object]  # CASE x WHEN ... vs CASE WHEN ...
+    whens: tuple  # of (condition/compare-value, result)
+    default: Optional[object]
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    declared_type: str
+    primary_key: bool = False
+    not_null: bool = False
+    unique: bool = False
+    default: Optional[object] = None  # expression
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class AlterTableAddColumn:
+    table: str
+    column: ColumnDef
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]  # empty = all columns in order
+    rows: tuple[tuple, ...]  # tuples of expressions
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: object
+    alias: Optional[str] = None
+    star: bool = False
+    star_table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Join:
+    left: object  # TableRef | Join
+    right: TableRef
+    on: Optional[object]  # expression; None = cross join
+    kind: str = "INNER"  # INNER | LEFT | CROSS
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: object
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    source: Optional[object]  # TableRef | Join | None (SELECT 1+1)
+    where: Optional[object] = None
+    group_by: tuple = ()
+    having: Optional[object] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[object] = None
+    offset: Optional[object] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, object], ...]
+    where: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Begin:
+    pass
+
+
+@dataclass(frozen=True)
+class Commit:
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback:
+    pass

@@ -1,0 +1,927 @@
+"""Statement execution: expression evaluation, planning, DML/queries."""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import Iterator, Optional
+
+from repro.common.errors import SqlConstraintError, SqlError
+from repro.sqlstate import ast
+from repro.sqlstate.btree import BTree
+from repro.sqlstate.catalog import Catalog, Index, Table
+from repro.sqlstate.functions import (
+    Aggregate,
+    call_scalar,
+    is_aggregate_call,
+    like_match,
+)
+from repro.sqlstate.records import (
+    decode_record,
+    decode_rowid,
+    encode_key,
+    encode_record,
+    encode_rowid,
+)
+from repro.sqlstate.values import (
+    SqlNull,
+    apply_affinity,
+    compare,
+    format_value,
+    is_truthy,
+)
+
+
+class RowContext:
+    """Column bindings for one candidate row (or joined row tuple)."""
+
+    __slots__ = ("qualified", "names")
+
+    def __init__(self) -> None:
+        self.qualified: dict[tuple[str, str], object] = {}
+        self.names: dict[str, list[tuple[str, str]]] = {}
+
+    def bind_table(self, alias: str, table: Table, rowid: int, row: list) -> None:
+        alias_l = alias.lower()
+        self.qualified[(alias_l, "rowid")] = rowid
+        self.names.setdefault("rowid", []).append((alias_l, "rowid"))
+        for position, col in enumerate(table.columns):
+            # Rows written before an ALTER TABLE ADD COLUMN are shorter
+            # than the schema; missing trailing columns read as defaults.
+            value = row[position] if position < len(row) else col.default
+            key = (alias_l, col.name.lower())
+            self.qualified[key] = value
+            self.names.setdefault(col.name.lower(), []).append(key)
+
+    def bind_nulls(self, alias: str, table: Table) -> None:
+        alias_l = alias.lower()
+        self.qualified[(alias_l, "rowid")] = SqlNull
+        self.names.setdefault("rowid", []).append((alias_l, "rowid"))
+        for col in table.columns:
+            key = (alias_l, col.name.lower())
+            self.qualified[key] = SqlNull
+            self.names.setdefault(col.name.lower(), []).append(key)
+
+    def lookup(self, name: str, table: Optional[str]) -> object:
+        if table is not None:
+            key = (table.lower(), name.lower())
+            if key not in self.qualified:
+                raise SqlError(f"no such column: {table}.{name}")
+            return self.qualified[key]
+        keys = self.names.get(name.lower())
+        if not keys:
+            raise SqlError(f"no such column: {name}")
+        if len(keys) > 1:
+            raise SqlError(f"ambiguous column name: {name}")
+        return self.qualified[keys[0]]
+
+    def merged_with(self, other: "RowContext") -> "RowContext":
+        out = RowContext()
+        out.qualified.update(self.qualified)
+        out.qualified.update(other.qualified)
+        for name, keys in self.names.items():
+            out.names.setdefault(name, []).extend(keys)
+        for name, keys in other.names.items():
+            out.names.setdefault(name, []).extend(keys)
+        return out
+
+
+_EMPTY_CTX = RowContext()
+
+
+class Executor:
+    """Executes parsed statements against the catalog and pager."""
+
+    def __init__(self, catalog: Catalog, env) -> None:
+        self.catalog = catalog
+        self.pager = catalog.pager
+        self.env = env
+        self.rows_scanned = 0
+        self.rows_written = 0
+        self.index_lookups = 0
+        # Per-statement memo for non-correlated subqueries: each runs once
+        # no matter how many candidate rows consult it.
+        self._subquery_cache: dict[int, object] = {}
+
+    def begin_statement(self) -> None:
+        """Reset per-statement state (subquery memoization)."""
+        self._subquery_cache.clear()
+
+    # ==== expression evaluation =====================================================
+
+    def eval(self, expr, ctx: RowContext, params, agg: Optional[dict] = None):
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Parameter):
+            if expr.index >= len(params):
+                raise SqlError(
+                    f"statement requires parameter {expr.index + 1}, "
+                    f"got {len(params)}"
+                )
+            return _normalize_param(params[expr.index])
+        if isinstance(expr, ast.ColumnRef):
+            return ctx.lookup(expr.name, expr.table)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, ctx, params, agg)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, ctx, params, agg)
+        if isinstance(expr, ast.IsNull):
+            value = self.eval(expr.operand, ctx, params, agg)
+            result = value is SqlNull
+            return int(result != expr.negated)
+        if isinstance(expr, ast.InList):
+            return self._eval_in(expr, ctx, params, agg)
+        if isinstance(expr, ast.Between):
+            value = self.eval(expr.operand, ctx, params, agg)
+            low = self.eval(expr.low, ctx, params, agg)
+            high = self.eval(expr.high, ctx, params, agg)
+            if SqlNull in (value, low, high):
+                return SqlNull
+            inside = compare(value, low) >= 0 and compare(value, high) <= 0
+            return int(inside != expr.negated)
+        if isinstance(expr, ast.FunctionCall):
+            if agg is not None and id(expr) in agg:
+                return agg[id(expr)]
+            if is_aggregate_call(expr.name, len(expr.args)) and not expr.star:
+                raise SqlError(f"misplaced aggregate {expr.name}()")
+            if expr.star:
+                raise SqlError("COUNT(*) outside an aggregate context")
+            args = [self.eval(a, ctx, params, agg) for a in expr.args]
+            return call_scalar(expr.name, args, self.env)
+        if isinstance(expr, ast.CaseExpr):
+            return self._eval_case(expr, ctx, params, agg)
+        if isinstance(expr, ast.InSelect):
+            value = self.eval(expr.operand, ctx, params, agg)
+            if value is SqlNull:
+                return SqlNull
+            rows = self._subquery_rows(expr.select, params)
+            saw_null = False
+            for row in rows:
+                candidate = row[0]
+                if candidate is SqlNull:
+                    saw_null = True
+                    continue
+                if compare(value, candidate) == 0:
+                    return int(not expr.negated)
+            if saw_null:
+                return SqlNull
+            return int(expr.negated)
+        if isinstance(expr, ast.ScalarSubquery):
+            rows = self._subquery_rows(expr.select, params)
+            return rows[0][0] if rows else SqlNull
+        if isinstance(expr, ast.Exists):
+            rows = self._subquery_rows(expr.select, params)
+            return int(bool(rows) != expr.negated)
+        raise SqlError(f"cannot evaluate expression node {type(expr).__name__}")
+
+    def _subquery_rows(self, select, params) -> list[tuple]:
+        """Run a non-correlated subquery once and memoize its rows."""
+        cached = self._subquery_cache.get(id(select))
+        if cached is None:
+            _columns, cached = self.select(select, params, nested=True)
+            self._subquery_cache[id(select)] = cached
+        return cached
+
+    def _eval_unary(self, expr, ctx, params, agg):
+        value = self.eval(expr.operand, ctx, params, agg)
+        if expr.op == "NOT":
+            if value is SqlNull:
+                return SqlNull
+            return int(not is_truthy(value))
+        if value is SqlNull:
+            return SqlNull
+        if not isinstance(value, (int, float)):
+            raise SqlError(f"unary {expr.op} on non-numeric value")
+        return -value if expr.op == "-" else value
+
+    def _eval_binary(self, expr, ctx, params, agg):
+        op = expr.op
+        if op in ("AND", "OR"):
+            left = self.eval(expr.left, ctx, params, agg)
+            # Three-valued logic with short-circuiting.
+            if op == "AND":
+                if left is not SqlNull and not is_truthy(left):
+                    return 0
+                right = self.eval(expr.right, ctx, params, agg)
+                if right is not SqlNull and not is_truthy(right):
+                    return 0
+                if left is SqlNull or right is SqlNull:
+                    return SqlNull
+                return 1
+            if left is not SqlNull and is_truthy(left):
+                return 1
+            right = self.eval(expr.right, ctx, params, agg)
+            if right is not SqlNull and is_truthy(right):
+                return 1
+            if left is SqlNull or right is SqlNull:
+                return SqlNull
+            return 0
+        left = self.eval(expr.left, ctx, params, agg)
+        right = self.eval(expr.right, ctx, params, agg)
+        if op == "||":
+            if left is SqlNull or right is SqlNull:
+                return SqlNull
+            return _as_text(left) + _as_text(right)
+        if op == "LIKE":
+            if left is SqlNull or right is SqlNull:
+                return SqlNull
+            return int(like_match(_as_text(right), _as_text(left)))
+        if op in ("=", "!=", "<", "<=", ">", ">="):
+            if left is SqlNull or right is SqlNull:
+                return SqlNull
+            cmp = compare(left, right)
+            return int(
+                {"=": cmp == 0, "!=": cmp != 0, "<": cmp < 0,
+                 "<=": cmp <= 0, ">": cmp > 0, ">=": cmp >= 0}[op]
+            )
+        # Arithmetic.
+        if left is SqlNull or right is SqlNull:
+            return SqlNull
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise SqlError(f"operator {op} requires numeric operands")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return SqlNull  # SQLite yields NULL on division by zero
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int):
+                return int(left // right) if left % right == 0 else left // right
+            return result
+        if op == "%":
+            if right == 0:
+                return SqlNull
+            return left % right
+        raise SqlError(f"unknown operator {op}")
+
+    def _eval_in(self, expr, ctx, params, agg):
+        value = self.eval(expr.operand, ctx, params, agg)
+        if value is SqlNull:
+            return SqlNull
+        saw_null = False
+        for item in expr.items:
+            candidate = self.eval(item, ctx, params, agg)
+            if candidate is SqlNull:
+                saw_null = True
+                continue
+            if compare(value, candidate) == 0:
+                return int(not expr.negated)
+        if saw_null:
+            return SqlNull
+        return int(expr.negated)
+
+    def _eval_case(self, expr, ctx, params, agg):
+        if expr.operand is not None:
+            subject = self.eval(expr.operand, ctx, params, agg)
+            for when, then in expr.whens:
+                candidate = self.eval(when, ctx, params, agg)
+                if (
+                    subject is not SqlNull
+                    and candidate is not SqlNull
+                    and compare(subject, candidate) == 0
+                ):
+                    return self.eval(then, ctx, params, agg)
+        else:
+            for when, then in expr.whens:
+                condition = self.eval(when, ctx, params, agg)
+                if condition is not SqlNull and is_truthy(condition):
+                    return self.eval(then, ctx, params, agg)
+        if expr.default is not None:
+            return self.eval(expr.default, ctx, params, agg)
+        return SqlNull
+
+    def eval_literal(self, expr):
+        """Constant-fold an expression with no row context (defaults)."""
+        return self.eval(expr, _EMPTY_CTX, ())
+
+    # ==== DML =======================================================================
+
+    def insert(self, stmt: ast.Insert, params) -> int:
+        self.begin_statement()
+        table = self.catalog.table(stmt.table)
+        tree = BTree(self.pager, table.root_page)
+        if stmt.columns:
+            positions = [table.column_index(c) for c in stmt.columns]
+        else:
+            positions = list(range(len(table.columns)))
+        inserted = 0
+        for row_exprs in stmt.rows:
+            if len(row_exprs) != len(positions):
+                raise SqlError(
+                    f"{len(positions)} columns but {len(row_exprs)} values"
+                )
+            values = [col.default for col in table.columns]
+            for pos, expr in zip(positions, row_exprs):
+                values[pos] = self.eval(expr, _EMPTY_CTX, params)
+            self._insert_row(table, tree, values)
+            inserted += 1
+        return inserted
+
+    def _insert_row(self, table: Table, tree: BTree, values: list) -> int:
+        for i, col in enumerate(table.columns):
+            values[i] = apply_affinity(values[i], col.affinity)
+        rowid = self._assign_rowid(table, tree, values)
+        for i, col in enumerate(table.columns):
+            if values[i] is SqlNull and col.not_null and i != table.rowid_alias:
+                raise SqlConstraintError(
+                    f"NOT NULL constraint failed: {table.name}.{col.name}"
+                )
+        self._check_unique_indexes(table, values, exclude_rowid=None)
+        tree.insert(encode_rowid(rowid), encode_record(values), replace=False)
+        for index in table.indexes:
+            self._index_tree(index).insert(
+                self._index_key(index, table, values, rowid),
+                encode_rowid(rowid),
+            )
+        self.rows_written += 1
+        return rowid
+
+    def _assign_rowid(self, table: Table, tree: BTree, values: list) -> int:
+        alias = table.rowid_alias
+        if alias is not None and values[alias] is not SqlNull:
+            value = values[alias]
+            if not isinstance(value, int):
+                raise SqlConstraintError(
+                    f"datatype mismatch: {table.name}.{table.columns[alias].name} "
+                    "must be an integer"
+                )
+            if tree.get(encode_rowid(value)) is not None:
+                raise SqlConstraintError(
+                    f"UNIQUE constraint failed: {table.name}."
+                    f"{table.columns[alias].name}"
+                )
+            return value
+        last = tree.last_key()
+        rowid = 1 if last is None else decode_rowid(last) + 1
+        if alias is not None:
+            values[alias] = rowid
+        return rowid
+
+    def _check_unique_indexes(self, table, values, exclude_rowid) -> None:
+        for index in table.indexes:
+            if not index.unique:
+                continue
+            key_values = [values[table.column_index(c)] for c in index.columns]
+            if any(v is SqlNull for v in key_values):
+                continue  # SQL: NULLs never collide in unique indexes
+            prefix = encode_key(key_values)
+            for key, value in self._index_tree(index).scan_prefix(prefix):
+                existing_rowid = decode_rowid(value)
+                if exclude_rowid is not None and existing_rowid == exclude_rowid:
+                    continue
+                raise SqlConstraintError(
+                    f"UNIQUE constraint failed: {table.name}"
+                    f"({', '.join(index.columns)})"
+                )
+
+    def _index_tree(self, index: Index) -> BTree:
+        return BTree(self.pager, index.root_page)
+
+    def _index_key(self, index: Index, table: Table, values, rowid: int) -> bytes:
+        key_values = [values[table.column_index(c)] for c in index.columns]
+        return encode_key(key_values) + encode_rowid(rowid)
+
+    def update(self, stmt: ast.Update, params) -> int:
+        self.begin_statement()
+        table = self.catalog.table(stmt.table)
+        tree = BTree(self.pager, table.root_page)
+        assignments = [
+            (table.column_index(name), expr) for name, expr in stmt.assignments
+        ]
+        changed = 0
+        # Materialize candidates first: mutating while scanning is unsafe.
+        victims = list(self._candidates(table, table.name, stmt.where, params))
+        for rowid, row, ctx in victims:
+            if stmt.where is not None:
+                verdict = self.eval(stmt.where, ctx, params)
+                if verdict is SqlNull or not is_truthy(verdict):
+                    continue
+            new_values = list(row)
+            for position, expr in assignments:
+                value = self.eval(expr, ctx, params)
+                new_values[position] = apply_affinity(
+                    value, table.columns[position].affinity
+                )
+            for i, col in enumerate(table.columns):
+                if new_values[i] is SqlNull and col.not_null:
+                    raise SqlConstraintError(
+                        f"NOT NULL constraint failed: {table.name}.{col.name}"
+                    )
+            new_rowid = rowid
+            if table.rowid_alias is not None:
+                alias_value = new_values[table.rowid_alias]
+                if not isinstance(alias_value, int):
+                    raise SqlConstraintError("rowid must remain an integer")
+                new_rowid = alias_value
+            self._check_unique_indexes(table, new_values, exclude_rowid=rowid)
+            if new_rowid != rowid and tree.get(encode_rowid(new_rowid)) is not None:
+                raise SqlConstraintError(f"UNIQUE constraint failed: {table.name}")
+            for index in table.indexes:
+                self._index_tree(index).delete(
+                    self._index_key(index, table, row, rowid)
+                )
+            if new_rowid != rowid:
+                tree.delete(encode_rowid(rowid))
+            tree.insert(encode_rowid(new_rowid), encode_record(new_values))
+            for index in table.indexes:
+                self._index_tree(index).insert(
+                    self._index_key(index, table, new_values, new_rowid),
+                    encode_rowid(new_rowid),
+                )
+            changed += 1
+            self.rows_written += 1
+        return changed
+
+    def delete(self, stmt: ast.Delete, params) -> int:
+        self.begin_statement()
+        table = self.catalog.table(stmt.table)
+        tree = BTree(self.pager, table.root_page)
+        victims = []
+        for rowid, row, ctx in self._candidates(table, table.name, stmt.where, params):
+            if stmt.where is not None:
+                verdict = self.eval(stmt.where, ctx, params)
+                if verdict is SqlNull or not is_truthy(verdict):
+                    continue
+            victims.append((rowid, row))
+        for rowid, row in victims:
+            tree.delete(encode_rowid(rowid))
+            for index in table.indexes:
+                self._index_tree(index).delete(
+                    self._index_key(index, table, row, rowid)
+                )
+            self.rows_written += 1
+        return len(victims)
+
+    # ==== planning & row sources =====================================================
+
+    def _candidates(
+        self, table: Table, alias: str, where, params
+    ) -> Iterator[tuple[int, list, RowContext]]:
+        """Rows possibly matching ``where``: an index equality probe when
+        one applies, else a full scan.  The WHERE clause is still
+        re-checked by the caller."""
+        tree = BTree(self.pager, table.root_page)
+        probe = self._find_index_probe(table, where, params)
+        if probe is not None:
+            index, value = probe
+            self.index_lookups += 1
+            prefix = encode_key([value])
+            for _key, stored in self._index_tree(index).scan_prefix(prefix):
+                rowid = decode_rowid(stored)
+                raw = tree.get(encode_rowid(rowid))
+                if raw is None:
+                    continue  # index ahead of table within this statement
+                row = self._pad_row(table, decode_record(raw))
+                ctx = RowContext()
+                ctx.bind_table(alias, table, rowid, row)
+                self.rows_scanned += 1
+                yield rowid, row, ctx
+            return
+        rowid_probe = self._find_rowid_probe(table, where, params)
+        if rowid_probe is not None:
+            raw = tree.get(encode_rowid(rowid_probe))
+            if raw is not None:
+                row = self._pad_row(table, decode_record(raw))
+                ctx = RowContext()
+                ctx.bind_table(alias, table, rowid_probe, row)
+                self.rows_scanned += 1
+                yield rowid_probe, row, ctx
+            return
+        for key, raw in tree.scan():
+            rowid = decode_rowid(key)
+            row = self._pad_row(table, decode_record(raw))
+            ctx = RowContext()
+            ctx.bind_table(alias, table, rowid, row)
+            self.rows_scanned += 1
+            yield rowid, row, ctx
+
+    @staticmethod
+    def _pad_row(table: Table, row: list) -> list:
+        """Rows stored before an ALTER TABLE ADD COLUMN are shorter than
+        the schema; pad with the added columns' defaults."""
+        if len(row) < len(table.columns):
+            row = row + [col.default for col in table.columns[len(row):]]
+        return row
+
+    def _find_index_probe(self, table: Table, where, params):
+        """WHERE col = <constant> with a single-column index on col."""
+        pair = self._equality_pair(table, where, params)
+        if pair is None:
+            return None
+        column, value = pair
+        for index in table.indexes:
+            if len(index.columns) == 1 and index.columns[0].lower() == column:
+                return index, value
+        return None
+
+    def _find_rowid_probe(self, table: Table, where, params):
+        pair = self._equality_pair(table, where, params, rowid_only=True)
+        if pair is None:
+            return None
+        _column, value = pair
+        return value if isinstance(value, int) else None
+
+    def _equality_pair(self, table: Table, where, params, rowid_only: bool = False):
+        if not isinstance(where, ast.Binary) or where.op != "=":
+            return None
+        column_side, const_side = where.left, where.right
+        if not isinstance(column_side, ast.ColumnRef):
+            column_side, const_side = const_side, column_side
+        if not isinstance(column_side, ast.ColumnRef):
+            return None
+        if not isinstance(const_side, (ast.Literal, ast.Parameter)):
+            return None
+        name = column_side.name.lower()
+        if rowid_only:
+            is_rowid = name == "rowid" or (
+                table.rowid_alias is not None
+                and table.columns[table.rowid_alias].name.lower() == name
+            )
+            if not is_rowid:
+                return None
+        value = self.eval(const_side, _EMPTY_CTX, params)
+        if value is SqlNull:
+            return None
+        return name, value
+
+    def _source_rows(self, source, where, params) -> Iterator[RowContext]:
+        if source is None:
+            yield RowContext()
+            return
+        if isinstance(source, ast.TableRef):
+            table = self.catalog.table(source.name)
+            alias = source.alias or source.name
+            # Only push the WHERE down for a plain single-table source.
+            for _rowid, _row, ctx in self._candidates(table, alias, where, params):
+                yield ctx
+            return
+        if isinstance(source, ast.Join):
+            yield from self._join_rows(source, params)
+            return
+        raise SqlError(f"unsupported FROM clause {type(source).__name__}")
+
+    def _join_rows(self, join: ast.Join, params) -> Iterator[RowContext]:
+        right_table = self.catalog.table(join.right.name)
+        right_alias = join.right.alias or join.right.name
+        if isinstance(join.left, ast.TableRef):
+            left_iter = self._source_rows(join.left, None, params)
+        else:
+            left_iter = self._join_rows(join.left, params)
+        right_rows = [
+            (rowid, row)
+            for rowid, row, _ctx in self._candidates(right_table, right_alias, None, params)
+        ]
+        for left_ctx in left_iter:
+            matched = False
+            for rowid, row in right_rows:
+                ctx = RowContext()
+                ctx.qualified.update(left_ctx.qualified)
+                for name, keys in left_ctx.names.items():
+                    ctx.names[name] = list(keys)
+                ctx.bind_table(right_alias, right_table, rowid, row)
+                if join.on is not None:
+                    verdict = self.eval(join.on, ctx, params)
+                    if verdict is SqlNull or not is_truthy(verdict):
+                        continue
+                matched = True
+                yield ctx
+            if join.kind == "LEFT" and not matched:
+                ctx = RowContext()
+                ctx.qualified.update(left_ctx.qualified)
+                for name, keys in left_ctx.names.items():
+                    ctx.names[name] = list(keys)
+                ctx.bind_nulls(right_alias, right_table)
+                yield ctx
+
+    # ==== SELECT ======================================================================
+
+    def select(
+        self, stmt: ast.Select, params, nested: bool = False
+    ) -> tuple[list[str], list[tuple]]:
+        if not nested:
+            self.begin_statement()
+        items = self._expand_stars(stmt)
+        having = _resolve_aliases(stmt.having, items) if stmt.having is not None else None
+        agg_nodes = []
+        for item in items:
+            _collect_aggregates(item.expr, agg_nodes)
+        for order in stmt.order_by:
+            _collect_aggregates(order.expr, agg_nodes)
+        if having is not None:
+            _collect_aggregates(having, agg_nodes)
+        # The same node can be referenced from several places (an aliased
+        # item reused by HAVING/ORDER BY); step each aggregate once per row.
+        seen_ids = set()
+        agg_nodes = [
+            n for n in agg_nodes if id(n) not in seen_ids and not seen_ids.add(id(n))
+        ]
+        is_aggregate = bool(agg_nodes) or bool(stmt.group_by)
+
+        columns = [self._column_label(item, i) for i, item in enumerate(items)]
+        self._validate_column_refs(stmt, items)
+
+        source_where = stmt.where if isinstance(stmt.source, ast.TableRef) else None
+        rows_in = self._source_rows(stmt.source, source_where, params)
+
+        def passes_where(ctx: RowContext) -> bool:
+            if stmt.where is None:
+                return True
+            verdict = self.eval(stmt.where, ctx, params)
+            return verdict is not SqlNull and is_truthy(verdict)
+
+        results: list[tuple[tuple, RowContext, Optional[dict]]] = []
+        if not is_aggregate:
+            for ctx in rows_in:
+                if not passes_where(ctx):
+                    continue
+                row = tuple(self.eval(item.expr, ctx, params) for item in items)
+                results.append((row, ctx, None))
+        else:
+            groups: dict[tuple, tuple[RowContext, dict]] = {}
+            for ctx in rows_in:
+                if not passes_where(ctx):
+                    continue
+                group_key = tuple(
+                    _hashable(self.eval(g, ctx, params)) for g in stmt.group_by
+                )
+                if group_key not in groups:
+                    groups[group_key] = (
+                        ctx,
+                        {
+                            id(node): Aggregate(
+                                "count_star" if node.star else node.name,
+                                distinct=node.distinct,
+                            )
+                            for node in agg_nodes
+                        },
+                    )
+                _ctx, aggs = groups[group_key]
+                for node in agg_nodes:
+                    state = aggs[id(node)]
+                    if node.star:
+                        state.step(1)
+                    else:
+                        state.step(self.eval(node.args[0], ctx, params))
+            if not groups and not stmt.group_by:
+                # Aggregate over an empty set still yields one row.
+                groups[()] = (
+                    RowContext(),
+                    {
+                        id(node): Aggregate(
+                            "count_star" if node.star else node.name,
+                            distinct=node.distinct,
+                        )
+                        for node in agg_nodes
+                    },
+                )
+            for _group_key, (ctx, aggs) in groups.items():
+                agg_values = {key: state.result() for key, state in aggs.items()}
+                if having is not None:
+                    verdict = self.eval(having, ctx, params, agg_values)
+                    if verdict is SqlNull or not is_truthy(verdict):
+                        continue
+                row = tuple(
+                    self.eval(item.expr, ctx, params, agg_values) for item in items
+                )
+                results.append((row, ctx, agg_values))
+
+        if stmt.order_by:
+            def cmp_rows(a, b):
+                for order in stmt.order_by:
+                    va = self._order_value(order, a, items, params)
+                    vb = self._order_value(order, b, items, params)
+                    c = compare(va, vb)
+                    if c:
+                        return -c if order.descending else c
+                return 0
+
+            results.sort(key=cmp_to_key(cmp_rows))
+
+        rows = [row for row, _ctx, _agg in results]
+        if stmt.distinct:
+            seen = set()
+            unique = []
+            for row in rows:
+                marker = tuple(_hashable(v) for v in row)
+                if marker in seen:
+                    continue
+                seen.add(marker)
+                unique.append(row)
+            rows = unique
+        offset = 0
+        if stmt.offset is not None:
+            offset = int(self.eval(stmt.offset, _EMPTY_CTX, params))
+        if stmt.limit is not None:
+            limit = int(self.eval(stmt.limit, _EMPTY_CTX, params))
+            rows = rows[offset : offset + limit] if limit >= 0 else rows[offset:]
+        elif offset:
+            rows = rows[offset:]
+        return columns, rows
+
+    def _order_value(self, order, result_entry, items, params):
+        row, ctx, agg_values = result_entry
+        # ORDER BY <n> refers to the n-th select item (1-based).
+        if isinstance(order.expr, ast.Literal) and isinstance(order.expr.value, int):
+            position = order.expr.value
+            if 1 <= position <= len(row):
+                return row[position - 1]
+        # ORDER BY <alias> refers to a select item by its output name.
+        if isinstance(order.expr, ast.ColumnRef) and order.expr.table is None:
+            wanted = order.expr.name.lower()
+            for i, item in enumerate(items):
+                if item.alias is not None and item.alias.lower() == wanted:
+                    return row[i]
+        return self.eval(order.expr, ctx, params, agg_values)
+
+    def _expand_stars(self, stmt: ast.Select) -> list[ast.SelectItem]:
+        items: list[ast.SelectItem] = []
+        for item in stmt.items:
+            if not item.star:
+                items.append(item)
+                continue
+            for alias, table in self._source_tables(stmt.source):
+                if item.star_table is not None and alias.lower() != item.star_table.lower():
+                    continue
+                for col in table.columns:
+                    items.append(
+                        ast.SelectItem(
+                            expr=ast.ColumnRef(name=col.name, table=alias),
+                            alias=col.name,
+                        )
+                    )
+        if not items:
+            raise SqlError("SELECT list is empty after * expansion")
+        return items
+
+    def _source_tables(self, source) -> list[tuple[str, Table]]:
+        if source is None:
+            return []
+        if isinstance(source, ast.TableRef):
+            return [(source.alias or source.name, self.catalog.table(source.name))]
+        if isinstance(source, ast.Join):
+            return self._source_tables(source.left) + [
+                (source.right.alias or source.right.name, self.catalog.table(source.right.name))
+            ]
+        return []
+
+    def _validate_column_refs(self, stmt: ast.Select, items) -> None:
+        """Reject unknown column names at statement level (like SQLite's
+        prepare step), so an empty table still reports the error."""
+        tables = self._source_tables(stmt.source)
+        known: set[str] = {"rowid"}
+        qualified: set[tuple[str, str]] = set()
+        for alias, table in tables:
+            qualified.add((alias.lower(), "rowid"))
+            for col in table.columns:
+                known.add(col.name.lower())
+                qualified.add((alias.lower(), col.name.lower()))
+        aliases = {
+            item.alias.lower() for item in items if item.alias is not None
+        }
+
+        refs: list[ast.ColumnRef] = []
+
+        def walk(expr) -> None:
+            if isinstance(expr, ast.ColumnRef):
+                refs.append(expr)
+            elif isinstance(expr, ast.Binary):
+                walk(expr.left)
+                walk(expr.right)
+            elif isinstance(expr, ast.Unary):
+                walk(expr.operand)
+            elif isinstance(expr, ast.IsNull):
+                walk(expr.operand)
+            elif isinstance(expr, ast.InList):
+                walk(expr.operand)
+                for entry in expr.items:
+                    walk(entry)
+            elif isinstance(expr, ast.Between):
+                walk(expr.operand)
+                walk(expr.low)
+                walk(expr.high)
+            elif isinstance(expr, ast.FunctionCall):
+                for arg in expr.args:
+                    walk(arg)
+            elif isinstance(expr, ast.CaseExpr):
+                if expr.operand is not None:
+                    walk(expr.operand)
+                for when, then in expr.whens:
+                    walk(when)
+                    walk(then)
+                if expr.default is not None:
+                    walk(expr.default)
+            elif isinstance(expr, ast.InSelect):
+                walk(expr.operand)
+                # The subquery's own columns are validated when it runs.
+
+        for item in items:
+            walk(item.expr)
+        if stmt.where is not None:
+            walk(stmt.where)
+        for group in stmt.group_by:
+            walk(group)
+        if stmt.having is not None:
+            walk(stmt.having)
+        for order in stmt.order_by:
+            walk(order.expr)
+        for ref in refs:
+            if ref.table is not None:
+                if (ref.table.lower(), ref.name.lower()) not in qualified:
+                    raise SqlError(f"no such column: {ref.table}.{ref.name}")
+            elif ref.name.lower() not in known and ref.name.lower() not in aliases:
+                raise SqlError(f"no such column: {ref.name}")
+
+    @staticmethod
+    def _column_label(item: ast.SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ast.ColumnRef):
+            return item.expr.name
+        return f"column{position + 1}"
+
+
+def _resolve_aliases(expr, items):
+    """Rewrite unqualified column refs that name a select-item alias to the
+    item's expression (SQLite allows aliases in HAVING and ORDER BY)."""
+    if isinstance(expr, ast.ColumnRef) and expr.table is None:
+        for item in items:
+            if item.alias is not None and item.alias.lower() == expr.name.lower():
+                return item.expr
+        return expr
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(expr.op, _resolve_aliases(expr.left, items),
+                          _resolve_aliases(expr.right, items))
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _resolve_aliases(expr.operand, items))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_resolve_aliases(expr.operand, items), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            _resolve_aliases(expr.operand, items),
+            tuple(_resolve_aliases(i, items) for i in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            _resolve_aliases(expr.operand, items),
+            _resolve_aliases(expr.low, items),
+            _resolve_aliases(expr.high, items),
+            expr.negated,
+        )
+    return expr
+
+
+def _collect_aggregates(expr, out: list) -> None:
+    if isinstance(expr, ast.FunctionCall):
+        if expr.star or is_aggregate_call(expr.name, len(expr.args)):
+            out.append(expr)
+            return
+        for arg in expr.args:
+            _collect_aggregates(arg, out)
+        return
+    if isinstance(expr, ast.Binary):
+        _collect_aggregates(expr.left, out)
+        _collect_aggregates(expr.right, out)
+    elif isinstance(expr, ast.Unary):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.IsNull):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.InList):
+        _collect_aggregates(expr.operand, out)
+        for item in expr.items:
+            _collect_aggregates(item, out)
+    elif isinstance(expr, ast.Between):
+        _collect_aggregates(expr.operand, out)
+        _collect_aggregates(expr.low, out)
+        _collect_aggregates(expr.high, out)
+    elif isinstance(expr, ast.CaseExpr):
+        if expr.operand is not None:
+            _collect_aggregates(expr.operand, out)
+        for when, then in expr.whens:
+            _collect_aggregates(when, out)
+            _collect_aggregates(then, out)
+        if expr.default is not None:
+            _collect_aggregates(expr.default, out)
+    elif isinstance(expr, ast.InSelect):
+        _collect_aggregates(expr.operand, out)
+
+
+def _normalize_param(value):
+    if value is None:
+        return SqlNull
+    if isinstance(value, (int, float, str, bytes)):
+        return value
+    if isinstance(value, bool):
+        return int(value)
+    raise SqlError(f"unsupported parameter type {type(value).__name__}")
+
+
+def _as_text(value) -> str:
+    return value if isinstance(value, str) else format_value(value)
+
+
+def _hashable(value):
+    return (b"b", value) if isinstance(value, bytes) else value

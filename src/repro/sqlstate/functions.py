@@ -1,0 +1,254 @@
+"""Scalar and aggregate SQL functions.
+
+The non-deterministic ones (``random``, ``randomblob``, ``now``,
+``current_timestamp``) route through the
+:class:`~repro.sqlstate.vfs.VfsEnvironment` hooks, which inside a replica
+are seeded from the primary's agreed non-determinism data — the paper's
+re-implementation of SQLite's OS-dependent functions over PBFT up-calls
+(section 3.2, Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SqlError
+from repro.sqlstate.values import SqlNull, compare, format_value, is_truthy
+
+
+def call_scalar(name: str, args: list, env) -> object:
+    handler = _SCALARS.get(name)
+    if handler is None:
+        raise SqlError(f"no such function: {name}")
+    return handler(args, env)
+
+
+def _fn_length(args, env):
+    (value,) = args
+    if value is SqlNull:
+        return SqlNull
+    if isinstance(value, bytes):
+        return len(value)
+    return len(format_value(value)) if not isinstance(value, str) else len(value)
+
+
+def _fn_upper(args, env):
+    (value,) = args
+    return value.upper() if isinstance(value, str) else value
+
+
+def _fn_lower(args, env):
+    (value,) = args
+    return value.lower() if isinstance(value, str) else value
+
+
+def _fn_abs(args, env):
+    (value,) = args
+    if value is SqlNull:
+        return SqlNull
+    if isinstance(value, (int, float)):
+        return abs(value)
+    raise SqlError("abs() requires a numeric argument")
+
+
+def _fn_coalesce(args, env):
+    for value in args:
+        if value is not SqlNull:
+            return value
+    return SqlNull
+
+def _fn_ifnull(args, env):
+    if len(args) != 2:
+        raise SqlError("ifnull() takes exactly 2 arguments")
+    return _fn_coalesce(args, env)
+
+
+def _fn_hex(args, env):
+    (value,) = args
+    if value is SqlNull:
+        return SqlNull
+    if isinstance(value, bytes):
+        return value.hex().upper()
+    return format_value(value).encode().hex().upper()
+
+
+def _fn_substr(args, env):
+    if len(args) not in (2, 3):
+        raise SqlError("substr() takes 2 or 3 arguments")
+    text = args[0]
+    if text is SqlNull:
+        return SqlNull
+    if not isinstance(text, (str, bytes)):
+        text = format_value(text)
+    start = int(args[1])
+    length = int(args[2]) if len(args) == 3 else None
+    # SQL substr is 1-based; negative counts from the end.
+    if start > 0:
+        begin = start - 1
+    elif start < 0:
+        begin = max(0, len(text) + start)
+    else:
+        begin = 0
+    end = len(text) if length is None else begin + max(0, length)
+    return text[begin:end]
+
+
+def _fn_typeof(args, env):
+    (value,) = args
+    if value is SqlNull:
+        return "null"
+    if isinstance(value, bool) or isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "real"
+    if isinstance(value, str):
+        return "text"
+    return "blob"
+
+
+def _fn_min_scalar(args, env):
+    present = [a for a in args if a is not SqlNull]
+    if not present:
+        return SqlNull
+    best = present[0]
+    for value in present[1:]:
+        if compare(value, best) < 0:
+            best = value
+    return best
+
+
+def _fn_max_scalar(args, env):
+    present = [a for a in args if a is not SqlNull]
+    if not present:
+        return SqlNull
+    best = present[0]
+    for value in present[1:]:
+        if compare(value, best) > 0:
+            best = value
+    return best
+
+
+def _fn_random(args, env):
+    raw = env.random_bytes(8)
+    return int.from_bytes(raw, "big", signed=True)
+
+
+def _fn_randomblob(args, env):
+    (count,) = args
+    return env.random_bytes(max(0, int(count)))
+
+
+def _fn_now(args, env):
+    """Agreed 'current time' in nanoseconds since the epoch."""
+    return env.current_time_ns()
+
+
+_SCALARS = {
+    "length": _fn_length,
+    "upper": _fn_upper,
+    "lower": _fn_lower,
+    "abs": _fn_abs,
+    "coalesce": _fn_coalesce,
+    "ifnull": _fn_ifnull,
+    "hex": _fn_hex,
+    "substr": _fn_substr,
+    "typeof": _fn_typeof,
+    "min": _fn_min_scalar,
+    "max": _fn_max_scalar,
+    "random": _fn_random,
+    "randomblob": _fn_randomblob,
+    "now": _fn_now,
+    "current_timestamp": _fn_now,
+}
+
+NONDETERMINISTIC_FUNCTIONS = frozenset(
+    {"random", "randomblob", "now", "current_timestamp"}
+)
+
+
+class Aggregate:
+    """Incremental aggregate state."""
+
+    def __init__(self, name: str, distinct: bool = False) -> None:
+        if name not in AGGREGATE_NAMES:
+            raise SqlError(f"no such aggregate: {name}")
+        self.name = name
+        self.distinct = distinct
+        self._seen: set = set()
+        self.count = 0
+        self.total = 0.0
+        self.total_is_int = True
+        self.best = None
+
+    def step(self, value) -> None:
+        if value is SqlNull and self.name != "count_star":
+            return
+        if self.distinct:
+            marker = value if not isinstance(value, bytes) else (b"b", value)
+            if marker in self._seen:
+                return
+            self._seen.add(marker)
+        self.count += 1
+        if self.name in ("sum", "avg", "total"):
+            if not isinstance(value, (int, float)):
+                raise SqlError(f"{self.name}() on non-numeric value")
+            if isinstance(value, float):
+                self.total_is_int = False
+            self.total += value
+        elif self.name == "min":
+            if self.best is None or compare(value, self.best) < 0:
+                self.best = value
+        elif self.name == "max":
+            if self.best is None or compare(value, self.best) > 0:
+                self.best = value
+
+    def result(self):
+        if self.name in ("count", "count_star"):
+            return self.count
+        if self.name == "sum":
+            if self.count == 0:
+                return SqlNull
+            return int(self.total) if self.total_is_int else self.total
+        if self.name == "total":
+            return float(self.total)
+        if self.name == "avg":
+            return SqlNull if self.count == 0 else self.total / self.count
+        if self.name in ("min", "max"):
+            return SqlNull if self.best is None else self.best
+        raise SqlError(f"no such aggregate: {self.name}")
+
+
+AGGREGATE_NAMES = frozenset({"count", "count_star", "sum", "avg", "min", "max", "total"})
+
+
+def is_aggregate_call(name: str, arg_count: int) -> bool:
+    """min/max with one argument are aggregates; with several, scalars."""
+    if name in ("count", "sum", "avg", "total"):
+        return True
+    if name in ("min", "max") and arg_count <= 1:
+        return True
+    return False
+
+
+def like_match(pattern: str, text: str) -> bool:
+    """SQL LIKE with % and _, case-insensitive for ASCII (as SQLite)."""
+    def match(p: int, t: int) -> bool:
+        while p < len(pattern):
+            ch = pattern[p]
+            if ch == "%":
+                # Collapse consecutive %.
+                while p + 1 < len(pattern) and pattern[p + 1] == "%":
+                    p += 1
+                if p == len(pattern) - 1:
+                    return True
+                for skip in range(len(text) - t + 1):
+                    if match(p + 1, t + skip):
+                        return True
+                return False
+            if t >= len(text):
+                return False
+            if ch != "_" and pattern[p].lower() != text[t].lower():
+                return False
+            p += 1
+            t += 1
+        return t == len(text)
+
+    return match(0, 0)

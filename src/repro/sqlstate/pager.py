@@ -1,0 +1,237 @@
+"""Page cache and transaction control over a VFS file."""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.common.errors import SqlError
+from repro.sqlstate.journal import RollbackJournal
+from repro.sqlstate.vfs import VfsFile
+
+_DB_MAGIC = b"REPRODB1"
+_HEADER = struct.Struct(">8sIIIII")
+# magic, page_size, page_count, freelist_head, schema_root, schema_version
+HEADER_PAGE = 0
+_FREELIST_NEXT = struct.Struct(">I")
+
+
+class Pager:
+    """Reads, writes, allocates and journals fixed-size pages.
+
+    Transactions: :meth:`begin` / :meth:`commit` / :meth:`rollback`.  With
+    a journal, commit follows the sync-journal → write-db → sync-db →
+    invalidate-journal protocol; without one (the paper's No-ACID
+    configuration) commit just writes through.
+    """
+
+    def __init__(
+        self,
+        file: VfsFile,
+        page_size: int = 4096,
+        journal_file: Optional[VfsFile] = None,
+    ) -> None:
+        if page_size < 512:
+            raise SqlError("page size must be at least 512 bytes")
+        self.file = file
+        self.page_size = page_size
+        self.journal = (
+            RollbackJournal(journal_file, page_size) if journal_file is not None else None
+        )
+        self._cache: dict[int, bytes] = {}
+        self._dirty: set[int] = set()
+        self.in_transaction = False
+        self.page_count = 0
+        self.freelist_head = 0
+        self.schema_root = 0
+        self.schema_version = 0
+        self.commits = 0
+        self.rollbacks = 0
+        self.pages_written = 0
+        self._open()
+
+    # -- open / recover ----------------------------------------------------------
+
+    def _open(self) -> None:
+        if self.journal is not None:
+            self._recover_if_needed()
+        raw = self.file.read(0, _HEADER.size)
+        # A sparse state-region file reports size 0 until written, and a
+        # fresh region is all zeroes — either way, initialize; any other
+        # content must carry the magic.
+        if len(raw) < _HEADER.size or raw == bytes(_HEADER.size):
+            self.page_count = 1
+            self._write_header_to_cache()
+            self._flush_all()
+            return
+        magic, page_size, count, freelist, schema_root, version = _HEADER.unpack(raw)
+        if magic != _DB_MAGIC:
+            raise SqlError("not a repro database file")
+        if page_size != self.page_size:
+            raise SqlError(
+                f"page size mismatch: file has {page_size}, pager opened with "
+                f"{self.page_size}"
+            )
+        self.page_count = count
+        self.freelist_head = freelist
+        self.schema_root = schema_root
+        self.schema_version = version
+
+    def _recover_if_needed(self) -> None:
+        """Roll back a transaction interrupted by a crash.
+
+        "An uncommitted transaction will be rolled back on the next
+        attempt to access the database file" — the paper's durability
+        argument for the SQLite approach.
+        """
+        entries = self.journal.entries()
+        if not entries:
+            return
+        for page_no, original in entries:
+            self.file.write(page_no * self.page_size, original)
+        self.file.sync()
+        self.journal.invalidate()
+        self.recovered = True
+
+    # -- header ------------------------------------------------------------------
+
+    def _header_bytes(self) -> bytes:
+        raw = _HEADER.pack(
+            _DB_MAGIC,
+            self.page_size,
+            self.page_count,
+            self.freelist_head,
+            self.schema_root,
+            self.schema_version,
+        )
+        return raw + bytes(self.page_size - len(raw))
+
+    def _write_header_to_cache(self) -> None:
+        self._journal_original(HEADER_PAGE)
+        self._cache[HEADER_PAGE] = self._header_bytes()
+        self._dirty.add(HEADER_PAGE)
+
+    def set_schema_root(self, page_no: int) -> None:
+        self.schema_root = page_no
+        self._write_header_to_cache()
+
+    def bump_schema_version(self) -> None:
+        self.schema_version += 1
+        self._write_header_to_cache()
+
+    # -- page access ---------------------------------------------------------------
+
+    def get(self, page_no: int) -> bytes:
+        if page_no >= self.page_count or page_no < 0:
+            raise SqlError(f"page {page_no} out of range (count {self.page_count})")
+        cached = self._cache.get(page_no)
+        if cached is not None:
+            return cached
+        raw = self.file.read(page_no * self.page_size, self.page_size)
+        if len(raw) < self.page_size:
+            raw = raw + bytes(self.page_size - len(raw))
+        self._cache[page_no] = raw
+        return raw
+
+    def put(self, page_no: int, data: bytes) -> None:
+        if len(data) != self.page_size:
+            raise SqlError(f"page write of {len(data)} bytes != page size")
+        if page_no >= self.page_count or page_no < 0:
+            raise SqlError(f"page {page_no} out of range")
+        self._journal_original(page_no)
+        self._cache[page_no] = data
+        self._dirty.add(page_no)
+
+    def _journal_original(self, page_no: int) -> None:
+        if self.journal is None or not self.in_transaction:
+            return
+        if self.journal.journaled(page_no):
+            return
+        if page_no >= self._pages_at_begin:
+            return  # page did not exist when the transaction began
+        original = self._cache.get(page_no)
+        if original is None or page_no in self._dirty:
+            raw = self.file.read(page_no * self.page_size, self.page_size)
+            if len(raw) < self.page_size:
+                raw += bytes(self.page_size - len(raw))
+            original = raw
+        self.journal.record(page_no, original)
+
+    # -- allocation -------------------------------------------------------------------
+
+    def allocate(self) -> int:
+        if self.freelist_head:
+            page_no = self.freelist_head
+            raw = self.get(page_no)
+            (next_free,) = _FREELIST_NEXT.unpack_from(raw, 1)
+            self.freelist_head = next_free
+            self._write_header_to_cache()
+            return page_no
+        page_no = self.page_count
+        self.page_count += 1
+        self._cache[page_no] = bytes(self.page_size)
+        self._dirty.add(page_no)
+        self._write_header_to_cache()
+        return page_no
+
+    def free(self, page_no: int) -> None:
+        raw = bytearray(self.page_size)
+        raw[0] = 0xFF  # freelist marker
+        _FREELIST_NEXT.pack_into(raw, 1, self.freelist_head)
+        self.put(page_no, bytes(raw))
+        self.freelist_head = page_no
+        self._write_header_to_cache()
+
+    # -- transactions ---------------------------------------------------------------------
+
+    def begin(self) -> None:
+        if self.in_transaction:
+            raise SqlError("transaction already active")
+        self.in_transaction = True
+        self._pages_at_begin = self.page_count
+
+    def commit(self) -> None:
+        if not self.in_transaction:
+            raise SqlError("no active transaction")
+        if self.journal is not None:
+            self.journal.seal()
+        self._flush_all()
+        self.file.sync()
+        if self.journal is not None:
+            self.journal.invalidate()
+        self.in_transaction = False
+        self.commits += 1
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            raise SqlError("no active transaction")
+        if self.journal is None:
+            raise SqlError(
+                "cannot roll back without a journal (No-ACID mode)"
+            )
+        for page_no, original in self.journal.entries():
+            self.file.write(page_no * self.page_size, original)
+        self.journal.invalidate()
+        self._cache.clear()
+        self._dirty.clear()
+        # Restore header fields from the rolled-back file image.
+        raw = self.file.read(0, _HEADER.size)
+        _magic, _ps, count, freelist, schema_root, version = _HEADER.unpack(raw)
+        self.page_count = count
+        self.freelist_head = freelist
+        self.schema_root = schema_root
+        self.schema_version = version
+        self.in_transaction = False
+        self.rollbacks += 1
+
+    def _flush_all(self) -> None:
+        for page_no in sorted(self._dirty):
+            self.file.write(page_no * self.page_size, self._cache[page_no])
+            self.pages_written += 1
+        self._dirty.clear()
+
+    def crash(self) -> None:
+        """Simulation hook: lose all volatile state (cache, open txn)."""
+        self._cache.clear()
+        self._dirty.clear()
+        self.in_transaction = False

@@ -1,0 +1,168 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "DROP", "TABLE", "INDEX", "UNIQUE", "ON", "IF",
+    "NOT", "EXISTS", "PRIMARY", "KEY", "NULL", "DEFAULT", "AND", "OR",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "GROUP", "AS", "IS",
+    "IN", "LIKE", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "JOIN",
+    "INNER", "LEFT", "CROSS", "BETWEEN", "DISTINCT", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "INTEGER", "TEXT", "REAL", "BLOB", "HAVING",
+    "ALTER", "ADD", "COLUMN",
+}
+# EXISTS is already a keyword (used by IF NOT EXISTS).
+
+T_KEYWORD = "keyword"
+T_IDENT = "ident"
+T_NUMBER = "number"
+T_STRING = "string"
+T_BLOB = "blob"
+T_OP = "op"
+T_PARAM = "param"
+T_EOF = "eof"
+
+_OPERATORS = [
+    "<>", "<=", ">=", "==", "!=", "||",
+    "(", ")", ",", "*", "+", "-", "/", "%", "=", "<", ">", ".", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    value: object = None
+    pos: int = 0
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == T_KEYWORD and self.text == word
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split SQL text into tokens; raises :class:`SqlSyntaxError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated comment")
+            i = end + 2
+            continue
+        if ch == "'":
+            text, i = _read_string(sql, i)
+            tokens.append(Token(T_STRING, text, value=text, pos=i))
+            continue
+        if ch == '"':
+            # Double quotes delimit identifiers.
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier")
+            tokens.append(Token(T_IDENT, sql[i + 1 : end], pos=i))
+            i = end + 1
+            continue
+        if ch in ("x", "X") and i + 1 < n and sql[i + 1] == "'":
+            end = sql.find("'", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated blob literal")
+            hexpart = sql[i + 2 : end]
+            try:
+                blob = bytes.fromhex(hexpart)
+            except ValueError:
+                raise SqlSyntaxError(f"bad blob literal x'{hexpart}'") from None
+            tokens.append(Token(T_BLOB, hexpart, value=blob, pos=i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            text, value, i = _read_number(sql, i)
+            tokens.append(Token(T_NUMBER, text, value=value, pos=i))
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(T_KEYWORD, upper, pos=i))
+            else:
+                tokens.append(Token(T_IDENT, word, pos=i))
+            i = j
+            continue
+        if ch == "?":
+            j = i + 1
+            while j < n and sql[j].isdigit():
+                j += 1
+            index = int(sql[i + 1 : j]) if j > i + 1 else None
+            tokens.append(Token(T_PARAM, sql[i:j], value=index, pos=i))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(T_OP, op, pos=i))
+                i += len(op)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token(T_EOF, "", pos=n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string with '' escaping."""
+    out = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal")
+
+
+def _read_number(sql: str, start: int) -> tuple[str, object, int]:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and sql[i] in "+-":
+                i += 1
+        else:
+            break
+    text = sql[start:i]
+    try:
+        value: object = float(text) if (seen_dot or seen_exp) else int(text)
+    except ValueError:
+        raise SqlSyntaxError(f"bad numeric literal {text!r}") from None
+    return text, value, i

@@ -1,0 +1,153 @@
+"""SQL values: storage classes, comparison and coercion.
+
+Follows SQLite's model: five storage classes (NULL, INTEGER, REAL, TEXT,
+BLOB) with cross-class comparison ordered NULL < numbers < text < blob,
+and column *type affinity* coercing inserted values.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.common.errors import SqlError
+
+
+class _Null:
+    """Singleton SQL NULL (distinct from Python None in user data)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+SqlNull = _Null()
+
+SqlValue = Union[_Null, int, float, str, bytes]
+
+# Storage class ranks for cross-class ordering.
+_RANK_NULL = 0
+_RANK_NUMBER = 1
+_RANK_TEXT = 2
+_RANK_BLOB = 3
+
+
+def storage_rank(value: SqlValue) -> int:
+    if value is SqlNull:
+        return _RANK_NULL
+    if isinstance(value, bool):
+        return _RANK_NUMBER
+    if isinstance(value, (int, float)):
+        return _RANK_NUMBER
+    if isinstance(value, str):
+        return _RANK_TEXT
+    if isinstance(value, bytes):
+        return _RANK_BLOB
+    raise SqlError(f"unsupported value type {type(value).__name__}")
+
+
+def compare(a: SqlValue, b: SqlValue) -> int:
+    """Three-way compare with SQLite's cross-class ordering.
+
+    NULLs compare equal to each other here (useful for ORDER BY); the
+    executor handles NULL semantics for WHERE separately.
+    """
+    ra, rb = storage_rank(a), storage_rank(b)
+    if ra != rb:
+        return -1 if ra < rb else 1
+    if ra == _RANK_NULL:
+        return 0
+    if a < b:  # type: ignore[operator]
+        return -1
+    if a > b:  # type: ignore[operator]
+        return 1
+    return 0
+
+
+def is_truthy(value: SqlValue) -> bool:
+    """SQL boolean context: NULL and 0 are false."""
+    if value is SqlNull:
+        return False
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        try:
+            return float(value) != 0
+        except ValueError:
+            return False
+    return bool(value)
+
+
+# -- type affinity -------------------------------------------------------------
+
+AFF_INTEGER = "INTEGER"
+AFF_REAL = "REAL"
+AFF_TEXT = "TEXT"
+AFF_BLOB = "BLOB"
+AFF_NUMERIC = "NUMERIC"
+
+
+def affinity_of(declared_type: str) -> str:
+    """SQLite's affinity rules, abridged."""
+    upper = declared_type.upper()
+    if "INT" in upper:
+        return AFF_INTEGER
+    if any(token in upper for token in ("CHAR", "CLOB", "TEXT")):
+        return AFF_TEXT
+    if "BLOB" in upper or not upper:
+        return AFF_BLOB
+    if any(token in upper for token in ("REAL", "FLOA", "DOUB")):
+        return AFF_REAL
+    return AFF_NUMERIC
+
+
+def apply_affinity(value: SqlValue, affinity: str) -> SqlValue:
+    """Coerce ``value`` per column affinity on insert/update."""
+    if value is SqlNull or isinstance(value, bytes):
+        return value
+    if affinity == AFF_INTEGER or affinity == AFF_NUMERIC:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                as_float = float(value)
+            except ValueError:
+                return value
+            return int(as_float) if as_float.is_integer() else as_float
+        return value
+    if affinity == AFF_REAL:
+        if isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                return value
+        return value
+    if affinity == AFF_TEXT:
+        if isinstance(value, (int, float)):
+            return format_value(value)
+        return value
+    return value
+
+
+def format_value(value: SqlValue) -> str:
+    """Render a value the way SQLite's text conversion would."""
+    if value is SqlNull:
+        return "NULL"
+    if isinstance(value, float):
+        text = repr(value)
+        return text
+    if isinstance(value, bytes):
+        return value.hex()
+    return str(value)

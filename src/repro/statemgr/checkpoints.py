@@ -1,0 +1,85 @@
+"""Numbered state snapshots and their stabilization lifecycle.
+
+PBFT takes a checkpoint every K executed requests.  A checkpoint becomes
+*stable* once a replica holds 2f+1 matching checkpoint messages, at which
+point the message log below it can be garbage collected and the low/high
+watermarks advance (paper section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import StateError
+
+
+@dataclass
+class Checkpoint:
+    """A copy-on-write snapshot of the state at sequence number ``seq``."""
+
+    seq: int
+    root: bytes
+    pages: list[bytes]
+    tree_nodes: list[bytes]
+    proof: dict[int, bytes] = field(default_factory=dict)  # replica -> claimed root
+    # Library bookkeeping snapshotted with the state (conceptually part of
+    # the library partition pages): per-client execution watermarks etc.
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def stable_votes(self) -> int:
+        return len(self.proof)
+
+
+class CheckpointStore:
+    """Holds recent checkpoints; tracks the latest stable one."""
+
+    def __init__(self, quorum: int, max_kept: int = 4) -> None:
+        if quorum <= 0:
+            raise StateError("checkpoint quorum must be positive")
+        self.quorum = quorum
+        self.max_kept = max_kept
+        self._by_seq: dict[int, Checkpoint] = {}
+        self.stable_seq: int = 0
+        self.stable_root: bytes | None = None
+
+    def add(self, checkpoint: Checkpoint) -> None:
+        self._by_seq[checkpoint.seq] = checkpoint
+        self._trim()
+
+    def get(self, seq: int) -> Checkpoint | None:
+        return self._by_seq.get(seq)
+
+    def latest(self) -> Checkpoint | None:
+        if not self._by_seq:
+            return None
+        return self._by_seq[max(self._by_seq)]
+
+    def latest_stable(self) -> Checkpoint | None:
+        return self._by_seq.get(self.stable_seq)
+
+    def record_vote(self, seq: int, replica: int, root: bytes) -> bool:
+        """Record one replica's checkpoint message; returns True when the
+        local checkpoint at ``seq`` just became stable."""
+        checkpoint = self._by_seq.get(seq)
+        if checkpoint is None:
+            return False
+        if root != checkpoint.root:
+            return False  # divergent claim; never counts toward stability
+        already_stable = seq <= self.stable_seq and self.stable_root is not None
+        checkpoint.proof[replica] = root
+        if checkpoint.stable_votes >= self.quorum and seq > self.stable_seq:
+            self.stable_seq = seq
+            self.stable_root = checkpoint.root
+            self._trim()
+            return not already_stable
+        return False
+
+    def _trim(self) -> None:
+        # Keep the stable checkpoint plus the most recent max_kept.
+        seqs = sorted(self._by_seq)
+        keep = set(seqs[-self.max_kept :])
+        keep.add(self.stable_seq)
+        for seq in seqs:
+            if seq not in keep and seq < self.stable_seq:
+                del self._by_seq[seq]

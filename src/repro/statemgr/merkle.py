@@ -1,0 +1,78 @@
+"""Incremental Merkle tree over page digests.
+
+Stored as a flat array binary heap of digests: node 1 is the root, node i's
+children are 2i and 2i+1, and the leaves (padded to a power of two) start
+at index ``leaf_base``.  Updating one leaf re-hashes only its root path —
+O(log n) digests per modified page, which is what makes per-checkpoint
+root computation cheap when few pages changed.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import StateError
+from repro.crypto.digests import digest_parts, md5_digest
+
+_EMPTY_LEAF = md5_digest(b"repro.merkle.empty-leaf")
+
+
+class MerkleTree:
+    """A fixed-capacity hash tree keyed by leaf index."""
+
+    def __init__(self, num_leaves: int) -> None:
+        if num_leaves <= 0:
+            raise StateError("merkle tree needs at least one leaf")
+        self.num_leaves = num_leaves
+        capacity = 1
+        while capacity < num_leaves:
+            capacity *= 2
+        self.capacity = capacity
+        self.leaf_base = capacity
+        self._nodes: list[bytes] = [b""] * (2 * capacity)
+        for i in range(capacity):
+            self._nodes[self.leaf_base + i] = _EMPTY_LEAF
+        for i in range(capacity - 1, 0, -1):
+            self._nodes[i] = digest_parts((self._nodes[2 * i], self._nodes[2 * i + 1]))
+        self.digests_computed = 0  # instrumentation for efficiency tests
+
+    def update_leaf(self, index: int, digest: bytes) -> None:
+        """Set leaf ``index`` and re-hash its path to the root."""
+        if not 0 <= index < self.num_leaves:
+            raise StateError(f"leaf index {index} out of range 0..{self.num_leaves - 1}")
+        node = self.leaf_base + index
+        if self._nodes[node] == digest:
+            return
+        self._nodes[node] = digest
+        node //= 2
+        while node >= 1:
+            self._nodes[node] = digest_parts(
+                (self._nodes[2 * node], self._nodes[2 * node + 1])
+            )
+            self.digests_computed += 1
+            node //= 2
+
+    def leaf(self, index: int) -> bytes:
+        if not 0 <= index < self.num_leaves:
+            raise StateError(f"leaf index {index} out of range")
+        return self._nodes[self.leaf_base + index]
+
+    def node(self, node_index: int) -> bytes:
+        """Raw node access (1-based heap index) — used by the tree walk."""
+        if not 1 <= node_index < 2 * self.capacity:
+            raise StateError(f"node index {node_index} out of range")
+        return self._nodes[node_index]
+
+    @property
+    def root(self) -> bytes:
+        return self._nodes[1]
+
+    def snapshot_nodes(self) -> list[bytes]:
+        """An immutable copy of all nodes (used by checkpoints)."""
+        return list(self._nodes)
+
+    @classmethod
+    def from_snapshot(cls, num_leaves: int, nodes: list[bytes]) -> "MerkleTree":
+        tree = cls(num_leaves)
+        if len(nodes) != len(tree._nodes):
+            raise StateError("snapshot size does not match tree capacity")
+        tree._nodes = list(nodes)
+        return tree

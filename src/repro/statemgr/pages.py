@@ -1,0 +1,159 @@
+"""The paged state region with the notify-before-modify contract."""
+
+from __future__ import annotations
+
+from repro.common.errors import StateError
+from repro.crypto.digests import md5_digest
+from repro.statemgr.merkle import MerkleTree
+
+
+class PagedState:
+    """A continuous memory region divided into equal-length pages.
+
+    Pages are held as immutable ``bytes`` objects, which makes copy-on-write
+    checkpointing free: a snapshot is a shallow copy of the page list, and a
+    later write replaces the page object rather than mutating it.
+
+    The PBFT contract (paper section 3.2): the application "has free read
+    access to it, but is required to notify the library before making
+    changes to any region".  :meth:`write` enforces this — an unnotified
+    write raises :class:`~repro.common.errors.StateError` instead of
+    silently corrupting checkpoints, turning the paper's "havoc" into a
+    detectable bug.
+    """
+
+    def __init__(self, num_pages: int, page_size: int) -> None:
+        if num_pages <= 0 or page_size <= 0:
+            raise StateError("num_pages and page_size must be positive")
+        self.num_pages = num_pages
+        self.page_size = page_size
+        self.size = num_pages * page_size
+        zero_page = bytes(page_size)
+        self._pages: list[bytes] = [zero_page] * num_pages
+        self._tree = MerkleTree(num_pages)
+        zero_digest = md5_digest(zero_page)
+        for i in range(num_pages):
+            self._tree.update_leaf(i, zero_digest)
+        self._notified: set[int] = set()
+        self._dirty: set[int] = set()
+        self.writes = 0
+
+    # -- the application-facing contract -------------------------------------
+
+    def modify(self, offset: int, length: int) -> None:
+        """Notify the library that ``[offset, offset+length)`` may change."""
+        if length < 0:
+            raise StateError("modify length must be non-negative")
+        self._check_range(offset, length)
+        if length == 0:
+            return
+        first = offset // self.page_size
+        last = (offset + length - 1) // self.page_size
+        self._notified.update(range(first, last + 1))
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read bytes; always allowed."""
+        self._check_range(offset, length)
+        if length == 0:
+            return b""
+        out = []
+        remaining = length
+        pos = offset
+        while remaining > 0:
+            page_index, in_page = divmod(pos, self.page_size)
+            take = min(remaining, self.page_size - in_page)
+            out.append(self._pages[page_index][in_page : in_page + take])
+            pos += take
+            remaining -= take
+        return b"".join(out)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write bytes; every touched page must have been notified."""
+        self._check_range(offset, len(data))
+        if not data:
+            return
+        first = offset // self.page_size
+        last = (offset + len(data) - 1) // self.page_size
+        unnotified = [p for p in range(first, last + 1) if p not in self._notified]
+        if unnotified:
+            raise StateError(
+                f"write to pages {unnotified} without a prior modify() "
+                "notification — this is the misbehaviour the paper warns "
+                "would corrupt PBFT state synchronization (section 3.2)"
+            )
+        self.writes += 1
+        pos = offset
+        remaining = memoryview(data)
+        while len(remaining) > 0:
+            page_index, in_page = divmod(pos, self.page_size)
+            take = min(len(remaining), self.page_size - in_page)
+            old = self._pages[page_index]
+            new = old[:in_page] + bytes(remaining[:take]) + old[in_page + take :]
+            self._pages[page_index] = new
+            self._dirty.add(page_index)
+            pos += take
+            remaining = remaining[take:]
+
+    # -- library-side operations ----------------------------------------------
+
+    def refresh_tree(self) -> bytes:
+        """Re-digest dirty pages into the Merkle tree; return the root."""
+        for page_index in sorted(self._dirty):
+            self._tree.update_leaf(page_index, md5_digest(self._pages[page_index]))
+        self._dirty.clear()
+        return self._tree.root
+
+    def end_of_execution(self) -> None:
+        """Reset the per-request notification window.
+
+        The library calls this after each request executes; a page notified
+        during one request must be re-notified before the next request may
+        write it.
+        """
+        self._notified.clear()
+
+    @property
+    def root(self) -> bytes:
+        """Current Merkle root (dirty pages are folded in first)."""
+        return self.refresh_tree()
+
+    @property
+    def tree(self) -> MerkleTree:
+        self.refresh_tree()
+        return self._tree
+
+    def page(self, index: int) -> bytes:
+        if not 0 <= index < self.num_pages:
+            raise StateError(f"page index {index} out of range")
+        return self._pages[index]
+
+    def install_page(self, index: int, data: bytes) -> None:
+        """State transfer: overwrite a whole page, bypassing notifications."""
+        if len(data) != self.page_size:
+            raise StateError(
+                f"page data must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        if not 0 <= index < self.num_pages:
+            raise StateError(f"page index {index} out of range")
+        self._pages[index] = data
+        self._dirty.add(index)
+
+    def snapshot_pages(self) -> list[bytes]:
+        """Copy-on-write snapshot: O(num_pages) references, zero data copies."""
+        self.refresh_tree()
+        return list(self._pages)
+
+    def restore(self, pages: list[bytes]) -> None:
+        """Roll the whole region back to a snapshot."""
+        if len(pages) != self.num_pages:
+            raise StateError("snapshot page count mismatch")
+        self._pages = list(pages)
+        self._dirty = set(range(self.num_pages))
+        self._notified.clear()
+        self.refresh_tree()
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise StateError(
+                f"range [{offset}, {offset + length}) outside state of size {self.size}"
+            )

@@ -1,0 +1,100 @@
+"""Byzantine behaviour beyond crashes: equivocation and forgery."""
+
+from repro.common.units import MILLISECOND, SECOND
+from repro.crypto.mac import MacKey
+from repro.pbft.cluster import build_cluster
+from repro.pbft.config import PbftConfig
+from repro.pbft.messages import PrePrepare, Request
+from repro.pbft.node import AUTH_VECTOR, Envelope, replica_address
+from repro.crypto.authenticators import make_authenticator
+
+
+def make_cluster(**overrides):
+    options = dict(
+        num_clients=3,
+        checkpoint_interval=8,
+        log_window=16,
+        view_change_timeout_ns=200 * MILLISECOND,
+    )
+    options.update(overrides)
+    return build_cluster(PbftConfig(**options), seed=71)
+
+
+def test_equivocating_primary_is_deposed():
+    """A primary that assigns two different batches to the same sequence
+    number is detected by the conflicting-pre-prepare check and deposed."""
+    cluster = make_cluster()
+    cluster.invoke_and_wait(cluster.clients[0], b"\x00warm")
+    primary = cluster.replicas[0]
+
+    # Craft two conflicting pre-prepares for the same (view, seq).  The
+    # bodies are seeded at every replica (as if the client multicast
+    # them), so the surviving batch can execute after the view change.
+    req_a = Request(client=1000, req_id=99, op=b"\x00A", big=True)
+    req_b = Request(client=1000, req_id=99, op=b"\x00B", big=True)
+    for replica in cluster.replicas:
+        replica.reqstore.add(req_a)
+        replica.reqstore.add(req_b)
+    seq = primary.next_seq + 1
+    primary.next_seq = seq
+    pp_a = PrePrepare(view=0, seq=seq, request_digests=(req_a.digest,), sender=0)
+    pp_b = PrePrepare(view=0, seq=seq, request_digests=(req_b.digest,), sender=0)
+    # Backups 1 and 2 get version A; backup 3 gets version B.
+    primary.send_to_replica(1, pp_a)
+    primary.send_to_replica(2, pp_a)
+    primary.send_to_replica(3, pp_b)
+    cluster.run_for(2 * SECOND)
+
+    # The conflicting assignment surfaces: prepares for A reach replica 3,
+    # whose pre-prepare says B — someone starts a view change and the
+    # group leaves view 0.
+    views = {r.view for r in cluster.replicas}
+    assert max(views) >= 1
+    # Service continues under the new primary.
+    result = cluster.invoke_and_wait(
+        cluster.clients[1], b"\x00after-equivocation", max_wait_ns=5 * SECOND
+    )
+    assert len(result) == 1024
+
+
+def test_forged_client_authenticator_rejected():
+    cluster = make_cluster()
+    replica = cluster.replicas[1]
+    real_client = cluster.clients[0]
+    forged_key = MacKey(b"\xee" * 16)  # not the session key
+    request = Request(client=real_client.node_id, req_id=5, op=b"\x00forged", big=True)
+    auth = make_authenticator({rid: forged_key for rid in range(4)}, request.auth_bytes())
+    env = Envelope(request, AUTH_VECTOR, auth, "client", real_client.node_id)
+    real_client.socket.send(replica_address(1), env, env.size, "forged")
+    cluster.run_for(int(0.2 * SECOND))
+    assert replica.auth_failures >= 1
+    assert replica.stats["requests_executed"] == 0
+
+
+def test_replayed_old_request_not_reexecuted():
+    """At-most-once execution: replaying a client's old (executed) request
+    yields the cached reply, never a second execution."""
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    cluster.invoke_and_wait(client, b"\x00first")
+    cluster.invoke_and_wait(client, b"\x00second")
+    executed = cluster.replicas[1].stats["requests_executed"]
+    old_request = Request(client=client.node_id, req_id=1, op=b"\x00first", big=True)
+    client.broadcast_to_replicas(old_request)
+    cluster.run_for(int(0.3 * SECOND))
+    assert cluster.replicas[1].stats["requests_executed"] == executed
+
+
+def test_f_crash_faults_tolerated_but_f_plus_one_not():
+    cluster = make_cluster()
+    cluster.invoke_and_wait(cluster.clients[0], b"\x00base")
+    cluster.replicas[3].crash()  # f = 1 fault: fine
+    result = cluster.invoke_and_wait(cluster.clients[0], b"\x00with-one-down",
+                                     max_wait_ns=5 * SECOND)
+    assert len(result) == 1024
+    cluster.replicas[2].crash()  # second fault: liveness is gone
+    client = cluster.clients[1]
+    client.invoke(b"\x00doomed")
+    cluster.run_for(3 * SECOND)
+    assert client.pending is not None  # never completes
+    client.cancel_pending()

@@ -1,0 +1,73 @@
+"""Checkpointing, log GC, and watermark behaviour on the cluster."""
+
+from repro.common.units import SECOND
+from repro.pbft.cluster import build_cluster
+from repro.pbft.config import PbftConfig
+
+
+def make_cluster(**overrides):
+    options = dict(num_clients=4, checkpoint_interval=8, log_window=16)
+    options.update(overrides)
+    return build_cluster(PbftConfig(**options), seed=61, real_crypto=False)
+
+
+def run_ops(cluster, count):
+    for i in range(count):
+        cluster.invoke_and_wait(cluster.clients[i % 4], bytes([0]) + i.to_bytes(4, "big"))
+
+
+def test_checkpoints_taken_at_interval():
+    cluster = make_cluster()
+    run_ops(cluster, 20)
+    for replica in cluster.replicas:
+        assert replica.stats["checkpoints_taken"] >= 2
+
+
+def test_stable_checkpoint_advances_watermarks_and_gcs_log():
+    cluster = make_cluster()
+    run_ops(cluster, 20)
+    cluster.run_for(1 * SECOND)
+    for replica in cluster.replicas:
+        assert replica.checkpoints.stable_seq >= 8
+        assert replica.log.low_watermark == replica.checkpoints.stable_seq
+        assert all(s > replica.log.low_watermark for s in replica.log.slots)
+        # The execution journal is bounded by the stable checkpoint.
+        assert all(s > replica.checkpoints.stable_seq for s in replica.exec_journal)
+
+
+def test_checkpoint_roots_agree_across_replicas():
+    cluster = make_cluster()
+    run_ops(cluster, 25)
+    cluster.run_for(1 * SECOND)
+    stable = min(r.checkpoints.stable_seq for r in cluster.replicas)
+    roots = {r.checkpoints.get(stable).root for r in cluster.replicas if r.checkpoints.get(stable)}
+    assert len(roots) == 1
+
+
+def test_progress_beyond_many_checkpoint_cycles():
+    cluster = make_cluster()
+    payload = bytes(64)
+    done = []
+
+    def loop(client):
+        def cb(_r, _l):
+            done.append(1)
+            client.invoke(payload, callback=cb)
+        client.invoke(payload, callback=cb)
+
+    for client in cluster.clients:
+        loop(client)
+    cluster.run_for(2 * SECOND)
+    cluster.stop_clients()
+    # Thousands of requests means hundreds of checkpoint cycles at K=8.
+    assert len(done) > 1000
+    assert all(r.stats["checkpoints_stabilized"] > 50 for r in cluster.replicas)
+
+
+def test_request_bodies_gcd_after_stability():
+    cluster = make_cluster()
+    run_ops(cluster, 30)
+    cluster.run_for(1 * SECOND)
+    for replica in cluster.replicas:
+        # Only bodies for live (post-watermark) slots are retained.
+        assert len(replica.reqstore.by_digest) < 30

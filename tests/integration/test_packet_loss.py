@@ -1,0 +1,107 @@
+"""UDP packet loss vs the big-request optimization (paper section 2.4)."""
+
+from repro.common.units import SECOND
+from repro.harness.experiments import run_packet_loss_experiment
+from repro.net.fabric import DropRule, LinkSpec, NetworkConfig
+from repro.pbft.cluster import build_cluster
+from repro.pbft.config import PbftConfig
+
+
+def test_big_request_body_loss_wedges_exactly_one_replica():
+    """'The replica that missed the request body will be unable to
+    execute, and will be stuck at this point until the next checkpoint
+    arrives and the recovery process kicks in.'"""
+    result = run_packet_loss_experiment(all_big=True)
+    assert result.wedged_replicas == [3]
+    assert result.wedge_duration_ns is not None and result.wedge_duration_ns > 0
+    assert result.state_transfers >= 1
+    assert result.all_caught_up
+
+
+def test_non_big_loss_healed_by_client_retransmission():
+    """'The client will timeout and retransmit the request, resulting in a
+    request execution workflow where either all or no replica at all
+    participates.'"""
+    result = run_packet_loss_experiment(all_big=False)
+    assert result.wedged_replicas == []
+    assert result.state_transfers == 0
+    assert result.client_retransmissions >= 1
+    assert result.all_caught_up
+    assert result.completed_ops > 1000
+
+
+def test_wedged_replica_recovers_via_checkpoint_state_transfer():
+    result = run_packet_loss_experiment(all_big=True)
+    # The wedge lasts roughly one checkpoint interval of traffic, then the
+    # tree-walk transfer brings the replica forward.
+    assert result.state_transfers >= 1
+    assert result.completed_ops > 1000  # service kept running throughout
+
+
+def test_replica_to_replica_preprepare_loss_also_interrupts_one_replica():
+    """'Even in this case, a replica-to-replica packet loss would again
+    result in interruption of service for one of the replicas.'"""
+    config = PbftConfig(
+        big_request_threshold=0, checkpoint_interval=32, log_window=64, num_clients=4
+    )
+    cluster = build_cluster(config, seed=17, real_crypto=False)
+    cluster.fabric.add_drop_rule(
+        DropRule(
+            lambda p: p.kind == "PrePrepare" and p.dst[0] == "replica2",
+            count=1,
+            name="drop-preprepare",
+        )
+    )
+    payload = bytes(512)
+
+    def loop(client):
+        def done(_r, _l):
+            client.invoke(payload, callback=done)
+        client.invoke(payload, callback=done)
+
+    for client in cluster.clients:
+        loop(client)
+    cluster.run_for(3 * SECOND)
+    cluster.stop_clients()
+    victim = cluster.replicas[2]
+    # The victim misses one slot's pre-prepare; since it holds the bodies,
+    # the periodic status gossip heals it with a retransmitted certificate
+    # (or, at worst, the next checkpoint transfer does).
+    max_exec = max(r.last_exec for r in cluster.replicas)
+    assert max_exec - victim.last_exec <= config.checkpoint_interval
+    assert cluster.total_completed() > 1000  # the group never stalled
+
+
+def test_sustained_random_loss_still_makes_progress():
+    """Byzantine-fault-as-packet-loss: the middleware survives a lossy
+    network, at a robustness cost (recoveries), not a safety cost."""
+    from repro.common.units import MILLISECOND
+
+    config = PbftConfig(
+        big_request_threshold=None,  # the robust configuration
+        checkpoint_interval=32,
+        log_window=64,
+        num_clients=4,
+        client_retransmit_ns=40 * MILLISECOND,
+    )
+    net = NetworkConfig(default_link=LinkSpec(loss_probability=0.01))
+    cluster = build_cluster(config, seed=19, real_crypto=False, net_config=net)
+    payload = bytes(256)
+
+    def loop(client):
+        def done(_r, _l):
+            client.invoke(payload, callback=done)
+        client.invoke(payload, callback=done)
+
+    for client in cluster.clients:
+        loop(client)
+    cluster.run_for(3 * SECOND)
+    cluster.stop_clients()
+    assert cluster.total_completed() > 500
+    live_roots = set()
+    stable = min(r.checkpoints.stable_seq for r in cluster.replicas)
+    for replica in cluster.replicas:
+        cp = replica.checkpoints.get(stable)
+        if cp:
+            live_roots.add(cp.root)
+    assert len(live_roots) == 1

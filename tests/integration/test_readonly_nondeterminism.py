@@ -1,0 +1,64 @@
+"""Read-only execution vs non-determinism: a pitfall the design implies.
+
+Read-only requests execute immediately at each replica (paper section
+2.1), *outside* the agreement protocol — so there is no agreed
+non-determinism data.  A read-only operation whose result depends on
+``now()`` or ``random()`` therefore produces divergent replies and can
+never assemble a quorum; the same operation through the ordered path works
+fine.  This is the section 2.5 / 3.3.1 tension in miniature: anything
+non-deterministic must flow through agreement.
+"""
+
+from repro.apps.sqlapp import SqlApplication, decode_rows_reply, encode_sql_op
+from repro.common.units import SECOND
+from repro.pbft.cluster import build_cluster
+from repro.pbft.config import PbftConfig
+
+SCHEMA = "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT);"
+
+
+def make_cluster():
+    return build_cluster(
+        PbftConfig(num_clients=2, checkpoint_interval=8, log_window=16),
+        seed=137,
+        app_factory=lambda: SqlApplication(schema_sql=SCHEMA),
+        # Replicas with skewed clocks make the divergence concrete.
+        clock_skew_ns=5_000_000,
+    )
+
+
+def test_nondeterministic_readonly_cannot_reach_quorum():
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    op = encode_sql_op("SELECT now()")
+    client.invoke(op, readonly=True)
+    cluster.run_for(1 * SECOND)
+    # Four different clocks → four different results → no 2f+1 agreement.
+    assert client.pending is not None
+    votes = client.pending.votes
+    assert len(votes) >= 2  # genuinely divergent replies arrived
+    client.cancel_pending()
+
+
+def test_same_operation_through_agreement_works():
+    cluster = make_cluster()
+    reply = cluster.invoke_and_wait(cluster.clients[0], encode_sql_op("SELECT now()"))
+    rows = decode_rows_reply(reply)
+    assert len(rows) == 1
+    # Completion itself proves agreement: f+1 replicas returned the same
+    # timestamp — the primary's, carried in the pre-prepare (which may be
+    # negative here: the primary's skewed clock started below zero).
+    assert isinstance(rows[0][0], int)
+
+
+def test_deterministic_readonly_is_fine():
+    cluster = make_cluster()
+    cluster.invoke_and_wait(
+        cluster.clients[0], encode_sql_op("INSERT INTO t (v) VALUES ('x')")
+    )
+    rows = decode_rows_reply(
+        cluster.invoke_and_wait(
+            cluster.clients[1], encode_sql_op("SELECT COUNT(*) FROM t"), readonly=True
+        )
+    )
+    assert rows == [(1,)]

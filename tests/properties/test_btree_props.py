@@ -1,0 +1,85 @@
+"""Property tests: the B+tree behaves like a sorted dict."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlstate.btree import BTree
+from repro.sqlstate.pager import Pager
+from repro.sqlstate.vfs import MemoryVfsFile
+
+keys = st.binary(min_size=1, max_size=24)
+values = st.binary(max_size=48)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, values),
+        st.tuples(st.just("delete"), keys, st.just(b"")),
+    ),
+    max_size=150,
+)
+
+
+def fresh_tree():
+    pager = Pager(MemoryVfsFile(), page_size=512)
+    pager.begin()
+    return BTree.create(pager)
+
+
+@given(ops=operations)
+@settings(max_examples=50, deadline=None)
+def test_matches_dict_model(ops):
+    tree = fresh_tree()
+    model: dict[bytes, bytes] = {}
+    for op, key, value in ops:
+        if op == "insert":
+            tree.insert(key, value)
+            model[key] = value
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    for key, value in model.items():
+        assert tree.get(key) == value
+    assert tree.count() == len(model)
+
+
+@given(ops=operations)
+@settings(max_examples=50, deadline=None)
+def test_scan_yields_sorted_unique_keys(ops):
+    tree = fresh_tree()
+    model: dict[bytes, bytes] = {}
+    for op, key, value in ops:
+        if op == "insert":
+            tree.insert(key, value)
+            model[key] = value
+        else:
+            tree.delete(key)
+            model.pop(key, None)
+    scanned = [key for key, _value in tree.scan()]
+    assert scanned == sorted(model)
+
+
+@given(
+    entries=st.dictionaries(keys, values, max_size=80),
+    start=keys,
+)
+@settings(max_examples=50, deadline=None)
+def test_scan_from_start_key(entries, start):
+    tree = fresh_tree()
+    for key, value in entries.items():
+        tree.insert(key, value)
+    scanned = [key for key, _value in tree.scan(start_key=start)]
+    assert scanned == sorted(k for k in entries if k >= start)
+
+
+@given(entries=st.dictionaries(keys, values, min_size=1, max_size=120))
+@settings(max_examples=30, deadline=None)
+def test_persistence_roundtrip(entries):
+    file = MemoryVfsFile()
+    pager = Pager(file, page_size=512)
+    pager.begin()
+    tree = BTree.create(pager)
+    for key, value in entries.items():
+        tree.insert(key, value)
+    pager.commit()
+    reopened = BTree(Pager(file, page_size=512), tree.root_page)
+    for key, value in entries.items():
+        assert reopened.get(key) == value

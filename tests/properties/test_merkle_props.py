@@ -1,0 +1,72 @@
+"""Property tests: the incremental Merkle tree equals a from-scratch build."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.digests import md5_digest
+from repro.statemgr.merkle import MerkleTree
+
+leaf_updates = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=31), st.binary(max_size=32)),
+    max_size=40,
+)
+
+
+@given(updates=leaf_updates)
+@settings(max_examples=60)
+def test_incremental_equals_rebuild(updates):
+    incremental = MerkleTree(32)
+    final: dict[int, bytes] = {}
+    for leaf, data in updates:
+        digest = md5_digest(data)
+        incremental.update_leaf(leaf, digest)
+        final[leaf] = digest
+    rebuilt = MerkleTree(32)
+    for leaf, digest in final.items():
+        rebuilt.update_leaf(leaf, digest)
+    assert incremental.root == rebuilt.root
+
+
+@given(updates=leaf_updates)
+@settings(max_examples=60)
+def test_update_order_is_irrelevant(updates):
+    final: dict[int, bytes] = {}
+    for leaf, data in updates:
+        final[leaf] = md5_digest(data)
+    forward = MerkleTree(32)
+    backward = MerkleTree(32)
+    items = sorted(final.items())
+    for leaf, digest in items:
+        forward.update_leaf(leaf, digest)
+    for leaf, digest in reversed(items):
+        backward.update_leaf(leaf, digest)
+    assert forward.root == backward.root
+
+
+@given(
+    updates=leaf_updates,
+    extra_leaf=st.integers(min_value=0, max_value=31),
+    extra=st.binary(min_size=1, max_size=8),
+)
+@settings(max_examples=60)
+def test_any_leaf_change_changes_root(updates, extra_leaf, extra):
+    tree = MerkleTree(32)
+    for leaf, data in updates:
+        tree.update_leaf(leaf, md5_digest(data))
+    before = tree.root
+    old = tree.leaf(extra_leaf)
+    new = md5_digest(old + extra)
+    if new != old:
+        tree.update_leaf(extra_leaf, new)
+        assert tree.root != before
+
+
+@given(updates=leaf_updates)
+@settings(max_examples=30)
+def test_snapshot_roundtrip_preserves_everything(updates):
+    tree = MerkleTree(32)
+    for leaf, data in updates:
+        tree.update_leaf(leaf, md5_digest(data))
+    restored = MerkleTree.from_snapshot(32, tree.snapshot_nodes())
+    assert restored.root == tree.root
+    for leaf in range(32):
+        assert restored.leaf(leaf) == tree.leaf(leaf)

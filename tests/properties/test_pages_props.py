@@ -1,0 +1,64 @@
+"""Property tests: the paged state region behaves like a big bytearray."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.statemgr.pages import PagedState
+
+NUM_PAGES, PAGE_SIZE = 8, 64
+SIZE = NUM_PAGES * PAGE_SIZE
+
+writes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=SIZE - 1),
+        st.binary(min_size=1, max_size=48),
+    ),
+    max_size=30,
+)
+
+
+@given(ops=writes)
+@settings(max_examples=80)
+def test_matches_bytearray_model(ops):
+    state = PagedState(NUM_PAGES, PAGE_SIZE)
+    model = bytearray(SIZE)
+    for offset, data in ops:
+        data = data[: SIZE - offset]
+        state.modify(offset, len(data))
+        state.write(offset, data)
+        model[offset : offset + len(data)] = data
+    assert state.read(0, SIZE) == bytes(model)
+
+
+@given(ops=writes)
+@settings(max_examples=60)
+def test_same_content_same_root(ops):
+    def build():
+        state = PagedState(NUM_PAGES, PAGE_SIZE)
+        for offset, data in ops:
+            data = data[: SIZE - offset]
+            state.modify(offset, len(data))
+            state.write(offset, data)
+        return state
+
+    assert build().refresh_tree() == build().refresh_tree()
+
+
+@given(ops=writes, extra=writes)
+@settings(max_examples=40)
+def test_restore_is_exact(ops, extra):
+    state = PagedState(NUM_PAGES, PAGE_SIZE)
+    for offset, data in ops:
+        data = data[: SIZE - offset]
+        state.modify(offset, len(data))
+        state.write(offset, data)
+    snapshot = state.snapshot_pages()
+    root = state.refresh_tree()
+    content = state.read(0, SIZE)
+    state.end_of_execution()
+    for offset, data in extra:
+        data = data[: SIZE - offset]
+        state.modify(offset, len(data))
+        state.write(offset, data)
+    state.restore(snapshot)
+    assert state.read(0, SIZE) == content
+    assert state.refresh_tree() == root

@@ -1,0 +1,86 @@
+"""Property tests for the simulation kernel: ordering and determinism."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+delays = st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60)
+
+
+@given(schedule=delays)
+@settings(max_examples=80)
+def test_events_fire_in_nondecreasing_time_order(schedule):
+    sim = Simulator()
+    fired = []
+    for delay in schedule:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(schedule)
+
+
+@given(schedule=delays)
+@settings(max_examples=50)
+def test_equal_time_events_fire_in_schedule_order(schedule):
+    sim = Simulator()
+    fired = []
+    fixed_time = 500
+    for tag, _ in enumerate(schedule):
+        sim.schedule(fixed_time, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == list(range(len(schedule)))
+
+
+@given(
+    schedule=delays,
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=60),
+)
+@settings(max_examples=50)
+def test_cancelled_events_never_fire(schedule, cancel_mask):
+    sim = Simulator()
+    fired = []
+    timers = []
+    for i, delay in enumerate(schedule):
+        timers.append(sim.schedule(delay, lambda i=i: fired.append(i)))
+    cancelled = set()
+    for i, (timer, cancel) in enumerate(zip(timers, cancel_mask)):
+        if cancel:
+            timer.cancel()
+            cancelled.add(i)
+    sim.run()
+    assert set(fired).isdisjoint(cancelled)
+    assert len(fired) == len(schedule) - len(cancelled & set(range(len(schedule))))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32), name=st.text(max_size=10))
+@settings(max_examples=60)
+def test_rng_streams_reproducible(seed, name):
+    a = RngStreams(seed).stream(name)
+    b = RngStreams(seed).stream(name)
+    assert [a.getrandbits(32) for _ in range(5)] == [
+        b.getrandbits(32) for _ in range(5)
+    ]
+
+
+@given(schedule=delays)
+@settings(max_examples=30)
+def test_run_until_is_equivalent_to_stepped_runs(schedule):
+    def run_all_at_once():
+        sim = Simulator()
+        fired = []
+        for delay in schedule:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run_until(20_000)
+        return fired
+
+    def run_stepped():
+        sim = Simulator()
+        fired = []
+        for delay in schedule:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        for _ in range(20):
+            sim.run_for(1_000)
+        return fired
+
+    assert run_all_at_once() == run_stepped()

@@ -1,0 +1,108 @@
+"""Property tests: the SQL engine against a Python model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlstate.engine import Database
+from repro.sqlstate.values import SqlNull
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12
+)
+ages = st.one_of(st.none(), st.integers(min_value=0, max_value=120))
+
+rows = st.lists(st.tuples(names, ages), max_size=25)
+
+
+def fresh_db():
+    db = Database()
+    db.executescript(
+        "CREATE TABLE people (id INTEGER PRIMARY KEY, name TEXT, age INTEGER);"
+        "CREATE INDEX idx_people_name ON people(name);"
+    )
+    return db
+
+
+@given(data=rows)
+@settings(max_examples=50, deadline=None)
+def test_insert_then_select_all(data):
+    db = fresh_db()
+    for name, age in data:
+        db.execute("INSERT INTO people (name, age) VALUES (?, ?)", (name, age))
+    result = db.execute("SELECT name, age FROM people ORDER BY id").rows
+    expected = [(n, SqlNull if a is None else a) for n, a in data]
+    assert result == expected
+
+
+@given(data=rows, probe=names)
+@settings(max_examples=50, deadline=None)
+def test_indexed_equality_matches_filter(data, probe):
+    db = fresh_db()
+    for name, age in data:
+        db.execute("INSERT INTO people (name, age) VALUES (?, ?)", (name, age))
+    via_index = db.execute(
+        "SELECT COUNT(*) FROM people WHERE name = ?", (probe,)
+    ).scalar()
+    assert via_index == sum(1 for n, _a in data if n == probe)
+
+
+@given(data=rows, threshold=st.integers(min_value=0, max_value=120))
+@settings(max_examples=50, deadline=None)
+def test_where_comparison_matches_model(data, threshold):
+    db = fresh_db()
+    for name, age in data:
+        db.execute("INSERT INTO people (name, age) VALUES (?, ?)", (name, age))
+    got = db.execute(
+        "SELECT COUNT(*) FROM people WHERE age >= ?", (threshold,)
+    ).scalar()
+    # NULL ages never satisfy the comparison (three-valued logic).
+    assert got == sum(1 for _n, a in data if a is not None and a >= threshold)
+
+
+@given(data=rows)
+@settings(max_examples=40, deadline=None)
+def test_aggregates_match_model(data):
+    db = fresh_db()
+    for name, age in data:
+        db.execute("INSERT INTO people (name, age) VALUES (?, ?)", (name, age))
+    present = [a for _n, a in data if a is not None]
+    row = db.execute("SELECT COUNT(age), SUM(age), MIN(age), MAX(age) FROM people").rows[0]
+    if present:
+        assert row == (len(present), sum(present), min(present), max(present))
+    else:
+        assert row == (0, SqlNull, SqlNull, SqlNull)
+
+
+@given(data=rows, victim=names)
+@settings(max_examples=40, deadline=None)
+def test_delete_matches_model(data, victim):
+    db = fresh_db()
+    for name, age in data:
+        db.execute("INSERT INTO people (name, age) VALUES (?, ?)", (name, age))
+    deleted = db.execute("DELETE FROM people WHERE name = ?", (victim,))
+    assert deleted == sum(1 for n, _a in data if n == victim)
+    remaining = db.execute("SELECT COUNT(*) FROM people").scalar()
+    assert remaining == len(data) - deleted
+
+
+@given(data=rows)
+@settings(max_examples=30, deadline=None)
+def test_order_by_age_matches_sorted_model(data):
+    db = fresh_db()
+    for name, age in data:
+        db.execute("INSERT INTO people (name, age) VALUES (?, ?)", (name, age))
+    got = [r[0] for r in db.execute(
+        "SELECT age FROM people WHERE age IS NOT NULL ORDER BY age"
+    ).rows]
+    assert got == sorted(a for _n, a in data if a is not None)
+
+
+@given(data=rows)
+@settings(max_examples=25, deadline=None)
+def test_rollback_restores_model(data):
+    db = fresh_db()
+    db.execute("INSERT INTO people (name, age) VALUES ('anchor', 1)")
+    db.execute("BEGIN")
+    for name, age in data:
+        db.execute("INSERT INTO people (name, age) VALUES (?, ?)", (name, age))
+    db.execute("ROLLBACK")
+    assert db.execute("SELECT COUNT(*) FROM people").scalar() == 1

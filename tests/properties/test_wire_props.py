@@ -1,0 +1,139 @@
+"""Property tests: protocol messages survive encode/decode."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pbft.messages import (
+    CheckpointMsg,
+    Commit,
+    PagesMsg,
+    PrePrepare,
+    Prepare,
+    Reply,
+    Request,
+    StatusMsg,
+    ViewChangeMsg,
+    PreparedProof,
+    decode_message,
+)
+
+digests = st.binary(min_size=16, max_size=16)
+small_int = st.integers(min_value=0, max_value=2**31)
+seq_nums = st.integers(min_value=0, max_value=2**40)
+replica_ids = st.integers(min_value=0, max_value=6)
+
+requests = st.builds(
+    Request,
+    client=small_int,
+    req_id=seq_nums,
+    op=st.binary(max_size=256),
+    readonly=st.booleans(),
+    big=st.booleans(),
+)
+
+
+@given(msg=requests)
+@settings(max_examples=100)
+def test_request_roundtrip(msg):
+    assert decode_message(msg.encode()) == msg
+
+
+@given(
+    msg=st.builds(
+        PrePrepare,
+        view=seq_nums,
+        seq=seq_nums,
+        request_digests=st.lists(digests, max_size=8).map(tuple),
+        nondet=st.binary(max_size=16),
+        inline_requests=st.lists(requests, max_size=3).map(tuple),
+        sender=replica_ids,
+    )
+)
+@settings(max_examples=60)
+def test_preprepare_roundtrip(msg):
+    assert decode_message(msg.encode()) == msg
+
+
+@given(
+    msg=st.one_of(
+        st.builds(Prepare, view=seq_nums, seq=seq_nums, batch_digest=digests, sender=replica_ids),
+        st.builds(Commit, view=seq_nums, seq=seq_nums, batch_digest=digests, sender=replica_ids),
+        st.builds(CheckpointMsg, seq=seq_nums, root=digests, sender=replica_ids),
+        st.builds(
+            StatusMsg,
+            view=seq_nums,
+            last_exec_seq=seq_nums,
+            stable_seq=seq_nums,
+            sender=replica_ids,
+            recovering=st.booleans(),
+        ),
+        st.builds(
+            Reply,
+            view=seq_nums,
+            req_id=seq_nums,
+            client=small_int,
+            sender=replica_ids,
+            result=st.binary(max_size=128),
+            tentative=st.booleans(),
+            digest_only=st.booleans(),
+        ),
+    )
+)
+@settings(max_examples=150)
+def test_small_messages_roundtrip(msg):
+    assert decode_message(msg.encode()) == msg
+
+
+@given(
+    msg=st.builds(
+        ViewChangeMsg,
+        new_view=seq_nums,
+        stable_seq=seq_nums,
+        stable_root=digests,
+        checkpoint_proof=st.lists(
+            st.tuples(replica_ids, digests), max_size=4
+        ).map(tuple),
+        prepared=st.lists(
+            st.builds(
+                PreparedProof, seq=seq_nums, view=seq_nums, batch_digest=digests
+            ),
+            max_size=4,
+        ).map(tuple),
+        sender=replica_ids,
+    )
+)
+@settings(max_examples=60)
+def test_viewchange_roundtrip(msg):
+    assert decode_message(msg.encode()) == msg
+
+
+@given(
+    msg=st.builds(
+        PagesMsg,
+        checkpoint_seq=seq_nums,
+        root=digests,
+        pages=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=1000), st.binary(max_size=64)),
+            max_size=4,
+        ).map(tuple),
+        sender=replica_ids,
+        client_marks=st.lists(
+            st.tuples(small_int, seq_nums), max_size=4
+        ).map(tuple),
+    )
+)
+@settings(max_examples=60)
+def test_pages_roundtrip(msg):
+    assert decode_message(msg.encode()) == msg
+
+
+@given(msg=requests)
+@settings(max_examples=100)
+def test_digest_is_injective_over_samples(msg):
+    other = Request(
+        client=msg.client,
+        req_id=msg.req_id + 1,
+        op=msg.op,
+        readonly=msg.readonly,
+        big=msg.big,
+    )
+    assert msg.digest != other.digest

@@ -1,0 +1,79 @@
+"""The e-voting application, unit-level (no cluster)."""
+
+import pytest
+
+from repro.apps.evoting import EVOTING_SCHEMA, EvotingApplication, voter_credential
+from repro.apps.sqlapp import decode_rows_reply, encode_sql_op
+from repro.statemgr.pages import PagedState
+
+
+@pytest.fixture()
+def app():
+    application = EvotingApplication()
+    state = PagedState(256, 4096)
+    application.bind_state(state, app_offset=8 * 4096)
+    application._state = state
+    return application
+
+
+def run(app, sql, params=(), ts=1_000, client=1):
+    result = app.execute(encode_sql_op(sql, params), client, ts, readonly=False)
+    app.state.end_of_execution()
+    return decode_rows_reply(result)
+
+
+def test_schema_creates_all_tables(app):
+    assert app.db.table_names() == ["ballots", "candidates", "elections", "voters"]
+
+
+def test_ballot_insert_records_timestamp_and_receipt(app):
+    run(app, "INSERT INTO elections (id, title) VALUES (1, 'T')")
+    run(
+        app,
+        "INSERT INTO ballots (election_id, voter, vote, cast_at, receipt) "
+        "VALUES (1, 'alice', 'yes', now(), randomblob(16))",
+        ts=42_000,
+    )
+    rows = run(app, "SELECT cast_at, length(receipt) FROM ballots")
+    assert rows == [(42_000, 16)]
+
+
+def test_authorize_join_validates_credentials(app):
+    cred = voter_credential("alice")
+    run(
+        app,
+        "INSERT INTO voters (election_id, username, credential) VALUES (1, 'alice', ?)",
+        (cred,),
+    )
+    voter_id = app.authorize_join(f"alice:{cred}".encode())
+    assert isinstance(voter_id, int)
+    assert app.authorize_join(b"alice:wrong") is None
+    assert app.authorize_join(b"bob:whatever") is None
+    assert app.authorize_join(b"malformed") is None
+    assert app.authorize_join(b"\xff\xfe") is None
+
+
+def test_authorize_join_principal_is_stable(app):
+    cred = voter_credential("alice")
+    run(
+        app,
+        "INSERT INTO voters (election_id, username, credential) VALUES (1, 'alice', ?)",
+        (cred,),
+    )
+    idbuf = f"alice:{cred}".encode()
+    assert app.authorize_join(idbuf) == app.authorize_join(idbuf)
+
+
+def test_voter_credentials_are_per_user():
+    assert voter_credential("alice") != voter_credential("bob")
+    assert voter_credential("alice") == voter_credential("alice")
+
+
+def test_double_ballot_blocked_by_unique_index(app):
+    from repro.common.errors import SqlError
+
+    run(app, "INSERT INTO ballots (election_id, voter, vote, cast_at, receipt) "
+             "VALUES (1, 'alice', 'a', now(), randomblob(4))")
+    with pytest.raises(SqlError, match="UNIQUE"):
+        run(app, "INSERT INTO ballots (election_id, voter, vote, cast_at, receipt) "
+                 "VALUES (1, 'alice', 'b', now(), randomblob(4))")

@@ -1,0 +1,72 @@
+"""The key-value application on the raw state region."""
+
+import pytest
+
+from repro.apps.kvstore import KvApplication, encode_get, encode_put
+from repro.common.errors import StateError
+from repro.statemgr.pages import PagedState
+
+
+@pytest.fixture()
+def app():
+    application = KvApplication(num_slots=16, value_size=64)
+    state = PagedState(16, 512)
+    application.bind_state(state, app_offset=0)
+    application._state = state
+    return application
+
+
+def run(app, op):
+    result = app.execute(op, client_id=1, nondet_ts=0, readonly=False)
+    app.state.end_of_execution()
+    return result
+
+
+def test_get_missing_key(app):
+    assert run(app, encode_get(b"nope")) == b"\x00MISS"
+
+
+def test_put_then_get(app):
+    assert run(app, encode_put(b"k", b"value")) == b"\x01OK"
+    assert run(app, encode_get(b"k")) == b"\x01value"
+
+
+def test_overwrite(app):
+    run(app, encode_put(b"k", b"one"))
+    run(app, encode_put(b"k", b"two"))
+    assert run(app, encode_get(b"k")) == b"\x01two"
+
+
+def test_many_keys_with_collisions(app):
+    for i in range(12):
+        run(app, encode_put(f"key{i}".encode(), f"v{i}".encode()))
+    for i in range(12):
+        assert run(app, encode_get(f"key{i}".encode())) == f"\x01v{i}".encode()
+
+
+def test_value_too_large_rejected(app):
+    assert run(app, encode_put(b"k", b"x" * 100)).startswith(b"\x00ERR")
+
+
+def test_store_full(app):
+    for i in range(16):
+        run(app, encode_put(f"key{i:02d}".encode(), b"v"))
+    with pytest.raises(StateError, match="full"):
+        run(app, encode_put(b"onemore", b"v"))
+
+
+def test_state_identical_for_identical_histories():
+    def build():
+        app = KvApplication(num_slots=16, value_size=64)
+        state = PagedState(16, 512)
+        app.bind_state(state, 0)
+        for i in range(8):
+            app.execute(encode_put(f"k{i}".encode(), b"v"), 1, 0, False)
+            state.end_of_execution()
+        return state.refresh_tree()
+
+    assert build() == build()
+
+
+def test_bad_op_rejected(app):
+    assert run(app, b"\xee???") == b"\x00ERR bad op"

@@ -1,0 +1,61 @@
+"""The digital-preservation application, unit-level."""
+
+import pytest
+
+from repro.apps.preservation import PRESERVATION_SCHEMA, PreservationApplication
+from repro.apps.sqlapp import decode_rows_reply, encode_sql_op
+from repro.crypto.digests import md5_digest
+from repro.statemgr.pages import PagedState
+
+
+@pytest.fixture()
+def app():
+    application = PreservationApplication()
+    state = PagedState(256, 4096)
+    application.bind_state(state, app_offset=8 * 4096)
+    return application
+
+
+def run(app, sql, params=(), ts=1_000):
+    reply = app.execute(encode_sql_op(sql, params), 1, ts, readonly=False)
+    app.state.end_of_execution()
+    return decode_rows_reply(reply)
+
+
+def test_schema(app):
+    assert app.db.table_names() == ["custody_events", "documents"]
+
+
+def test_ingest_and_fingerprint_lookup(app):
+    fp = md5_digest(b"content")
+    run(app, "INSERT INTO documents (name, fingerprint, size, ingested_at) "
+             "VALUES ('doc', ?, 7, now())", (fp,), ts=9_000)
+    rows = run(app, "SELECT fingerprint, ingested_at FROM documents WHERE name='doc'")
+    assert rows == [(fp, 9_000)]
+
+
+def test_duplicate_name_rejected(app):
+    from repro.common.errors import SqlError
+
+    fp = md5_digest(b"x")
+    run(app, "INSERT INTO documents (name, fingerprint, size, ingested_at) "
+             "VALUES ('doc', ?, 1, now())", (fp,))
+    with pytest.raises(SqlError, match="UNIQUE"):
+        run(app, "INSERT INTO documents (name, fingerprint, size, ingested_at) "
+                 "VALUES ('doc', ?, 1, now())", (fp,))
+
+
+def test_custody_trail_appends_in_order(app):
+    for i, verdict in enumerate(("ok", "ok", "suspect")):
+        run(app, "INSERT INTO custody_events (document, event, detail, at) "
+                 "VALUES ('doc', 'audit', ?, now())", (verdict,), ts=1_000 * (i + 1))
+    rows = run(app, "SELECT detail, at FROM custody_events WHERE document='doc' ORDER BY id")
+    assert rows == [("ok", 1_000), ("ok", 2_000), ("suspect", 3_000)]
+
+
+def test_holdings_aggregate(app):
+    for i in range(3):
+        run(app, "INSERT INTO documents (name, fingerprint, size, ingested_at) "
+                 "VALUES (?, ?, ?, now())", (f"d{i}", md5_digest(bytes([i])), 100 * (i + 1)))
+    rows = run(app, "SELECT COUNT(*), SUM(size) FROM documents")
+    assert rows == [(3, 600)]

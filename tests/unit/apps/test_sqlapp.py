@@ -1,0 +1,115 @@
+"""The SQL application shim (state region + engine + nondet)."""
+
+import pytest
+
+from repro.apps.sqlapp import (
+    SqlApplication,
+    decode_rows_reply,
+    decode_sql_op,
+    encode_sql_op,
+)
+from repro.common.errors import SqlError
+from repro.sqlstate.values import SqlNull
+from repro.statemgr.pages import PagedState
+
+SCHEMA = "CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT UNIQUE, v TEXT);"
+
+
+def make_app(acid=True, pages=64, page_size=2048):
+    app = SqlApplication(schema_sql=SCHEMA, acid=acid)
+    state = PagedState(pages, page_size)
+    app.bind_state(state, app_offset=8 * page_size)
+    return app, state
+
+
+def run(app, state, sql, params=(), ts=1000, client=7):
+    result = app.execute(encode_sql_op(sql, params), client, ts, readonly=False)
+    state.end_of_execution()
+    return result
+
+
+class TestOpCodec:
+    def test_roundtrip(self):
+        op = encode_sql_op("INSERT INTO t VALUES (?, ?)", (1, "x"))
+        assert decode_sql_op(op) == ("INSERT INTO t VALUES (?, ?)", (1, "x"))
+
+    def test_none_params_become_null(self):
+        op = encode_sql_op("SELECT ?", (None,))
+        _sql, params = decode_sql_op(op)
+        assert params[0] is SqlNull
+
+
+class TestExecution:
+    def test_insert_and_select(self):
+        app, state = make_app()
+        reply = run(app, state, "INSERT INTO t (k, v) VALUES ('a', '1')")
+        assert decode_rows_reply(reply) == 1
+        reply = run(app, state, "SELECT k, v FROM t")
+        assert decode_rows_reply(reply) == [("a", "1")]
+
+    def test_sql_errors_are_deterministic_replies_not_crashes(self):
+        app, state = make_app()
+        run(app, state, "INSERT INTO t (k) VALUES ('dup')")
+        reply = run(app, state, "INSERT INTO t (k) VALUES ('dup')")
+        with pytest.raises(SqlError, match="UNIQUE"):
+            decode_rows_reply(reply)
+
+    def test_identical_histories_produce_identical_roots(self):
+        """The determinism requirement: two replicas executing the same
+        ops with the same nondet data end with the same Merkle root —
+        even with now() and randomblob() in the statements."""
+
+        def build():
+            app, state = make_app()
+            for i in range(20):
+                run(
+                    app,
+                    state,
+                    "INSERT INTO t (k, v) VALUES (?, hex(randomblob(4)) || now())",
+                    (f"key{i}",),
+                    ts=5_000 + i,
+                )
+            return state.refresh_tree()
+
+        assert build() == build()
+
+    def test_nondet_functions_track_agreed_timestamp(self):
+        app, state = make_app()
+        run(app, state, "INSERT INTO t (k, v) VALUES ('x', '' || now())", ts=42_000)
+        reply = run(app, state, "SELECT v FROM t WHERE k = 'x'")
+        assert decode_rows_reply(reply) == [("42000",)]
+
+    def test_cost_accumulates_and_resets(self):
+        app, state = make_app()
+        run(app, state, "INSERT INTO t (k, v) VALUES ('a', 'b')")
+        cost = app.take_accumulated_cost()
+        assert cost > 0
+        assert app.take_accumulated_cost() == 0
+
+    def test_acid_costs_more_than_noacid(self):
+        app_acid, state_acid = make_app(acid=True)
+        app_fast, state_fast = make_app(acid=False)
+        run(app_acid, state_acid, "INSERT INTO t (k) VALUES ('x')")
+        run(app_fast, state_fast, "INSERT INTO t (k) VALUES ('x')")
+        assert app_acid.take_accumulated_cost() > app_fast.take_accumulated_cost()
+
+
+class TestStateInstall:
+    def test_reopen_after_state_transfer_sees_new_contents(self):
+        source_app, source_state = make_app()
+        run(source_app, source_state, "INSERT INTO t (k, v) VALUES ('moved', 'yes')")
+
+        target_app, target_state = make_app()
+        target_state.restore(source_state.snapshot_pages())
+        target_app.on_state_installed()
+        reply = target_app.execute(
+            encode_sql_op("SELECT v FROM t WHERE k = 'moved'"), 1, 0, True
+        )
+        assert decode_rows_reply(reply) == [("yes",)]
+
+    def test_authorize_join_default(self):
+        app, _state = make_app()
+        assert app.authorize_join(b"") is None
+        a = app.authorize_join(b"user:1")
+        assert a == app.authorize_join(b"user:1")
+        assert a != app.authorize_join(b"user:2")

@@ -1,0 +1,55 @@
+"""The centralized baseline service."""
+
+from repro.apps.unreplicated import build_unreplicated
+from repro.common.units import SECOND
+from repro.pbft.config import PbftConfig
+
+
+def test_single_request_roundtrip():
+    deployment = build_unreplicated(PbftConfig(num_clients=1), seed=5)
+    box = []
+    deployment.clients[0].invoke(b"hello", callback=lambda r, l: box.append((r, l)))
+    deployment.run_for(1 * SECOND)
+    assert len(box) == 1
+    result, latency = box[0]
+    assert len(result) == 1024
+    assert latency > 0
+
+
+def test_closed_loop_throughput_beats_bft():
+    deployment = build_unreplicated(PbftConfig(), seed=5)
+    payload = bytes(1024)
+
+    def loop(client):
+        def done(_r, _l):
+            client.invoke(payload, callback=done)
+        client.invoke(payload, callback=done)
+
+    for client in deployment.clients:
+        loop(client)
+    deployment.run_for(int(0.5 * SECOND))
+    # No agreement protocol: well north of the BFT default's ~17k.
+    assert deployment.total_completed() / 0.5 > 17_000
+
+
+def test_retransmission_on_loss():
+    from repro.net.fabric import DropRule
+
+    deployment = build_unreplicated(PbftConfig(num_clients=1), seed=5)
+    deployment.fabric.add_drop_rule(
+        DropRule(lambda p: p.dst[0] == "server0", count=1, name="drop-first")
+    )
+    box = []
+    deployment.clients[0].invoke(b"retry", callback=lambda r, l: box.append(r))
+    deployment.run_for(1 * SECOND)
+    assert len(box) == 1  # healed by the client's retransmit timer
+
+
+def test_server_executes_in_arrival_order():
+    deployment = build_unreplicated(PbftConfig(num_clients=2), seed=5)
+    done = []
+    for i, client in enumerate(deployment.clients):
+        client.invoke(bytes([i]), callback=lambda r, l, i=i: done.append(i))
+    deployment.run_for(1 * SECOND)
+    assert sorted(done) == [0, 1]
+    assert deployment.server.executed == 2

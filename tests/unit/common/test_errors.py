@@ -1,0 +1,33 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    CryptoError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SqlConstraintError,
+    SqlError,
+    SqlSyntaxError,
+    StateError,
+)
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [ConfigError, CryptoError, NetworkError, ProtocolError, StateError, SqlError],
+)
+def test_all_errors_derive_from_repro_error(cls):
+    assert issubclass(cls, ReproError)
+
+
+def test_sql_error_specializations():
+    assert issubclass(SqlSyntaxError, SqlError)
+    assert issubclass(SqlConstraintError, SqlError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise SqlConstraintError("UNIQUE constraint failed")

@@ -1,0 +1,24 @@
+"""Node identifiers."""
+
+from repro.common.ids import CLIENT_ID_BASE, NodeId, make_client_id
+
+
+def test_client_ids_offset_from_replicas():
+    assert make_client_id(0) == CLIENT_ID_BASE
+    assert make_client_id(5) == CLIENT_ID_BASE + 5
+
+
+def test_node_id_str():
+    assert str(NodeId.replica(2)) == "replica2"
+    assert str(NodeId.client(7)) == "client7"
+
+
+def test_node_id_ordering_and_equality():
+    assert NodeId.client(1) == NodeId.client(1)
+    assert NodeId.client(1) != NodeId.replica(1)
+    assert NodeId.replica(0) < NodeId.replica(1)
+
+
+def test_node_id_hashable():
+    ids = {NodeId.replica(0), NodeId.replica(0), NodeId.client(0)}
+    assert len(ids) == 2

@@ -1,0 +1,50 @@
+"""Time-unit helpers."""
+
+import pytest
+
+from repro.common.units import (
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    format_duration,
+    microseconds,
+    milliseconds,
+    nanoseconds,
+    seconds,
+)
+
+
+def test_constants_are_nanosecond_multiples():
+    assert MICROSECOND == 1_000
+    assert MILLISECOND == 1_000_000
+    assert SECOND == 1_000_000_000
+
+
+def test_conversions_are_integers():
+    assert seconds(1.5) == 1_500_000_000
+    assert milliseconds(2.5) == 2_500_000
+    assert microseconds(0.5) == 500
+    assert nanoseconds(3.4) == 3
+
+
+def test_conversion_rounds_rather_than_truncates():
+    assert microseconds(1.9999) == 2_000
+    assert milliseconds(0.0000009) == 1
+
+
+@pytest.mark.parametrize(
+    "ns,expected",
+    [
+        (5, "5ns"),
+        (1_500, "1.500us"),
+        (1_500_000, "1.500ms"),
+        (2_500_000_000, "2.500s"),
+        (0, "0ns"),
+    ],
+)
+def test_format_duration(ns, expected):
+    assert format_duration(ns) == expected
+
+
+def test_format_duration_negative():
+    assert format_duration(-1_500_000) == "-1.500ms"

@@ -1,0 +1,48 @@
+"""Authenticators: per-replica MAC vectors."""
+
+from repro.crypto.authenticators import (
+    make_authenticator,
+    verify_authenticator,
+)
+from repro.crypto.mac import MacKey
+from repro.sim.rng import RngStreams
+
+
+def keys_for(n=4, seed=3):
+    rng = RngStreams(seed).stream("auth")
+    return {rid: MacKey.generate(rng) for rid in range(n)}
+
+
+def test_each_replica_verifies_its_own_entry():
+    keys = keys_for()
+    auth = make_authenticator(keys, b"message")
+    for rid, k in keys.items():
+        assert verify_authenticator(k, rid, b"message", auth)
+
+
+def test_wrong_replica_entry_fails():
+    keys = keys_for()
+    auth = make_authenticator(keys, b"message")
+    # Replica 0's key cannot validate replica 1's entry.
+    assert not verify_authenticator(keys[0], 1, b"message", auth)
+
+
+def test_missing_entry_fails():
+    keys = keys_for(2)
+    auth = make_authenticator(keys, b"m")
+    outsider = MacKey.generate(RngStreams(99).stream("x"))
+    assert not verify_authenticator(outsider, 7, b"m", auth)
+
+
+def test_tampered_message_fails_for_everyone():
+    keys = keys_for()
+    auth = make_authenticator(keys, b"original")
+    assert not any(
+        verify_authenticator(k, rid, b"tampered", auth) for rid, k in keys.items()
+    )
+
+
+def test_wire_size_is_six_bytes_per_entry():
+    auth = make_authenticator(keys_for(4), b"m")
+    assert auth.size == 4 * 6
+    assert len(auth) == 4

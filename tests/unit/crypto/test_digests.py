@@ -1,0 +1,21 @@
+"""MD5 digest wrappers."""
+
+import hashlib
+
+from repro.crypto.digests import DIGEST_SIZE, digest_parts, md5_digest
+
+
+def test_digest_size():
+    assert len(md5_digest(b"abc")) == DIGEST_SIZE == 16
+
+
+def test_matches_hashlib():
+    assert md5_digest(b"hello") == hashlib.md5(b"hello").digest()
+
+
+def test_digest_parts_equals_concatenation():
+    assert digest_parts([b"ab", b"cd", b""]) == md5_digest(b"abcd")
+
+
+def test_different_inputs_differ():
+    assert md5_digest(b"a") != md5_digest(b"b")

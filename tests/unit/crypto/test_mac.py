@@ -1,0 +1,50 @@
+"""UMAC32-style MACs."""
+
+import pytest
+
+from repro.common.errors import CryptoError
+from repro.crypto.mac import MAC_SIZE, MacKey, compute_mac, verify_mac
+from repro.sim.rng import RngStreams
+
+
+def key(seed=1, name="k"):
+    return MacKey.generate(RngStreams(seed).stream(name))
+
+
+def test_tag_is_four_bytes():
+    assert len(compute_mac(key(), b"data")) == MAC_SIZE == 4
+
+
+def test_verify_accepts_genuine_tag():
+    k = key()
+    assert verify_mac(k, b"data", compute_mac(k, b"data"))
+
+
+def test_verify_rejects_modified_data():
+    k = key()
+    tag = compute_mac(k, b"data")
+    assert not verify_mac(k, b"datb", tag)
+
+
+def test_verify_rejects_wrong_key():
+    tag = compute_mac(key(1), b"data")
+    assert not verify_mac(key(2), b"data", tag)
+
+
+def test_verify_rejects_wrong_length_tag():
+    k = key()
+    assert not verify_mac(k, b"data", b"\x00" * 5)
+
+
+def test_key_generation_is_deterministic_from_stream():
+    assert key(7) == key(7)
+    assert key(7) != key(8)
+
+
+def test_key_requires_16_bytes():
+    with pytest.raises(CryptoError):
+        MacKey(b"short")
+
+
+def test_keys_hashable_for_dict_use():
+    assert len({key(1), key(1), key(2)}) == 2

@@ -1,0 +1,31 @@
+"""Miller-Rabin prime generation."""
+
+from repro.crypto.primes import is_probable_prime, random_prime
+from repro.sim.rng import RngStreams
+
+
+def rng():
+    return RngStreams(31).stream("primes")
+
+
+def test_small_primes_recognized():
+    r = rng()
+    for p in (2, 3, 5, 7, 97, 199, 65537):
+        assert is_probable_prime(p, r)
+
+
+def test_small_composites_rejected():
+    r = rng()
+    for c in (0, 1, 4, 9, 100, 561, 6601, 65536):  # incl. Carmichael numbers
+        assert not is_probable_prime(c, r)
+
+
+def test_random_prime_has_requested_bits():
+    p = random_prime(96, rng())
+    assert p.bit_length() == 96
+    assert is_probable_prime(p, rng())
+
+
+def test_congruence_constraint_honoured():
+    p = random_prime(96, rng(), congruence=(4, 3))
+    assert p % 4 == 3

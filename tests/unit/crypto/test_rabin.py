@@ -1,0 +1,83 @@
+"""The Rabin signature scheme."""
+
+import pytest
+
+from repro.common.errors import CryptoError
+from repro.crypto.rabin import (
+    RabinSignature,
+    rabin_generate,
+    rabin_sign,
+    rabin_verify,
+)
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rabin_generate(RngStreams(11).stream("rabin"), bits=256)
+
+
+def test_modulus_is_blum_integer(keypair):
+    assert keypair.p % 4 == 3
+    assert keypair.q % 4 == 3
+    assert keypair.p * keypair.q == keypair.public.n
+
+
+def test_sign_verify_roundtrip(keypair):
+    sig = rabin_sign(keypair, b"the message")
+    assert rabin_verify(keypair.public, b"the message", sig)
+
+
+def test_signature_is_square_root(keypair):
+    sig = rabin_sign(keypair, b"m")
+    # verify() checks s^2 == salted hash; spot-check the arithmetic.
+    assert 0 < sig.root < keypair.public.n
+
+
+def test_verify_rejects_other_message(keypair):
+    sig = rabin_sign(keypair, b"message one")
+    assert not rabin_verify(keypair.public, b"message two", sig)
+
+
+def test_verify_rejects_tampered_root(keypair):
+    sig = rabin_sign(keypair, b"m")
+    bad = RabinSignature(salt=sig.salt, root=(sig.root + 1) % keypair.public.n)
+    assert not rabin_verify(keypair.public, b"m", bad)
+
+
+def test_verify_rejects_wrong_salt(keypair):
+    sig = rabin_sign(keypair, b"m")
+    bad = RabinSignature(salt=sig.salt + 1, root=sig.root)
+    assert not rabin_verify(keypair.public, b"m", bad)
+
+
+def test_verify_rejects_out_of_range_root(keypair):
+    sig = rabin_sign(keypair, b"m")
+    assert not rabin_verify(
+        keypair.public, b"m", RabinSignature(salt=sig.salt, root=0)
+    )
+    assert not rabin_verify(
+        keypair.public, b"m", RabinSignature(salt=sig.salt, root=keypair.public.n)
+    )
+
+
+def test_other_key_cannot_verify(keypair):
+    other = rabin_generate(RngStreams(12).stream("rabin"), bits=256)
+    sig = rabin_sign(keypair, b"m")
+    assert not rabin_verify(other.public, b"m", sig)
+
+
+def test_keygen_deterministic_from_seed():
+    a = rabin_generate(RngStreams(5).stream("r"), bits=128)
+    b = rabin_generate(RngStreams(5).stream("r"), bits=128)
+    assert a.public.n == b.public.n
+
+
+def test_tiny_modulus_rejected():
+    with pytest.raises(CryptoError):
+        rabin_generate(RngStreams(1).stream("r"), bits=16)
+
+
+def test_signature_size_reported(keypair):
+    sig = rabin_sign(keypair, b"m")
+    assert sig.size_bytes >= 2 + 256 // 8 - 2

@@ -1,0 +1,77 @@
+"""(f+1, n) threshold signatures (paper section 3.3.1)."""
+
+import pytest
+
+from repro.common.errors import CryptoError
+from repro.crypto.threshold import (
+    threshold_combine,
+    threshold_setup,
+    threshold_sign_partial,
+    threshold_verify,
+)
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def scheme_and_shares():
+    # n = 3f+1 = 4, threshold f+1 = 2: the paper's proposed parameters.
+    return threshold_setup(4, 2, RngStreams(21).stream("thresh"), bits=96)
+
+
+def test_any_threshold_subset_reconstructs(scheme_and_shares):
+    scheme, shares = scheme_and_shares
+    message = b"agree on this"
+    for pick in [(0, 1), (0, 3), (2, 3), (1, 2)]:
+        partials = [threshold_sign_partial(scheme, shares[i], message) for i in pick]
+        signature = threshold_combine(scheme, partials)
+        assert threshold_verify(scheme, message, signature)
+
+
+def test_different_subsets_give_same_signature(scheme_and_shares):
+    scheme, shares = scheme_and_shares
+    message = b"m"
+    sig_a = threshold_combine(
+        scheme, [threshold_sign_partial(scheme, shares[i], message) for i in (0, 1)]
+    )
+    sig_b = threshold_combine(
+        scheme, [threshold_sign_partial(scheme, shares[i], message) for i in (2, 3)]
+    )
+    assert sig_a == sig_b
+
+
+def test_fewer_than_threshold_rejected(scheme_and_shares):
+    scheme, shares = scheme_and_shares
+    partials = [threshold_sign_partial(scheme, shares[0], b"m")]
+    with pytest.raises(CryptoError):
+        threshold_combine(scheme, partials)
+
+
+def test_signature_bound_to_message(scheme_and_shares):
+    scheme, shares = scheme_and_shares
+    partials = [threshold_sign_partial(scheme, shares[i], b"one") for i in (0, 1)]
+    signature = threshold_combine(scheme, partials)
+    assert not threshold_verify(scheme, b"two", signature)
+
+
+def test_corrupted_partial_breaks_combination(scheme_and_shares):
+    scheme, shares = scheme_and_shares
+    good = threshold_sign_partial(scheme, shares[0], b"m")
+    bad = threshold_sign_partial(scheme, shares[1], b"DIFFERENT")
+    signature = threshold_combine(scheme, [good, bad])
+    assert not threshold_verify(scheme, b"m", signature)
+
+
+def test_bad_threshold_parameters_rejected():
+    with pytest.raises(CryptoError):
+        threshold_setup(4, 5, RngStreams(1).stream("t"), bits=64)
+    with pytest.raises(CryptoError):
+        threshold_setup(4, 0, RngStreams(1).stream("t"), bits=64)
+
+
+def test_no_single_share_is_the_secret(scheme_and_shares):
+    """No replica alone can produce a verifying signature — the property
+    the paper wants for server-side keys."""
+    scheme, shares = scheme_and_shares
+    for share in shares:
+        partial = threshold_sign_partial(scheme, share, b"m")
+        assert not threshold_verify(scheme, b"m", partial.value)

@@ -1,0 +1,72 @@
+"""Trace analysis (the paper's section 2.2 tooling)."""
+
+from repro.common.units import SECOND
+from repro.harness.analysis import (
+    messages_per_request,
+    quadratic_complexity_check,
+    request_timeline,
+    summarize,
+)
+from repro.pbft.cluster import build_cluster
+from repro.pbft.config import PbftConfig
+
+
+def traced_cluster(**overrides):
+    options = dict(num_clients=2, checkpoint_interval=8, log_window=16)
+    options.update(overrides)
+    return build_cluster(PbftConfig(**options), seed=77, trace=True)
+
+
+def test_summary_counts_protocol_messages():
+    cluster = traced_cluster()
+    cluster.invoke_and_wait(cluster.clients[0], b"\x00one")
+    summary = summarize(cluster.fabric.trace)
+    for kind in ("Request", "PrePrepare", "Prepare", "Commit", "Reply"):
+        assert summary.messages_by_kind.get(kind, 0) > 0
+        assert summary.bytes_by_kind[kind] > 0
+    assert summary.total_messages == len(cluster.fabric.trace)
+    assert "Prepare" in summary.format()
+
+
+def test_drop_accounting():
+    from repro.net.fabric import DropRule
+
+    cluster = traced_cluster()
+    cluster.fabric.add_drop_rule(
+        DropRule(lambda p: p.kind == "Prepare", count=2, name="eat-prepares")
+    )
+    cluster.invoke_and_wait(cluster.clients[0], b"\x00x")
+    summary = summarize(cluster.fabric.trace)
+    assert summary.drops_by_reason.get("eat-prepares") == 2
+
+
+def test_messages_per_request_is_quadraticish():
+    """With batching off, a 4-replica group spends ~25 datagrams per
+    request — the overhead the paper's WAN section worries about."""
+    cluster = traced_cluster(batching=False, num_clients=1)
+    for i in range(5):
+        cluster.invoke_and_wait(cluster.clients[0], bytes([0, i]))
+    per_request = messages_per_request(cluster.fabric.trace, 5)
+    assert 15 < per_request < 40
+
+
+def test_quadratic_complexity_check():
+    cluster = traced_cluster(batching=False, num_clients=1)
+    for i in range(5):
+        cluster.invoke_and_wait(cluster.clients[0], bytes([0, i]))
+    stats = quadratic_complexity_check(cluster.fabric.trace, n_replicas=4)
+    # Prepares per round close to (n-1)^2 = 9, commits to n(n-1) = 12.
+    assert 0.6 * stats["expected_prepares_per_round"] <= stats["prepares_per_round"] \
+        <= 1.4 * stats["expected_prepares_per_round"]
+    assert 0.6 * stats["expected_commits_per_round"] <= stats["commits_per_round"] \
+        <= 1.4 * stats["expected_commits_per_round"]
+
+
+def test_request_timeline_orders_phases():
+    cluster = traced_cluster()
+    cluster.invoke_and_wait(cluster.clients[0], b"\x00t")
+    timeline = request_timeline(cluster.fabric.trace)
+    kinds = [line.split("first ")[1].split(" ")[0] for line in timeline]
+    assert kinds[0] == "Request"
+    assert kinds.index("PrePrepare") < kinds.index("Commit")
+    assert "Reply" in kinds

@@ -1,0 +1,59 @@
+"""The Table 1 / Figure 5 configuration matrix."""
+
+import pytest
+
+from repro.harness.configs import (
+    FIG5_CONFIGS,
+    TABLE1_CONFIGS,
+    build_config,
+    row_by_name,
+)
+
+
+def test_table1_has_ten_rows_like_the_paper():
+    assert len(TABLE1_CONFIGS) == 10
+
+
+def test_row_names_encode_their_toggles():
+    for row in TABLE1_CONFIGS:
+        assert row.name.startswith("nosta") != row.static_clients
+        assert ("nomac" in row.name) != row.use_macs
+        assert ("noallbig" in row.name) != row.all_big
+        assert ("nobatch" in row.name) != row.batching
+
+
+def test_paper_values_present_for_all_table1_rows():
+    for row in TABLE1_CONFIGS:
+        assert row.paper_tps is not None
+        assert row.paper_stdev is not None
+
+
+def test_default_config_is_first_row():
+    row = TABLE1_CONFIGS[0]
+    config = build_config(row)
+    assert config.use_macs
+    assert config.big_request_threshold == 0
+    assert config.batching
+    assert not config.dynamic_clients
+
+
+def test_most_robust_dynamic_row():
+    row = row_by_name("nosta_nomac_noallbig_batch")
+    config = build_config(row)
+    assert not config.use_macs
+    assert config.big_request_threshold is None
+    assert config.dynamic_clients
+
+
+def test_build_config_accepts_overrides():
+    config = build_config(TABLE1_CONFIGS[0], checkpoint_interval=16, log_window=32)
+    assert config.checkpoint_interval == 16
+
+
+def test_fig5_rows_all_batch():
+    assert all(row.batching for row in FIG5_CONFIGS)
+
+
+def test_row_by_name_unknown():
+    with pytest.raises(KeyError):
+        row_by_name("nonexistent")

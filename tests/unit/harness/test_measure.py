@@ -1,0 +1,53 @@
+"""The measurement harness itself."""
+
+from repro.harness.measure import Measurement, run_null_workload, run_sql_workload
+from repro.pbft.config import PbftConfig
+
+
+def test_null_workload_produces_sane_measurement():
+    m = run_null_workload(PbftConfig(num_clients=4), measure_s=0.1, warmup_s=0.1)
+    assert m.tps > 100
+    assert m.completed > 10
+    assert m.p50_latency_ns > 0
+    assert m.p99_latency_ns >= m.p50_latency_ns
+    assert m.mean_latency_ns > 0
+    assert m.view_changes == 0
+
+
+def test_measurement_from_cluster_percentiles():
+    class FakeCluster:
+        clients = []
+        replicas = []
+
+    latencies = list(range(1, 101))
+    m = Measurement.from_cluster("x", FakeCluster(), completed=100,
+                                 latencies=latencies, duration_s=2.0)
+    assert m.tps == 50
+    assert m.p50_latency_ns == 51
+    assert m.p99_latency_ns == 100
+    assert m.mean_latency_ns == 50.5
+
+
+def test_measurement_with_no_latencies():
+    class FakeCluster:
+        clients = []
+        replicas = []
+
+    m = Measurement.from_cluster("x", FakeCluster(), 0, [], 1.0)
+    assert m.tps == 0 and m.p50_latency_ns == 0
+
+
+def test_null_workload_deterministic_given_seed():
+    a = run_null_workload(PbftConfig(num_clients=4), measure_s=0.1, seed=5)
+    b = run_null_workload(PbftConfig(num_clients=4), measure_s=0.1, seed=5)
+    assert a.tps == b.tps
+    assert a.completed == b.completed
+
+
+def test_sql_workload_reports_agreeing_replicas():
+    m = run_sql_workload(
+        PbftConfig(num_clients=4), measure_s=0.2, warmup_s=0.1
+    )
+    assert m.tps > 50
+    counts = m.extras["replica_exec_counts"]
+    assert max(counts) - min(counts) <= 64

@@ -1,0 +1,242 @@
+"""The simulated datagram fabric."""
+
+import pytest
+
+from repro.common.errors import ConfigError, NetworkError
+from repro.common.units import MICROSECOND
+from repro.net.fabric import DropRule, LinkSpec, NetworkConfig, NetworkFabric
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+
+def make_fabric(loss=0.0, jitter=0, trace=False, seed=1):
+    sim = Simulator()
+    config = NetworkConfig(
+        default_link=LinkSpec(
+            latency_ns=70 * MICROSECOND,
+            jitter_ns=jitter,
+            loss_probability=loss,
+        )
+    )
+    fabric = NetworkFabric(sim, RngStreams(seed), config=config, trace_enabled=trace)
+    fabric.add_host("a")
+    fabric.add_host("b")
+    return sim, fabric
+
+
+def test_basic_delivery():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p.payload))
+    sa.send(("b", 1), "hello", 100)
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_delivery_takes_latency_plus_tx_time():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    times = []
+    sb.on_receive(lambda p: times.append(sim.now))
+    sa.send(("b", 1), "x", 1000)
+    sim.run()
+    assert len(times) == 1
+    # At least the 70us base latency; plus serialization of ~1KB at 938Mb/s.
+    assert times[0] >= 70 * MICROSECOND
+    assert times[0] < 200 * MICROSECOND
+
+
+def test_nic_serialization_orders_back_to_back_sends():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    arrivals = []
+    sb.on_receive(lambda p: arrivals.append((p.payload, sim.now)))
+    sa.send(("b", 1), 1, 60_000)  # large datagram occupies the NIC
+    sa.send(("b", 1), 2, 100)
+    sim.run()
+    assert [p for p, _t in arrivals] == [1, 2]
+    # The second packet had to wait behind the first's serialization.
+    assert arrivals[1][1] > arrivals[0][1] - 70 * MICROSECOND
+
+
+def test_unbound_port_swallows_datagrams():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sa.send(("b", 99), "void", 10)
+    sim.run()  # no exception, nothing delivered
+
+
+def test_closed_socket_drops_and_cannot_send():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p))
+    sb.close()
+    sa.send(("b", 1), "late", 10)
+    sim.run()
+    assert got == []
+    with pytest.raises(NetworkError):
+        sb.send(("a", 1), "x", 1)
+
+
+def test_duplicate_bind_rejected():
+    _sim, fabric = make_fabric()
+    fabric.bind("a", 5)
+    with pytest.raises(NetworkError):
+        fabric.bind("a", 5)
+
+
+def test_duplicate_host_rejected():
+    _sim, fabric = make_fabric()
+    with pytest.raises(ConfigError):
+        fabric.add_host("a")
+
+
+def test_random_loss_drops_roughly_the_configured_fraction():
+    sim, fabric = make_fabric(loss=0.3)
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p))
+    for _ in range(1000):
+        sa.send(("b", 1), "x", 10)
+    sim.run()
+    assert 550 < len(got) < 850
+
+
+def test_drop_rule_hits_exactly_count_packets():
+    sim, fabric = make_fabric(trace=True)
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p.payload))
+    rule = fabric.add_drop_rule(
+        DropRule(lambda p: p.kind == "victim", count=2, name="test-rule")
+    )
+    for i in range(5):
+        sa.send(("b", 1), i, 10, kind="victim")
+    sim.run()
+    assert rule.matched == 2
+    assert got == [2, 3, 4]
+    dropped = [r for r in fabric.trace if r.dropped]
+    assert len(dropped) == 2
+    assert all(r.reason == "test-rule" for r in dropped)
+
+
+def test_partition_blocks_both_directions_until_healed():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got_a, got_b = [], []
+    sa.on_receive(lambda p: got_a.append(p.payload))
+    sb.on_receive(lambda p: got_b.append(p.payload))
+    fabric.partition({"a"}, {"b"})
+    sa.send(("b", 1), "x", 10)
+    sb.send(("a", 1), "y", 10)
+    sim.run()
+    assert got_a == [] and got_b == []
+    fabric.heal_partition()
+    sa.send(("b", 1), "x2", 10)
+    sim.run()
+    assert got_b == ["x2"]
+
+
+def test_multicast_reaches_all_destinations():
+    sim, fabric = make_fabric()
+    fabric.add_host("c")
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    sc = fabric.bind("c", 1)
+    got = []
+    sb.on_receive(lambda p: got.append("b"))
+    sc.on_receive(lambda p: got.append("c"))
+    sa.multicast([("b", 1), ("c", 1)], "m", 10)
+    sim.run()
+    assert sorted(got) == ["b", "c"]
+
+
+def test_trace_records_all_packets():
+    sim, fabric = make_fabric(trace=True)
+    sa = fabric.bind("a", 1)
+    fabric.bind("b", 1)
+    sa.send(("b", 1), "x", 42, kind="Test")
+    sim.run()
+    assert len(fabric.trace) == 1
+    record = fabric.trace[0]
+    assert record.kind == "Test" and record.size == 42 and not record.dropped
+    assert "Test" in fabric.trace_lines()[0]
+
+
+def test_host_cpu_serializes_work():
+    sim, fabric = make_fabric()
+    host = fabric.host("a")
+    done = []
+    host.execute(100, lambda: done.append(sim.now))
+    host.execute(100, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [100, 200]
+    assert host.cpu_busy_ns == 200
+
+
+def test_charge_cpu_pushes_later_work_back():
+    sim, fabric = make_fabric()
+    host = fabric.host("a")
+    host.charge_cpu(500)
+    done = []
+    host.execute(100, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [600]
+
+
+def test_clock_skew_offsets_local_time():
+    sim = Simulator()
+    fabric = NetworkFabric(sim, RngStreams(1))
+    host = fabric.add_host("skewed", clock_skew_ns=5000)
+    sim.run_until(100)
+    assert host.local_time() == 5100
+
+
+def test_jitter_varies_arrival_times():
+    sim, fabric = make_fabric(jitter=50 * MICROSECOND)
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    arrivals = []
+    sb.on_receive(lambda p: arrivals.append(sim.now))
+    previous = 0
+    gaps = []
+    for _ in range(20):
+        sa.send(("b", 1), "x", 10)
+        sim.run()
+        gaps.append(arrivals[-1] - previous)
+        previous = arrivals[-1]
+    assert len(set(gaps)) > 1  # not perfectly regular
+
+
+def test_link_spec_validation():
+    with pytest.raises(ConfigError):
+        LinkSpec(latency_ns=-1).validate()
+    with pytest.raises(ConfigError):
+        LinkSpec(bandwidth_bps=0).validate()
+    with pytest.raises(ConfigError):
+        LinkSpec(loss_probability=1.5).validate()
+
+
+def test_per_pair_link_override():
+    sim = Simulator()
+    config = NetworkConfig()
+    config.overrides[("a", "b")] = LinkSpec(latency_ns=10_000_000)  # 10ms WAN hop
+    fabric = NetworkFabric(sim, RngStreams(1), config=config)
+    fabric.add_host("a")
+    fabric.add_host("b")
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    times = []
+    sb.on_receive(lambda p: times.append(sim.now))
+    sa.send(("b", 1), "x", 10)
+    sim.run()
+    assert times[0] >= 10_000_000

@@ -1,0 +1,181 @@
+"""Client-side quorum logic and retransmission, isolated from replicas."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.net.fabric import NetworkFabric
+from repro.pbft.client import PbftClient
+from repro.pbft.config import PbftConfig
+from repro.pbft.messages import Reply
+from repro.pbft.node import KeyDirectory
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator()
+    rng = RngStreams(91)
+    fabric = NetworkFabric(sim, rng)
+    config = PbftConfig(num_clients=1)
+    for rid in range(config.n):
+        fabric.add_host(f"replica{rid}")
+    fabric.add_host("clienthost0")
+    keys = KeyDirectory(config, rng.stream("keys"))
+    client_id = 1000
+    keys.new_client_keypair(client_id)
+    client = PbftClient(client_id, config, fabric.host("clienthost0"), 6000, keys)
+    client.generate_session_keys(rng.stream("sessions"))
+    return sim, config, client
+
+
+def feed_reply(client, sender, result=b"res", tentative=False, digest_only=False,
+               req_id=None):
+    pending = client.pending
+    reply = Reply(
+        view=0,
+        req_id=req_id if req_id is not None else pending.request.req_id,
+        client=client.node_id,
+        sender=sender,
+        result=result,
+        tentative=tentative,
+        digest_only=digest_only,
+    )
+    client.on_reply(reply)
+
+
+def test_single_outstanding_request_enforced(rig):
+    _sim, _config, client = rig
+    client.invoke(b"op1")
+    with pytest.raises(ConfigError):
+        client.invoke(b"op2")
+
+
+def test_f_plus_one_stable_replies_complete(rig):
+    _sim, _config, client = rig
+    done = []
+    client.invoke(b"op", callback=lambda r, l: done.append(r))
+    feed_reply(client, sender=0)
+    assert not done
+    feed_reply(client, sender=1)
+    assert done == [b"res"]
+    assert client.pending is None
+
+
+def test_tentative_replies_need_2f_plus_one(rig):
+    _sim, _config, client = rig
+    done = []
+    client.invoke(b"op", callback=lambda r, l: done.append(r))
+    feed_reply(client, sender=0, tentative=True)
+    feed_reply(client, sender=1, tentative=True)
+    assert not done
+    feed_reply(client, sender=2, tentative=True)
+    assert done == [b"res"]
+
+
+def test_mixed_stable_and_tentative_count_toward_strong_quorum(rig):
+    _sim, _config, client = rig
+    done = []
+    client.invoke(b"op", callback=lambda r, l: done.append(r))
+    feed_reply(client, sender=0, tentative=True)
+    feed_reply(client, sender=1, tentative=True)
+    feed_reply(client, sender=2, tentative=False)
+    assert done  # 3 matching total
+
+
+def test_mismatched_results_do_not_combine(rig):
+    _sim, _config, client = rig
+    done = []
+    client.invoke(b"op", callback=lambda r, l: done.append(r))
+    feed_reply(client, sender=0, result=b"A")
+    feed_reply(client, sender=1, result=b"B")
+    assert not done
+    feed_reply(client, sender=2, result=b"A")
+    assert done == [b"A"]
+
+
+def test_duplicate_sender_counted_once(rig):
+    _sim, _config, client = rig
+    done = []
+    client.invoke(b"op", callback=lambda r, l: done.append(r))
+    feed_reply(client, sender=0)
+    feed_reply(client, sender=0)
+    feed_reply(client, sender=0)
+    assert not done
+
+
+def test_digest_only_replies_wait_for_a_full_result(rig):
+    _sim, _config, client = rig
+    done = []
+    client.invoke(b"op", callback=lambda r, l: done.append(r))
+    full = Reply(view=0, req_id=1, client=client.node_id, sender=0, result=b"payload")
+    feed_reply(client, sender=1, result=full.result_digest, digest_only=True)
+    feed_reply(client, sender=2, result=full.result_digest, digest_only=True)
+    assert not done  # quorum of digests, but no full payload yet
+    client.on_reply(full)
+    assert done == [b"payload"]
+
+
+def test_readonly_needs_strong_quorum(rig):
+    _sim, _config, client = rig
+    done = []
+    client.invoke(b"op", readonly=True, callback=lambda r, l: done.append(r))
+    feed_reply(client, sender=0)
+    feed_reply(client, sender=1)
+    assert not done  # f+1 is not enough for read-only
+    feed_reply(client, sender=2)
+    assert done == [b"res"]
+
+
+def test_stale_reply_ignored(rig):
+    _sim, _config, client = rig
+    client.invoke(b"op")
+    feed_reply(client, sender=0, req_id=999)
+    assert client.pending.votes == {}
+    client.cancel_pending()
+
+
+def test_retransmission_timer_fires_and_multicasts(rig):
+    sim, config, client = rig
+    client.invoke(b"op")
+    sent_before = client.socket.sent
+    sim.run_for(config.client_retransmit_ns + 1_000_000)
+    assert client.retransmissions == 1
+    # The retransmission is a multicast to the whole group.
+    assert client.socket.sent >= sent_before + config.n
+    client.cancel_pending()
+
+
+def test_latency_recorded_on_completion(rig):
+    sim, _config, client = rig
+    done = []
+    client.invoke(b"op", callback=lambda r, l: done.append(l))
+    sim.run_for(5_000_000)
+    feed_reply(client, sender=0)
+    feed_reply(client, sender=1)
+    assert client.latencies_ns == done
+    assert done[0] >= 5_000_000
+
+
+def test_view_guess_tracks_replies(rig):
+    _sim, _config, client = rig
+    client.invoke(b"op")
+    reply = Reply(view=3, req_id=1, client=client.node_id, sender=0, result=b"r")
+    client.on_reply(reply)
+    assert client.view_guess == 3
+    client.cancel_pending()
+
+
+def test_invoke_before_join_rejected():
+    sim = Simulator()
+    rng = RngStreams(92)
+    fabric = NetworkFabric(sim, rng)
+    config = PbftConfig(num_clients=1, dynamic_clients=True)
+    for rid in range(config.n):
+        fabric.add_host(f"replica{rid}")
+    fabric.add_host("clienthost0")
+    keys = KeyDirectory(config, rng.stream("keys"))
+    keys.new_client_keypair(1000)
+    client = PbftClient(1000, config, fabric.host("clienthost0"), 6000, keys)
+    with pytest.raises(ConfigError, match="joined"):
+        client.invoke(b"op")

@@ -1,0 +1,83 @@
+"""The cluster builder."""
+
+import pytest
+
+from repro.pbft.cluster import build_cluster
+from repro.pbft.config import PbftConfig
+
+
+def test_paper_shape_by_default():
+    cluster = build_cluster(PbftConfig(), seed=1)
+    assert len(cluster.replicas) == 4
+    assert len(cluster.clients) == 12
+    # 12 clients spread evenly across 4 client machines (paper section 4).
+    hosts = {}
+    for client in cluster.clients:
+        hosts.setdefault(client.host.name, 0)
+        hosts[client.host.name] += 1
+    assert sorted(hosts.values()) == [3, 3, 3, 3]
+
+
+def test_f2_gives_seven_replicas():
+    cluster = build_cluster(PbftConfig(f=2, num_clients=2), seed=1)
+    assert len(cluster.replicas) == 7
+    assert cluster.config.quorum == 5
+
+
+def test_static_mode_preregisters_clients_everywhere():
+    cluster = build_cluster(PbftConfig(num_clients=3), seed=1)
+    for replica in cluster.replicas:
+        for client in cluster.clients:
+            assert client.node_id in replica.client_addr
+            assert ("client", client.node_id) in replica.session_keys
+
+
+def test_dynamic_mode_installs_membership_and_no_preregistration():
+    cluster = build_cluster(PbftConfig(num_clients=3, dynamic_clients=True), seed=1)
+    for replica in cluster.replicas:
+        assert replica.membership is not None
+        assert replica.client_addr == {}
+    assert not cluster.clients[0].joined
+
+
+def test_same_seed_same_run():
+    def run():
+        cluster = build_cluster(PbftConfig(num_clients=2), seed=9)
+        cluster.invoke_and_wait(cluster.clients[0], b"\x00det")
+        return (
+            cluster.sim.now,
+            cluster.fabric.packets_sent,
+            cluster.replicas[0].state.refresh_tree(),
+        )
+
+    assert run() == run()
+
+
+def test_different_seed_different_timings():
+    def run(seed):
+        cluster = build_cluster(PbftConfig(num_clients=2), seed=seed)
+        cluster.invoke_and_wait(cluster.clients[0], b"\x00det")
+        # Request latency reflects the seed's network jitter draws.
+        return cluster.clients[0].latencies_ns[-1]
+
+    assert run(1) != run(2)
+
+
+def test_primary_helper():
+    cluster = build_cluster(PbftConfig(num_clients=2), seed=1)
+    assert cluster.primary() is cluster.replicas[0]
+
+
+def test_invoke_and_wait_times_out_when_cluster_dead():
+    cluster = build_cluster(PbftConfig(num_clients=2), seed=1)
+    for replica in cluster.replicas:
+        replica.crash()
+    with pytest.raises(TimeoutError):
+        cluster.invoke_and_wait(cluster.clients[0], b"\x00void", max_wait_ns=300_000_000)
+    cluster.clients[0].cancel_pending()
+
+
+def test_clock_skew_applied():
+    cluster = build_cluster(PbftConfig(num_clients=2), seed=1, clock_skew_ns=1_000_000)
+    skews = {r.host.clock_skew_ns for r in cluster.replicas}
+    assert len(skews) > 1 or 0 not in skews

@@ -1,0 +1,60 @@
+"""PBFT configuration validation and derived quantities."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.pbft.config import PbftConfig
+
+
+def test_group_sizes():
+    config = PbftConfig(f=1)
+    assert config.n == 4
+    assert config.quorum == 3
+    assert config.weak_quorum == 2
+    config = PbftConfig(f=2)
+    assert config.n == 7
+    assert config.quorum == 5
+    assert config.weak_quorum == 3
+
+
+def test_all_big_threshold_zero_marks_everything_big():
+    config = PbftConfig(big_request_threshold=0)
+    assert config.is_big(0) and config.is_big(10_000)
+
+
+def test_none_threshold_disables_big_handling():
+    config = PbftConfig(big_request_threshold=None)
+    assert not config.is_big(1_000_000)
+
+
+def test_mid_threshold():
+    config = PbftConfig(big_request_threshold=4096)
+    assert not config.is_big(4095)
+    assert config.is_big(4096)
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ConfigError):
+        PbftConfig(f=0).validate()
+    with pytest.raises(ConfigError):
+        PbftConfig(checkpoint_interval=0).validate()
+    with pytest.raises(ConfigError):
+        PbftConfig(checkpoint_interval=100, log_window=150).validate()
+    with pytest.raises(ConfigError):
+        PbftConfig(max_batch=0).validate()
+    with pytest.raises(ConfigError):
+        PbftConfig(library_pages=256, state_pages=256).validate()
+
+
+def test_with_options_makes_modified_copy():
+    base = PbftConfig()
+    changed = base.with_options(use_macs=False, batching=False)
+    assert base.use_macs and not changed.use_macs
+    assert base.batching and not changed.batching
+    assert changed.f == base.f
+
+
+def test_costs_bytes_cost():
+    config = PbftConfig()
+    assert config.costs.bytes_cost(0) == 0
+    assert config.costs.bytes_cost(1000) > 0

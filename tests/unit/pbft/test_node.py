@@ -1,0 +1,160 @@
+"""Node-level authentication paths (envelopes, keys, failure modes)."""
+
+import pytest
+
+from repro.net.fabric import NetworkFabric
+from repro.pbft.config import PbftConfig
+from repro.pbft.messages import StatusMsg
+from repro.pbft.node import (
+    AUTH_MAC,
+    AUTH_NONE,
+    AUTH_SIG,
+    AUTH_VECTOR,
+    Envelope,
+    KeyDirectory,
+    Node,
+    replica_address,
+)
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+
+class Collector(Node):
+    """Node that records what passes verification."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def dispatch(self, env):
+        self.received.append(env.msg)
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator()
+    rng = RngStreams(17)
+    fabric = NetworkFabric(sim, rng)
+    config = PbftConfig()
+    for rid in range(config.n):
+        fabric.add_host(f"replica{rid}")
+    keys = KeyDirectory(config, rng.stream("keys"))
+    nodes = [
+        Collector(config, fabric.host(f"replica{rid}"), 5000, keys, "replica", rid)
+        for rid in range(config.n)
+    ]
+    return sim, config, keys, nodes
+
+
+def msg(sender=0):
+    return StatusMsg(view=0, last_exec_seq=1, stable_seq=0, sender=sender, recovering=False)
+
+
+def test_mac_send_verifies_at_peer(rig):
+    sim, _config, _keys, nodes = rig
+    nodes[0].send_mac(replica_address(1), "replica", 1, msg(0))
+    sim.run()
+    assert len(nodes[1].received) == 1
+    assert nodes[1].auth_failures == 0
+
+
+def test_signed_send_verifies_at_peer(rig):
+    sim, _config, _keys, nodes = rig
+    nodes[0].send_signed(replica_address(2), msg(0))
+    sim.run()
+    assert len(nodes[2].received) == 1
+
+
+def test_broadcast_reaches_all_but_excluded(rig):
+    sim, _config, _keys, nodes = rig
+    nodes[0].broadcast_to_replicas(msg(0), exclude=0)
+    sim.run()
+    assert len(nodes[0].received) == 0
+    for peer in nodes[1:]:
+        assert len(peer.received) == 1
+
+
+def test_broadcast_only_subset(rig):
+    sim, _config, _keys, nodes = rig
+    nodes[0].broadcast_to_replicas(msg(0), only=[2])
+    sim.run()
+    assert len(nodes[2].received) == 1
+    assert len(nodes[1].received) == 0
+
+
+def test_forged_signature_rejected(rig):
+    sim, _config, keys, nodes = rig
+    from repro.crypto.rabin import rabin_sign
+
+    message = msg(0)
+    # Signed with replica 3's key but claiming to be replica 0.
+    sig = rabin_sign(keys.replica_keys[3], message.auth_bytes())
+    env = Envelope(message, AUTH_SIG, sig, "replica", 0)
+    nodes[0].socket.send(replica_address(1), env, env.size, "forged")
+    sim.run()
+    assert nodes[1].received == []
+    assert nodes[1].auth_failures == 1
+
+
+def test_mac_without_session_key_rejected(rig):
+    """The paper section 2.3 condition: a replica without the sender's
+    session key cannot validate MAC-authenticated traffic."""
+    sim, _config, _keys, nodes = rig
+    nodes[0].send_mac(replica_address(1), "replica", 1, msg(0))
+    nodes[1].drop_session_keys()
+    # Re-deriving replica-replica keys from static config succeeds, so use
+    # a client-keyed envelope instead to model the missing-key case.
+    env = Envelope(msg(0), AUTH_MAC, b"\0\0\0\0", "client", 4242)
+    nodes[0].socket.send(replica_address(1), env, env.size, "client-msg")
+    sim.run()
+    assert nodes[1].auth_failures == 1
+
+
+def test_replica_pair_keys_rederive_after_drop(rig):
+    sim, _config, _keys, nodes = rig
+    nodes[1].drop_session_keys("replica")
+    nodes[0].send_mac(replica_address(1), "replica", 1, msg(0))
+    sim.run()
+    assert len(nodes[1].received) == 1  # static config re-derives the key
+
+
+def test_plain_send_accepted_without_keys(rig):
+    sim, _config, _keys, nodes = rig
+    nodes[0].send_plain(replica_address(1), msg(0))
+    sim.run()
+    assert len(nodes[1].received) == 1
+
+
+def test_envelope_size_includes_auth_trailer(rig):
+    _sim, _config, keys, nodes = rig
+    message = msg(0)
+    plain = Envelope(message, AUTH_NONE, None, "replica", 0)
+    mac = Envelope(message, AUTH_MAC, b"\0\0\0\0", "replica", 0)
+    from repro.crypto.authenticators import Authenticator
+
+    vec = Envelope(
+        message, AUTH_VECTOR, Authenticator({0: b"x" * 4, 1: b"y" * 4}), "replica", 0
+    )
+    assert plain.size < mac.size < vec.size + 8
+    from repro.crypto.rabin import rabin_sign
+
+    sig = rabin_sign(keys.replica_keys[0], message.auth_bytes())
+    signed = Envelope(message, AUTH_SIG, sig, "replica", 0)
+    assert signed.size > mac.size
+
+
+def test_tampered_message_with_valid_looking_mac_rejected(rig):
+    sim, _config, keys, nodes = rig
+    from repro.crypto.mac import compute_mac
+
+    original = msg(0)
+    key = keys.replica_pair_key(0, 1)
+    tag = compute_mac(key, original.auth_bytes())
+    tampered = StatusMsg(
+        view=0, last_exec_seq=999, stable_seq=0, sender=0, recovering=False
+    )
+    env = Envelope(tampered, AUTH_MAC, tag, "replica", 0)
+    nodes[0].socket.send(replica_address(1), env, env.size, "tampered")
+    sim.run()
+    assert nodes[1].received == []
+    assert nodes[1].auth_failures == 1

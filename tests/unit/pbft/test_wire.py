@@ -1,0 +1,57 @@
+"""The canonical byte codec."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.pbft.wire import Decoder, Encoder
+
+
+def test_scalar_roundtrip():
+    raw = (
+        Encoder().u8(7).u16(300).u32(70000).u64(1 << 40).i64(-5).boolean(True).finish()
+    )
+    dec = Decoder(raw)
+    assert dec.u8() == 7
+    assert dec.u16() == 300
+    assert dec.u32() == 70000
+    assert dec.u64() == 1 << 40
+    assert dec.i64() == -5
+    assert dec.boolean() is True
+    dec.expect_end()
+
+
+def test_blob_roundtrip():
+    raw = Encoder().blob(b"hello").blob(b"").finish()
+    dec = Decoder(raw)
+    assert dec.blob() == b"hello"
+    assert dec.blob() == b""
+
+
+def test_sequence_roundtrip():
+    raw = Encoder().sequence([1, 2, 3], lambda e, x: e.u32(x)).finish()
+    assert Decoder(raw).sequence(lambda d: d.u32()) == [1, 2, 3]
+
+
+def test_raw_fixed_fields():
+    raw = Encoder().raw(b"0123456789abcdef").finish()
+    assert Decoder(raw).raw(16) == b"0123456789abcdef"
+
+
+def test_truncation_detected():
+    raw = Encoder().u32(5).finish()
+    dec = Decoder(raw[:2])
+    with pytest.raises(ProtocolError, match="truncated"):
+        dec.u32()
+
+
+def test_trailing_bytes_detected():
+    dec = Decoder(b"\x00\x01")
+    dec.u8()
+    with pytest.raises(ProtocolError, match="trailing"):
+        dec.expect_end()
+
+
+def test_truncated_blob_detected():
+    raw = Encoder().blob(b"abcdef").finish()
+    with pytest.raises(ProtocolError):
+        Decoder(raw[:-2]).blob()

@@ -1,0 +1,123 @@
+"""The discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.simulator import Simulator
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0
+
+
+def test_schedule_and_run_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [100]
+    assert sim.now == 100
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(300, lambda: order.append("c"))
+    sim.schedule(100, lambda: order.append("a"))
+    sim.schedule(200, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(50, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_events_scheduled_during_events_run():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(10, lambda: seen.append("second"))
+
+    sim.schedule(5, first)
+    sim.run()
+    assert seen == ["first", "second"]
+    assert sim.now == 15
+
+
+def test_run_until_stops_at_deadline_and_keeps_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda: fired.append(100))
+    sim.schedule(200, lambda: fired.append(200))
+    sim.run_until(150)
+    assert fired == [100]
+    assert sim.now == 150
+    sim.run_until(250)
+    assert fired == [100, 200]
+
+
+def test_run_for_is_relative():
+    sim = Simulator()
+    sim.run_for(500)
+    assert sim.now == 500
+    sim.run_for(500)
+    assert sim.now == 1000
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(100, lambda: fired.append(1))
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.pending
+
+
+def test_timer_pending_lifecycle():
+    sim = Simulator()
+    timer = sim.schedule(100, lambda: None)
+    assert timer.pending
+    sim.run()
+    assert not timer.pending
+    assert timer.fired
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.run_until(100)
+    with pytest.raises(ConfigError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_max_events_bounds_run():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1, lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_run_counter_skips_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(10, lambda: None)
+    drop = sim.schedule(20, lambda: None)
+    drop.cancel()
+    sim.run()
+    assert sim.events_run == 1
+    assert keep.fired

@@ -1,0 +1,146 @@
+"""The B+tree."""
+
+import pytest
+
+from repro.common.errors import SqlError
+from repro.sqlstate.btree import BTree
+from repro.sqlstate.pager import Pager
+from repro.sqlstate.vfs import MemoryVfsFile
+
+
+def make_tree(page_size=512):
+    pager = Pager(MemoryVfsFile(), page_size=page_size)
+    pager.begin()
+    return BTree.create(pager), pager
+
+
+def key(i):
+    return f"key-{i:06d}".encode()
+
+
+def test_get_on_empty_tree():
+    tree, _ = make_tree()
+    assert tree.get(b"missing") is None
+
+
+def test_insert_get_single():
+    tree, _ = make_tree()
+    tree.insert(b"k", b"v")
+    assert tree.get(b"k") == b"v"
+
+
+def test_insert_many_forces_splits_and_keeps_all():
+    tree, pager = make_tree(page_size=512)
+    n = 500
+    for i in range(n):
+        tree.insert(key(i), f"value-{i}".encode())
+    assert pager.page_count > 10  # the tree really did split
+    for i in range(n):
+        assert tree.get(key(i)) == f"value-{i}".encode()
+
+
+def test_reverse_and_shuffled_insert_orders():
+    import random
+
+    for order in ("forward", "reverse", "shuffled"):
+        tree, _ = make_tree()
+        indices = list(range(300))
+        if order == "reverse":
+            indices.reverse()
+        elif order == "shuffled":
+            random.Random(5).shuffle(indices)
+        for i in indices:
+            tree.insert(key(i), str(i).encode())
+        assert [k for k, _v in tree.scan()] == [key(i) for i in range(300)]
+
+
+def test_replace_existing_value():
+    tree, _ = make_tree()
+    tree.insert(b"k", b"old")
+    tree.insert(b"k", b"new")
+    assert tree.get(b"k") == b"new"
+    assert tree.count() == 1
+
+
+def test_insert_no_replace_raises_on_duplicate():
+    tree, _ = make_tree()
+    tree.insert(b"k", b"v", replace=False)
+    with pytest.raises(SqlError, match="duplicate"):
+        tree.insert(b"k", b"v2", replace=False)
+
+
+def test_delete():
+    tree, _ = make_tree()
+    for i in range(100):
+        tree.insert(key(i), b"v")
+    assert tree.delete(key(50))
+    assert tree.get(key(50)) is None
+    assert not tree.delete(key(50))
+    assert tree.count() == 99
+
+
+def test_scan_in_order_across_leaves():
+    tree, _ = make_tree()
+    for i in reversed(range(400)):
+        tree.insert(key(i), str(i).encode())
+    keys = [k for k, _v in tree.scan()]
+    assert keys == sorted(keys)
+    assert len(keys) == 400
+
+
+def test_scan_from_start_key():
+    tree, _ = make_tree()
+    for i in range(100):
+        tree.insert(key(i), b"v")
+    keys = [k for k, _v in tree.scan(start_key=key(95))]
+    assert keys == [key(i) for i in range(95, 100)]
+
+
+def test_scan_prefix():
+    tree, _ = make_tree()
+    tree.insert(b"a:1", b"1")
+    tree.insert(b"a:2", b"2")
+    tree.insert(b"b:1", b"3")
+    assert [k for k, _v in tree.scan_prefix(b"a:")] == [b"a:1", b"a:2"]
+
+
+def test_last_key():
+    tree, _ = make_tree()
+    assert tree.last_key() is None
+    for i in range(250):
+        tree.insert(key(i), b"v")
+    assert tree.last_key() == key(249)
+    tree.delete(key(249))
+    assert tree.last_key() == key(248)
+
+
+def test_oversized_entry_rejected():
+    tree, pager = make_tree(page_size=512)
+    with pytest.raises(SqlError, match="page"):
+        tree.insert(b"k", b"v" * 1000)
+
+
+def test_two_trees_share_one_pager():
+    pager = Pager(MemoryVfsFile(), page_size=512)
+    pager.begin()
+    a = BTree.create(pager)
+    b = BTree.create(pager)
+    for i in range(100):
+        a.insert(key(i), b"a")
+        b.insert(key(i), b"b")
+    assert a.get(key(5)) == b"a"
+    assert b.get(key(5)) == b"b"
+
+
+def test_persistence_across_pager_reopen():
+    file = MemoryVfsFile()
+    pager = Pager(file, page_size=512)
+    pager.begin()
+    tree = BTree.create(pager)
+    root = tree.root_page
+    for i in range(200):
+        tree.insert(key(i), str(i).encode())
+    pager.commit()
+    reopened = BTree(Pager(file, page_size=512), root)
+    assert reopened.get(key(123)) == b"123"
+    assert reopened.count() == 200

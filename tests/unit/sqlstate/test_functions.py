@@ -1,0 +1,111 @@
+"""Scalar and aggregate SQL functions."""
+
+import pytest
+
+from repro.common.errors import SqlError
+from repro.sqlstate.functions import (
+    Aggregate,
+    call_scalar,
+    is_aggregate_call,
+    like_match,
+)
+from repro.sqlstate.values import SqlNull
+from repro.sqlstate.vfs import VfsEnvironment
+
+
+ENV = VfsEnvironment()
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("abc", "abc", True),
+            ("abc", "ABC", True),  # case-insensitive
+            ("a%", "abcdef", True),
+            ("%f", "abcdef", True),
+            ("%cd%", "abcdef", True),
+            ("a_c", "abc", True),
+            ("a_c", "abbc", False),
+            ("%", "", True),
+            ("", "", True),
+            ("", "x", False),
+            ("a%%b", "ab", True),
+            ("x%", "abc", False),
+        ],
+    )
+    def test_patterns(self, pattern, text, expected):
+        assert like_match(pattern, text) is expected
+
+
+class TestScalars:
+    def test_length_of_null(self):
+        assert call_scalar("length", [SqlNull], ENV) is SqlNull
+
+    def test_substr_negative_start(self):
+        assert call_scalar("substr", ["hello", -3], ENV) == "llo"
+
+    def test_min_max_scalar_form(self):
+        assert call_scalar("min", [3, 1, 2], ENV) == 1
+        assert call_scalar("max", [3, SqlNull, 2], ENV) == 3
+        assert call_scalar("min", [SqlNull], ENV) is SqlNull
+
+    def test_ifnull(self):
+        assert call_scalar("ifnull", [SqlNull, 5], ENV) == 5
+        with pytest.raises(SqlError):
+            call_scalar("ifnull", [1], ENV)
+
+    def test_unknown_function(self):
+        with pytest.raises(SqlError):
+            call_scalar("nope", [], ENV)
+
+
+class TestAggregates:
+    def run(self, name, values, distinct=False):
+        agg = Aggregate(name, distinct=distinct)
+        for value in values:
+            agg.step(value)
+        return agg.result()
+
+    def test_count_skips_nulls(self):
+        assert self.run("count", [1, SqlNull, 2]) == 2
+
+    def test_count_star_counts_everything(self):
+        assert self.run("count_star", [1, 1, 1]) == 3
+
+    def test_sum_empty_is_null_total_is_zero(self):
+        assert self.run("sum", []) is SqlNull
+        assert self.run("total", []) == 0.0
+
+    def test_sum_keeps_int_when_all_ints(self):
+        assert self.run("sum", [1, 2, 3]) == 6
+        assert isinstance(self.run("sum", [1, 2, 3]), int)
+        assert isinstance(self.run("sum", [1, 2.5]), float)
+
+    def test_avg(self):
+        assert self.run("avg", [2, 4]) == 3.0
+        assert self.run("avg", []) is SqlNull
+
+    def test_min_max(self):
+        assert self.run("min", [3, 1, 2]) == 1
+        assert self.run("max", ["a", "c", "b"]) == "c"
+
+    def test_distinct(self):
+        assert self.run("count", [1, 1, 2], distinct=True) == 2
+        assert self.run("sum", [5, 5, 1], distinct=True) == 6
+
+    def test_sum_of_text_rejected(self):
+        with pytest.raises(SqlError):
+            self.run("sum", ["abc"])
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(SqlError):
+            Aggregate("frobnicate")
+
+
+def test_is_aggregate_call():
+    assert is_aggregate_call("count", 1)
+    assert is_aggregate_call("sum", 1)
+    assert is_aggregate_call("min", 1)
+    assert not is_aggregate_call("min", 3)  # scalar min(a, b, c)
+    assert not is_aggregate_call("length", 1)

@@ -1,0 +1,185 @@
+"""Pager transactions, journaling, crash recovery."""
+
+import pytest
+
+from repro.common.errors import SqlError
+from repro.sqlstate.pager import Pager
+from repro.sqlstate.vfs import DiskModel, MemoryVfsFile
+
+
+def make_pager(journal=True, disk=None):
+    journal_file = MemoryVfsFile(disk=disk) if journal else None
+    return Pager(MemoryVfsFile(), page_size=512, journal_file=journal_file)
+
+
+def page_of(byte, size=512):
+    return bytes([byte]) * size
+
+
+def test_fresh_file_initialized_with_header():
+    pager = make_pager()
+    assert pager.page_count == 1
+    assert pager.schema_root == 0
+
+
+def test_allocate_get_put():
+    pager = make_pager()
+    pager.begin()
+    page_no = pager.allocate()
+    pager.put(page_no, page_of(7))
+    assert pager.get(page_no) == page_of(7)
+    pager.commit()
+    assert pager.get(page_no) == page_of(7)
+
+
+def test_put_wrong_size_rejected():
+    pager = make_pager()
+    pager.begin()
+    page_no = pager.allocate()
+    with pytest.raises(SqlError):
+        pager.put(page_no, b"short")
+
+
+def test_out_of_range_access_rejected():
+    pager = make_pager()
+    with pytest.raises(SqlError):
+        pager.get(99)
+
+
+def test_rollback_restores_pre_transaction_content():
+    pager = make_pager()
+    pager.begin()
+    page_no = pager.allocate()
+    pager.put(page_no, page_of(1))
+    pager.commit()
+    pager.begin()
+    pager.put(page_no, page_of(2))
+    pager.rollback()
+    assert pager.get(page_no) == page_of(1)
+
+
+def test_rollback_without_journal_rejected():
+    pager = make_pager(journal=False)
+    pager.begin()
+    with pytest.raises(SqlError, match="journal"):
+        pager.rollback()
+
+
+def test_freelist_reuses_pages():
+    pager = make_pager()
+    pager.begin()
+    a = pager.allocate()
+    pager.free(a)
+    b = pager.allocate()
+    assert b == a
+    pager.commit()
+
+
+def test_persistence_across_reopen():
+    file = MemoryVfsFile()
+    pager = Pager(file, page_size=512, journal_file=MemoryVfsFile())
+    pager.begin()
+    page_no = pager.allocate()
+    pager.put(page_no, page_of(9))
+    pager.commit()
+    reopened = Pager(file, page_size=512, journal_file=MemoryVfsFile())
+    assert reopened.page_count == pager.page_count
+    assert reopened.get(page_no) == page_of(9)
+
+
+def test_page_size_mismatch_detected():
+    file = MemoryVfsFile()
+    Pager(file, page_size=512)._flush_all()
+    with pytest.raises(SqlError, match="page size"):
+        Pager(file, page_size=1024)
+
+
+def test_crash_before_commit_loses_nothing_durable():
+    disk = DiskModel()
+    db_file = MemoryVfsFile(disk=disk)
+    journal_file = MemoryVfsFile(disk=disk)
+    pager = Pager(db_file, page_size=512, journal_file=journal_file)
+    pager.begin()
+    page_no = pager.allocate()
+    pager.put(page_no, page_of(1))
+    pager.commit()
+    committed_count = pager.page_count
+
+    pager.begin()
+    new_page = pager.allocate()
+    pager.put(new_page, page_of(2))
+    pager.put(page_no, page_of(3))
+    # Crash before commit: volatile cache and unsynced writes evaporate.
+    pager.crash()
+    db_file.crash()
+    journal_file.crash()
+
+    recovered = Pager(db_file, page_size=512, journal_file=journal_file)
+    assert recovered.page_count == committed_count
+    assert recovered.get(page_no) == page_of(1)
+
+
+def test_crash_mid_commit_after_journal_sync_rolls_back():
+    """The journal protocol's whole point: a crash between journal sync and
+    database sync must roll back cleanly on reopen."""
+    disk = DiskModel()
+    db_file = MemoryVfsFile(disk=disk)
+    journal_file = MemoryVfsFile(disk=disk)
+    pager = Pager(db_file, page_size=512, journal_file=journal_file)
+    pager.begin()
+    page_no = pager.allocate()
+    pager.put(page_no, page_of(1))
+    pager.commit()
+
+    pager.begin()
+    pager.put(page_no, page_of(2))
+    # Manually simulate the torn commit: seal+sync the journal, write the
+    # db pages, but crash before the db sync.
+    pager.journal.seal()
+    pager._flush_all()
+    db_file.crash()  # db writes lost (never synced)
+    pager.crash()
+
+    recovered = Pager(db_file, page_size=512, journal_file=journal_file)
+    assert recovered.get(page_no) == page_of(1)
+    assert getattr(recovered, "recovered", False)
+
+
+def test_crash_after_full_commit_is_durable():
+    disk = DiskModel()
+    db_file = MemoryVfsFile(disk=disk)
+    journal_file = MemoryVfsFile(disk=disk)
+    pager = Pager(db_file, page_size=512, journal_file=journal_file)
+    pager.begin()
+    page_no = pager.allocate()
+    pager.put(page_no, page_of(5))
+    pager.commit()
+    db_file.crash()
+    journal_file.crash()
+    recovered = Pager(db_file, page_size=512, journal_file=journal_file)
+    assert recovered.get(page_no) == page_of(5)
+
+
+def test_disk_model_counts_syncs():
+    disk = DiskModel()
+    journal_file = MemoryVfsFile(disk=disk)
+    pager = Pager(MemoryVfsFile(), page_size=512, journal_file=journal_file)
+    pager.begin()
+    page_no = pager.allocate()
+    pager.put(page_no, page_of(1))
+    before = disk.syncs
+    pager.commit()
+    assert disk.syncs > before
+
+
+def test_nested_begin_rejected():
+    pager = make_pager()
+    pager.begin()
+    with pytest.raises(SqlError):
+        pager.begin()
+
+
+def test_commit_without_begin_rejected():
+    pager = make_pager()
+    with pytest.raises(SqlError):
+        pager.commit()

@@ -1,0 +1,256 @@
+"""SQL parser."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError
+from repro.sqlstate import ast
+from repro.sqlstate.parser import parse, parse_script
+from repro.sqlstate.values import SqlNull
+
+
+class TestCreate:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+            "score REAL DEFAULT 0, tag TEXT UNIQUE)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.name == "t"
+        id_col, name_col, score_col, tag_col = stmt.columns
+        assert id_col.primary_key and id_col.declared_type == "INTEGER"
+        assert name_col.not_null
+        assert isinstance(score_col.default, ast.Literal)
+        assert tag_col.unique
+
+    def test_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a INTEGER)").if_not_exists
+
+    def test_create_index(self):
+        stmt = parse("CREATE UNIQUE INDEX idx ON t (a, b)")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.unique and stmt.columns == ("a", "b")
+
+    def test_drop_table(self):
+        stmt = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, ast.DropTable) and stmt.if_exists
+
+
+class TestInsert:
+    def test_basic(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert stmt.table == "t" and stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 1
+
+    def test_multi_row(self):
+        stmt = parse("INSERT INTO t VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_parameters_numbered_in_order(self):
+        stmt = parse("INSERT INTO t VALUES (?, ?, ?)")
+        indices = [expr.index for expr in stmt.rows[0]]
+        assert indices == [0, 1, 2]
+
+    def test_explicit_parameter_numbers(self):
+        stmt = parse("INSERT INTO t VALUES (?2, ?1)")
+        assert [e.index for e in stmt.rows[0]] == [1, 0]
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.items[0].star
+        assert isinstance(stmt.source, ast.TableRef)
+
+    def test_where_order_limit_offset(self):
+        stmt = parse(
+            "SELECT a, b AS bee FROM t WHERE a > 5 ORDER BY b DESC, a LIMIT 10 OFFSET 2"
+        )
+        assert stmt.items[1].alias == "bee"
+        assert isinstance(stmt.where, ast.Binary) and stmt.where.op == ">"
+        assert stmt.order_by[0].descending and not stmt.order_by[1].descending
+        assert isinstance(stmt.limit, ast.Literal) and stmt.limit.value == 10
+        assert stmt.offset.value == 2
+
+    def test_group_by_having(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.items[1].expr.star
+
+    def test_join_with_on(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.id = b.aid LEFT JOIN c ON b.id = c.bid")
+        outer = stmt.source
+        assert isinstance(outer, ast.Join) and outer.kind == "LEFT"
+        inner = outer.left
+        assert isinstance(inner, ast.Join) and inner.kind == "INNER"
+
+    def test_table_aliases(self):
+        stmt = parse("SELECT v.a FROM votes v")
+        assert stmt.source.alias == "v"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_expression_select_without_from(self):
+        stmt = parse("SELECT 1 + 2 * 3")
+        assert stmt.source is None
+
+    def test_table_dot_star(self):
+        stmt = parse("SELECT v.* FROM votes v")
+        assert stmt.items[0].star and stmt.items[0].star_table == "v"
+
+
+class TestExpressions:
+    def where(self, clause):
+        return parse(f"SELECT * FROM t WHERE {clause}").where
+
+    def test_precedence_and_or(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        expr = self.where("a = 1 + 2 * 3")
+        add = expr.right
+        assert add.op == "+" and add.right.op == "*"
+
+    def test_not(self):
+        expr = self.where("NOT a = 1")
+        assert isinstance(expr, ast.Unary) and expr.op == "NOT"
+
+    def test_is_null_and_is_not_null(self):
+        assert not self.where("a IS NULL").negated
+        assert self.where("a IS NOT NULL").negated
+
+    def test_in_list(self):
+        expr = self.where("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList) and len(expr.items) == 3
+        assert self.where("a NOT IN (1)").negated
+
+    def test_between(self):
+        expr = self.where("a BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+        assert self.where("a NOT BETWEEN 1 AND 2").negated
+
+    def test_like(self):
+        expr = self.where("name LIKE 'v%'")
+        assert expr.op == "LIKE"
+
+    def test_case_expression(self):
+        expr = self.where("CASE WHEN a = 1 THEN 'one' ELSE 'other' END = 'one'")
+        case = expr.left
+        assert isinstance(case, ast.CaseExpr) and case.operand is None
+
+    def test_case_with_operand(self):
+        stmt = parse("SELECT CASE a WHEN 1 THEN 'x' END FROM t")
+        case = stmt.items[0].expr
+        assert case.operand is not None
+
+    def test_function_calls(self):
+        stmt = parse("SELECT length(name), coalesce(a, b, 0) FROM t")
+        assert stmt.items[0].expr.name == "length"
+        assert len(stmt.items[1].expr.args) == 3
+
+    def test_null_literal(self):
+        stmt = parse("SELECT NULL")
+        assert stmt.items[0].expr.value is SqlNull
+
+    def test_unary_minus(self):
+        stmt = parse("SELECT -5")
+        assert isinstance(stmt.items[0].expr, ast.Unary)
+
+    def test_string_concat(self):
+        expr = self.where("a || b = 'ab'")
+        assert expr.left.op == "||"
+
+
+class TestDml:
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 5")
+        assert isinstance(stmt, ast.Update)
+        assert [name for name, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a < 0")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_transactions(self):
+        assert isinstance(parse("BEGIN"), ast.Begin)
+        assert isinstance(parse("BEGIN TRANSACTION"), ast.Begin)
+        assert isinstance(parse("COMMIT"), ast.Commit)
+        assert isinstance(parse("ROLLBACK"), ast.Rollback)
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1);")
+        assert len(statements) == 2
+
+    def test_parse_rejects_multiple(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1; SELECT 2")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "SELECT",
+        "SELECT FROM t",
+        "INSERT t VALUES (1)",
+        "CREATE TABLE (a INTEGER)",
+        "UPDATE t a = 1",
+        "DELETE t",
+        "SELECT * FROM t WHERE",
+        "SELECT * FROM t ORDER",
+        "CASE WHEN END",
+        "FLURB 1",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(SqlSyntaxError):
+        parse(bad)
+
+
+class TestSubquerySyntax:
+    def test_in_select(self):
+        stmt = parse("SELECT * FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(stmt.where, ast.InSelect)
+        assert not stmt.where.negated
+
+    def test_not_in_select(self):
+        stmt = parse("SELECT * FROM t WHERE a NOT IN (SELECT b FROM u)")
+        assert stmt.where.negated
+
+    def test_scalar_subquery(self):
+        stmt = parse("SELECT (SELECT MAX(a) FROM t)")
+        assert isinstance(stmt.items[0].expr, ast.ScalarSubquery)
+
+    def test_exists(self):
+        stmt = parse("SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(stmt.where, ast.Exists)
+        assert not stmt.where.negated
+
+    def test_not_exists(self):
+        stmt = parse("SELECT * FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+        assert isinstance(stmt.where, ast.Exists)
+        assert stmt.where.negated
+
+
+class TestDdlSyntax:
+    def test_alter_add_column(self):
+        stmt = parse("ALTER TABLE t ADD COLUMN c TEXT DEFAULT 'x'")
+        assert isinstance(stmt, ast.AlterTableAddColumn)
+        assert stmt.column.name == "c"
+
+    def test_alter_add_without_column_keyword(self):
+        stmt = parse("ALTER TABLE t ADD c INTEGER")
+        assert stmt.column.name == "c"
+
+    def test_alter_add_primary_key_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("ALTER TABLE t ADD COLUMN c INTEGER PRIMARY KEY")
+
+    def test_drop_index(self):
+        stmt = parse("DROP INDEX IF EXISTS idx")
+        assert isinstance(stmt, ast.DropIndex) and stmt.if_exists

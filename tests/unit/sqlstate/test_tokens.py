@@ -1,0 +1,86 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError
+from repro.sqlstate.tokens import (
+    T_BLOB,
+    T_EOF,
+    T_IDENT,
+    T_KEYWORD,
+    T_NUMBER,
+    T_OP,
+    T_PARAM,
+    T_STRING,
+    tokenize,
+)
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("select FROM WhErE")
+    assert [t.kind for t in tokens[:-1]] == [T_KEYWORD] * 3
+    assert [t.text for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+
+def test_identifiers_preserve_case():
+    token = tokenize("MyTable")[0]
+    assert token.kind == T_IDENT and token.text == "MyTable"
+
+
+def test_numbers():
+    tokens = tokenize("1 2.5 1e3 0.5 3E-2")
+    values = [t.value for t in tokens[:-1]]
+    assert values == [1, 2.5, 1000.0, 0.5, 0.03]
+    assert isinstance(values[0], int)
+    assert isinstance(values[1], float)
+
+
+def test_string_literal_with_escaped_quote():
+    token = tokenize("'it''s'")[0]
+    assert token.kind == T_STRING and token.value == "it's"
+
+
+def test_blob_literal():
+    token = tokenize("x'DEADBEEF'")[0]
+    assert token.kind == T_BLOB and token.value == bytes.fromhex("deadbeef")
+
+
+def test_parameters():
+    tokens = tokenize("? ?3")
+    assert tokens[0].kind == T_PARAM and tokens[0].value is None
+    assert tokens[1].kind == T_PARAM and tokens[1].value == 3
+
+
+def test_operators_longest_match():
+    assert texts("a <= b <> c || d != e") == ["a", "<=", "b", "<>", "c", "||", "d", "!=", "e"]
+
+
+def test_comments_skipped():
+    tokens = tokenize("SELECT -- line comment\n 1 /* block */ + 2")
+    assert [t.text for t in tokens[:-1]] == ["SELECT", "1", "+", "2"]
+
+
+def test_quoted_identifier():
+    token = tokenize('"weird name"')[0]
+    assert token.kind == T_IDENT and token.text == "weird name"
+
+
+def test_eof_terminates():
+    assert tokenize("")[0].kind == T_EOF
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["'unterminated", "/* unterminated", 'x\'GG\'', "@", '"open'],
+)
+def test_junk_rejected(bad):
+    with pytest.raises(SqlSyntaxError):
+        tokenize(bad)

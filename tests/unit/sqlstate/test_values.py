@@ -1,0 +1,98 @@
+"""SQL value semantics: comparison, truthiness, affinity."""
+
+import pytest
+
+from repro.sqlstate.values import (
+    AFF_BLOB,
+    AFF_INTEGER,
+    AFF_NUMERIC,
+    AFF_REAL,
+    AFF_TEXT,
+    SqlNull,
+    affinity_of,
+    apply_affinity,
+    compare,
+    format_value,
+    is_truthy,
+)
+
+
+class TestCompare:
+    def test_cross_class_ordering(self):
+        # NULL < numbers < text < blob (SQLite's storage-class order).
+        assert compare(SqlNull, 0) < 0
+        assert compare(0, "a") < 0
+        assert compare("z", b"\x00") < 0
+
+    def test_numbers_compare_numerically(self):
+        assert compare(1, 2) < 0
+        assert compare(2.5, 2) > 0
+        assert compare(3, 3.0) == 0
+
+    def test_text_lexicographic(self):
+        assert compare("apple", "banana") < 0
+        assert compare("b", "ab") > 0
+
+    def test_nulls_equal_for_sorting(self):
+        assert compare(SqlNull, SqlNull) == 0
+
+
+class TestTruthiness:
+    @pytest.mark.parametrize("value", [SqlNull, 0, 0.0, "0", "abc", ""])
+    def test_falsy(self, value):
+        if value == "abc" or value == "":
+            assert not is_truthy(value)
+        else:
+            assert not is_truthy(value)
+
+    @pytest.mark.parametrize("value", [1, -1, 0.5, "3.14", b"x"])
+    def test_truthy(self, value):
+        assert is_truthy(value)
+
+
+class TestAffinity:
+    @pytest.mark.parametrize(
+        "declared,expected",
+        [
+            ("INTEGER", AFF_INTEGER),
+            ("INT", AFF_INTEGER),
+            ("BIGINT", AFF_INTEGER),
+            ("TEXT", AFF_TEXT),
+            ("VARCHAR(100)", AFF_TEXT),
+            ("CLOB", AFF_TEXT),
+            ("BLOB", AFF_BLOB),
+            ("", AFF_BLOB),
+            ("REAL", AFF_REAL),
+            ("DOUBLE", AFF_REAL),
+            ("FLOAT", AFF_REAL),
+            ("DECIMAL", AFF_NUMERIC),
+        ],
+    )
+    def test_affinity_rules(self, declared, expected):
+        assert affinity_of(declared) == expected
+
+    def test_integer_affinity_coerces(self):
+        assert apply_affinity("42", AFF_INTEGER) == 42
+        assert apply_affinity(42.0, AFF_INTEGER) == 42
+        assert isinstance(apply_affinity(42.0, AFF_INTEGER), int)
+        assert apply_affinity("2.5", AFF_INTEGER) == 2.5
+        assert apply_affinity("not a number", AFF_INTEGER) == "not a number"
+
+    def test_real_affinity_coerces(self):
+        assert apply_affinity(42, AFF_REAL) == 42.0
+        assert isinstance(apply_affinity(42, AFF_REAL), float)
+        assert apply_affinity("1.5", AFF_REAL) == 1.5
+
+    def test_text_affinity_stringifies_numbers(self):
+        assert apply_affinity(42, AFF_TEXT) == "42"
+
+    def test_null_and_blob_never_coerced(self):
+        assert apply_affinity(SqlNull, AFF_INTEGER) is SqlNull
+        assert apply_affinity(b"raw", AFF_TEXT) == b"raw"
+
+
+def test_format_value():
+    assert format_value(SqlNull) == "NULL"
+    assert format_value(42) == "42"
+    assert format_value("x") == "x"
+    assert format_value(b"\xab") == "ab"

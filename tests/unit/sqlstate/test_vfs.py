@@ -1,0 +1,135 @@
+"""The VFS layer: memory files, disk semantics, the state-region backend."""
+
+import pytest
+
+from repro.common.errors import SqlError
+from repro.sqlstate.vfs import (
+    DiskModel,
+    MemoryVfsFile,
+    StateRegionVfsFile,
+    VfsEnvironment,
+)
+from repro.statemgr.pages import PagedState
+
+
+class TestMemoryFile:
+    def test_read_write(self):
+        f = MemoryVfsFile()
+        f.write(10, b"hello")
+        assert f.read(10, 5) == b"hello"
+        assert f.size() == 15
+
+    def test_read_past_end_returns_short(self):
+        f = MemoryVfsFile()
+        f.write(0, b"ab")
+        assert f.read(0, 10) == b"ab"
+
+    def test_truncate(self):
+        f = MemoryVfsFile()
+        f.write(0, b"abcdef")
+        f.truncate(3)
+        assert f.size() == 3
+        assert f.read(0, 10) == b"abc"
+
+    def test_sparse_write_zero_fills(self):
+        f = MemoryVfsFile()
+        f.write(5, b"x")
+        assert f.read(0, 6) == b"\0\0\0\0\0x"
+
+
+class TestDiskSemantics:
+    def test_unsynced_writes_lost_on_crash(self):
+        f = MemoryVfsFile(disk=DiskModel())
+        f.write(0, b"synced")
+        f.sync()
+        f.write(0, b"volatl")
+        f.crash()
+        assert f.read(0, 6) == b"synced"
+
+    def test_synced_writes_survive_crash(self):
+        f = MemoryVfsFile(disk=DiskModel())
+        f.write(0, b"keep")
+        f.sync()
+        f.crash()
+        assert f.read(0, 4) == b"keep"
+
+    def test_reads_see_unsynced_writes_before_crash(self):
+        f = MemoryVfsFile(disk=DiskModel())
+        f.write(0, b"new")
+        assert f.read(0, 3) == b"new"
+
+    def test_disk_model_charges_and_counts(self):
+        charged = []
+        disk = DiskModel(charge=charged.append, sync_ns=1000, write_ns_per_page=10)
+        f = MemoryVfsFile(disk=disk)
+        f.write(0, b"x")
+        f.sync()
+        assert disk.writes == 1 and disk.syncs == 1
+        assert charged == [10, 1000]
+
+
+class TestStateRegionFile:
+    def make(self, pages=16, page_size=256, lib_pages=2):
+        state = PagedState(pages, page_size)
+        return state, StateRegionVfsFile(state, app_offset=lib_pages * page_size)
+
+    def test_write_goes_through_modify_notification(self):
+        state, f = self.make()
+        f.write(0, b"data")
+        assert state.read(2 * 256, 4) == b"data"
+
+    def test_read_reflects_state(self):
+        state, f = self.make()
+        state.modify(2 * 256 + 8, 3)
+        state.write(2 * 256 + 8, b"xyz")
+        assert f.read(8, 3) == b"xyz"
+
+    def test_writes_change_merkle_root(self):
+        state, f = self.make()
+        before = state.refresh_tree()
+        f.write(0, b"dirty")
+        assert state.refresh_tree() != before
+
+    def test_capacity_enforced_like_a_sparse_fixed_file(self):
+        _state, f = self.make(pages=4, page_size=256, lib_pages=2)
+        f.write(500, b"ok")
+        with pytest.raises(SqlError):
+            f.write(512, b"x")  # beyond the 2-page app partition
+
+    def test_logical_size_tracks_high_water_mark(self):
+        _state, f = self.make()
+        assert f.size() == 0
+        f.write(100, b"abcd")
+        assert f.size() == 104
+        f.truncate(50)
+        assert f.size() == 50
+
+    def test_no_room_rejected(self):
+        state = PagedState(2, 256)
+        with pytest.raises(SqlError):
+            StateRegionVfsFile(state, app_offset=2 * 256)
+
+
+class TestEnvironment:
+    def test_defaults(self):
+        env = VfsEnvironment()
+        assert env.current_time_ns() == 0
+        assert env.random_bytes(4) == env.__class__().random_bytes(4)
+
+    def test_nondet_seeding_is_deterministic(self):
+        a, b = VfsEnvironment(), VfsEnvironment()
+        a.set_from_nondet(123, b"s" * 16)
+        b.set_from_nondet(123, b"s" * 16)
+        assert a.current_time_ns() == b.current_time_ns() == 123
+        assert a.random_bytes(32) == b.random_bytes(32)
+
+    def test_stream_advances(self):
+        env = VfsEnvironment()
+        env.set_from_nondet(1, b"s" * 16)
+        assert env.random_bytes(8) != env.random_bytes(8)
+
+    def test_different_seeds_differ(self):
+        a, b = VfsEnvironment(), VfsEnvironment()
+        a.set_from_nondet(1, b"a" * 16)
+        b.set_from_nondet(1, b"b" * 16)
+        assert a.random_bytes(8) != b.random_bytes(8)

@@ -1,0 +1,89 @@
+"""Checkpoint store and stabilization."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.statemgr.checkpoints import Checkpoint, CheckpointStore
+
+
+def cp(seq, root=b"R" * 16):
+    return Checkpoint(seq=seq, root=root, pages=[], tree_nodes=[])
+
+
+def test_becomes_stable_at_quorum():
+    store = CheckpointStore(quorum=3)
+    store.add(cp(10))
+    assert not store.record_vote(10, 0, b"R" * 16)
+    assert not store.record_vote(10, 1, b"R" * 16)
+    assert store.record_vote(10, 2, b"R" * 16)
+    assert store.stable_seq == 10
+
+
+def test_divergent_roots_do_not_count():
+    store = CheckpointStore(quorum=2)
+    store.add(cp(10))
+    assert not store.record_vote(10, 0, b"X" * 16)
+    assert not store.record_vote(10, 1, b"X" * 16)
+    assert store.stable_seq == 0
+
+
+def test_duplicate_votes_counted_once():
+    store = CheckpointStore(quorum=3)
+    store.add(cp(10))
+    for _ in range(5):
+        store.record_vote(10, 0, b"R" * 16)
+    assert store.get(10).stable_votes == 1
+
+
+def test_vote_for_unknown_seq_ignored():
+    store = CheckpointStore(quorum=2)
+    assert not store.record_vote(99, 0, b"R" * 16)
+
+
+def test_stability_never_regresses():
+    store = CheckpointStore(quorum=2)
+    store.add(cp(20))
+    store.record_vote(20, 0, b"R" * 16)
+    store.record_vote(20, 1, b"R" * 16)
+    assert store.stable_seq == 20
+    store.add(cp(10))
+    store.record_vote(10, 0, b"R" * 16)
+    assert not store.record_vote(10, 1, b"R" * 16)
+    assert store.stable_seq == 20
+
+
+def test_trim_keeps_stable_and_recent():
+    store = CheckpointStore(quorum=2, max_kept=2)
+    for seq in (10, 20, 30, 40, 50):
+        store.add(cp(seq))
+    store.record_vote(30, 0, b"R" * 16)
+    store.record_vote(30, 1, b"R" * 16)
+    assert store.get(30) is not None  # stable is protected
+    assert store.get(40) is not None and store.get(50) is not None
+    assert store.get(10) is None and store.get(20) is None
+
+
+def test_latest_and_latest_stable():
+    store = CheckpointStore(quorum=2)
+    assert store.latest() is None
+    store.add(cp(10))
+    store.add(cp(20))
+    assert store.latest().seq == 20
+    assert store.latest_stable() is None
+    store.record_vote(10, 0, b"R" * 16)
+    store.record_vote(10, 1, b"R" * 16)
+    assert store.latest_stable().seq == 10
+
+
+def test_meta_travels_with_checkpoint():
+    checkpoint = Checkpoint(
+        seq=1, root=b"r" * 16, pages=[], tree_nodes=[], meta={"client_marks": {5: 9}}
+    )
+    store = CheckpointStore(quorum=1)
+    store.add(checkpoint)
+    assert store.get(1).meta["client_marks"] == {5: 9}
+
+
+def test_zero_quorum_rejected():
+    with pytest.raises(StateError):
+        CheckpointStore(quorum=0)

@@ -1,0 +1,82 @@
+"""The incremental Merkle tree."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.crypto.digests import md5_digest
+from repro.statemgr.merkle import MerkleTree
+
+
+def test_empty_trees_agree():
+    assert MerkleTree(8).root == MerkleTree(8).root
+
+
+def test_root_reflects_leaf_updates():
+    tree = MerkleTree(8)
+    before = tree.root
+    tree.update_leaf(3, md5_digest(b"payload"))
+    assert tree.root != before
+
+
+def test_same_updates_same_root_regardless_of_order():
+    a, b = MerkleTree(8), MerkleTree(8)
+    updates = [(0, b"x"), (5, b"y"), (7, b"z")]
+    for leaf, data in updates:
+        a.update_leaf(leaf, md5_digest(data))
+    for leaf, data in reversed(updates):
+        b.update_leaf(leaf, md5_digest(data))
+    assert a.root == b.root
+
+
+def test_non_power_of_two_capacity():
+    tree = MerkleTree(5)
+    assert tree.capacity == 8
+    tree.update_leaf(4, md5_digest(b"last"))
+    with pytest.raises(StateError):
+        tree.update_leaf(5, md5_digest(b"beyond"))
+
+
+def test_unchanged_leaf_update_is_free():
+    tree = MerkleTree(8)
+    digest = md5_digest(b"v")
+    tree.update_leaf(0, digest)
+    count = tree.digests_computed
+    tree.update_leaf(0, digest)  # identical value: no re-hash
+    assert tree.digests_computed == count
+
+
+def test_update_cost_is_logarithmic():
+    tree = MerkleTree(1024)
+    start = tree.digests_computed
+    tree.update_leaf(512, md5_digest(b"one"))
+    assert tree.digests_computed - start == 10  # log2(1024)
+
+
+def test_node_access_and_leaf_base():
+    tree = MerkleTree(4)
+    tree.update_leaf(2, md5_digest(b"third"))
+    assert tree.node(tree.leaf_base + 2) == md5_digest(b"third")
+    assert tree.node(1) == tree.root
+    with pytest.raises(StateError):
+        tree.node(0)
+    with pytest.raises(StateError):
+        tree.node(2 * tree.capacity)
+
+
+def test_snapshot_roundtrip():
+    tree = MerkleTree(8)
+    tree.update_leaf(1, md5_digest(b"a"))
+    restored = MerkleTree.from_snapshot(8, tree.snapshot_nodes())
+    assert restored.root == tree.root
+    assert restored.leaf(1) == tree.leaf(1)
+
+
+def test_snapshot_size_mismatch_rejected():
+    tree = MerkleTree(8)
+    with pytest.raises(StateError):
+        MerkleTree.from_snapshot(16, tree.snapshot_nodes())
+
+
+def test_zero_leaves_rejected():
+    with pytest.raises(StateError):
+        MerkleTree(0)

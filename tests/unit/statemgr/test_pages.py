@@ -1,0 +1,138 @@
+"""The paged state region and the notify-before-modify contract."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.statemgr.pages import PagedState
+
+
+def make_state(pages=8, size=64):
+    return PagedState(pages, size)
+
+
+def test_reads_start_zeroed():
+    state = make_state()
+    assert state.read(0, 16) == bytes(16)
+    assert state.read(100, 8) == bytes(8)
+
+
+def test_modify_then_write_then_read():
+    state = make_state()
+    state.modify(10, 4)
+    state.write(10, b"abcd")
+    assert state.read(10, 4) == b"abcd"
+
+
+def test_write_without_modify_raises():
+    """The 'havoc caused by a misbehaving application' (paper section 3.2)
+    is detected instead of silently corrupting checkpoints."""
+    state = make_state()
+    with pytest.raises(StateError, match="without a prior modify"):
+        state.write(10, b"abcd")
+
+
+def test_notification_window_resets_per_request():
+    state = make_state()
+    state.modify(0, 4)
+    state.write(0, b"aaaa")
+    state.end_of_execution()
+    with pytest.raises(StateError):
+        state.write(0, b"bbbb")
+
+
+def test_write_spanning_pages_requires_all_notified():
+    state = make_state(pages=4, size=16)
+    state.modify(12, 4)  # only page 0's tail
+    with pytest.raises(StateError):
+        state.write(12, b"12345678")  # spans into page 1
+    state.modify(12, 8)
+    state.write(12, b"12345678")
+    assert state.read(12, 8) == b"12345678"
+
+
+def test_out_of_range_access_rejected():
+    state = make_state(pages=2, size=16)
+    with pytest.raises(StateError):
+        state.read(30, 8)
+    with pytest.raises(StateError):
+        state.modify(-1, 4)
+
+
+def test_root_changes_with_content_and_is_deterministic():
+    a, b = make_state(), make_state()
+    assert a.root == b.root
+    a.modify(0, 4)
+    a.write(0, b"diff")
+    assert a.root != b.root
+    b.modify(0, 4)
+    b.write(0, b"diff")
+    assert a.root == b.root
+
+
+def test_snapshot_is_copy_on_write():
+    state = make_state()
+    state.modify(0, 4)
+    state.write(0, b"old!")
+    snapshot = state.snapshot_pages()
+    state.end_of_execution()
+    state.modify(0, 4)
+    state.write(0, b"new!")
+    assert state.read(0, 4) == b"new!"
+    # The snapshot still sees the old bytes (pages are immutable objects).
+    assert snapshot[0][:4] == b"old!"
+
+
+def test_restore_rolls_back_content_and_root():
+    state = make_state()
+    state.modify(0, 4)
+    state.write(0, b"keep")
+    snapshot = state.snapshot_pages()
+    root_before = state.root
+    state.end_of_execution()
+    state.modify(0, 4)
+    state.write(0, b"lost")
+    state.restore(snapshot)
+    assert state.read(0, 4) == b"keep"
+    assert state.root == root_before
+
+
+def test_restore_requires_matching_page_count():
+    state = make_state()
+    with pytest.raises(StateError):
+        state.restore([b"x" * 64])
+
+
+def test_install_page_bypasses_notification():
+    state = make_state()
+    page = bytes(range(64))[:64].ljust(64, b"\0")
+    state.install_page(2, page)
+    assert state.page(2) == page
+
+
+def test_install_page_checks_size_and_index():
+    state = make_state()
+    with pytest.raises(StateError):
+        state.install_page(0, b"short")
+    with pytest.raises(StateError):
+        state.install_page(99, bytes(64))
+
+
+def test_cross_page_read():
+    state = make_state(pages=4, size=16)
+    state.modify(14, 6)
+    state.write(14, b"abcdef")
+    assert state.read(14, 6) == b"abcdef"
+
+
+def test_zero_length_operations_are_noops():
+    state = make_state()
+    state.modify(5, 0)
+    state.write(5, b"")
+    assert state.read(5, 0) == b""
+
+
+def test_invalid_construction():
+    with pytest.raises(StateError):
+        PagedState(0, 64)
+    with pytest.raises(StateError):
+        PagedState(4, 0)

@@ -1,0 +1,52 @@
+"""The tree-walking state-transfer diff (paper section 2.1)."""
+
+import math
+
+from repro.crypto.digests import md5_digest
+from repro.statemgr.merkle import MerkleTree
+from repro.statemgr.transfer import TreeFetchStats, diff_pages
+
+
+def build_pair(num_leaves, differing):
+    local = MerkleTree(num_leaves)
+    remote = MerkleTree(num_leaves)
+    for leaf in range(num_leaves):
+        digest = md5_digest(f"common-{leaf}".encode())
+        local.update_leaf(leaf, digest)
+        remote.update_leaf(leaf, digest)
+    for leaf in differing:
+        remote.update_leaf(leaf, md5_digest(f"changed-{leaf}".encode()))
+    return local, remote
+
+
+def test_identical_trees_fetch_one_digest():
+    local, remote = build_pair(64, [])
+    stats = TreeFetchStats()
+    assert diff_pages(local, remote.node, stats) == []
+    assert stats.digests_fetched == 1  # the root settles it
+
+
+def test_finds_exactly_the_differing_pages():
+    local, remote = build_pair(64, [3, 17, 40])
+    assert diff_pages(local, remote.node) == [3, 17, 40]
+
+
+def test_single_page_diff_is_logarithmic():
+    """The paper's 'hopefully few pages' efficiency claim, made testable."""
+    local, remote = build_pair(1024, [500])
+    stats = TreeFetchStats()
+    diff_pages(local, remote.node, stats)
+    # Root-to-leaf path with both children fetched at each level.
+    assert stats.digests_fetched <= 2 * (math.ceil(math.log2(1024)) + 1)
+
+
+def test_all_pages_differing_visits_whole_tree():
+    local, remote = build_pair(16, range(16))
+    stats = TreeFetchStats()
+    assert diff_pages(local, remote.node, stats) == list(range(16))
+    assert stats.digests_fetched >= 16
+
+
+def test_result_is_sorted():
+    local, remote = build_pair(32, [30, 2, 15])
+    assert diff_pages(local, remote.node) == [2, 15, 30]
