@@ -11,15 +11,25 @@ message flow of the paper's Figure 1:
     replicas --reply--> client
 
 Run:  python examples/quickstart.py
+
+It also records the run with the structured tracer and writes a Chrome
+``trace_event`` file — drag it into https://ui.perfetto.dev (or open
+chrome://tracing) to see every packet, protocol phase, and checkpoint on
+the simulation's common clock.
 """
 
+import os
+import tempfile
+
 from repro.common.units import format_duration
+from repro.obs import Observability
 from repro.pbft import PbftConfig, build_cluster
 
 
 def main() -> None:
     config = PbftConfig(num_clients=2, checkpoint_interval=8, log_window=16)
-    cluster = build_cluster(config, seed=1, trace=True)
+    obs = Observability(tracing=True)
+    cluster = build_cluster(config, seed=1, trace=True, obs=obs)
     client = cluster.clients[0]
 
     print(f"cluster: {config.n} replicas (f={config.f}), "
@@ -46,6 +56,14 @@ def main() -> None:
               f" view={replica.view} checkpoints={replica.stats['checkpoints_taken']}")
     roots = {r.state.refresh_tree() for r in cluster.replicas}
     print(f"  state roots identical across replicas: {len(roots) == 1}")
+    print()
+
+    trace_path = os.path.join(tempfile.gettempdir(), "pbft-quickstart-trace.json")
+    cluster.collect_metrics()
+    events = obs.write_chrome_trace(trace_path)
+    print(f"wrote {events} trace events to {trace_path}")
+    print("  open it at https://ui.perfetto.dev (or chrome://tracing) to see")
+    print("  each request tiled into its protocol phases")
 
 
 if __name__ == "__main__":

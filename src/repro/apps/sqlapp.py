@@ -107,6 +107,8 @@ class SqlApplication(Application):
         self.app_offset = 0
         self._accumulated_ns = 0
         self._request_counter = 0
+        self._tracer = None
+        self._track = ""
         self.disk = DiskModel(
             charge=self._charge,
             sync_ns=self.costs.fsync_ns,
@@ -129,9 +131,48 @@ class SqlApplication(Application):
             env=self.env,
             journal=self.acid,
         )
+        if self._tracer is not None:
+            self.db.on_statement = self._on_statement
         if fresh and self.schema_sql and not self.db.table_names():
             self.db.executescript(self.schema_sql)
             self.state.end_of_execution()
+
+    def attach_obs(self, obs, track: str) -> None:
+        """Put per-statement and per-fsync timing on the replica's track."""
+        self._tracer = obs.tracer
+        self._track = track
+        if self.db is not None:
+            self.db.on_statement = self._on_statement
+        self.disk.observer = self._on_disk_op
+
+    def _on_statement(self, stmt_kind: str, stats) -> None:
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            return
+        now = tracer.clock()
+        cost = (
+            self._statement_cost_ns(stats)
+            + stats.syncs * self.costs.fsync_ns
+            + stats.pages_written * self.costs.disk_write_ns
+        )
+        tracer.complete(
+            self._track, f"sql.{stmt_kind}", now, now + cost, cat="sql",
+            args={
+                "rows_scanned": stats.rows_scanned,
+                "rows_written": stats.rows_written,
+                "pages_journaled": stats.pages_journaled,
+                "pages_written": stats.pages_written,
+                "syncs": stats.syncs,
+            },
+        )
+
+    def _on_disk_op(self, kind: str, cost_ns: int) -> None:
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled or kind != "sync":
+            return
+        tracer.event(
+            self._track, "fsync", cat="sql.disk", args={"cost_ns": cost_ns}
+        )
 
     def on_state_installed(self) -> None:
         """Pages were replaced wholesale: reopen over the new contents.
@@ -161,18 +202,22 @@ class SqlApplication(Application):
             # Errors are part of the deterministic reply, not a crash.
             message = str(exc).encode()
             return Encoder().u8(3).blob(message).finish()
-        stats = self.db.last_stats
-        self._accumulated_ns += (
-            self.costs.parse_ns
-            + stats.rows_written * self.costs.per_row_written_ns
-            + stats.rows_scanned * self.costs.per_row_scanned_ns
-            + stats.pages_journaled * self.costs.per_page_journaled_ns
-        )
+        self._accumulated_ns += self._statement_cost_ns(self.db.last_stats)
         if isinstance(result, ResultSet):
             return encode_rows_reply(result)
         if isinstance(result, int):
             return Encoder().u8(2).u64(result).finish()
         return Encoder().u8(0).finish()
+
+    def _statement_cost_ns(self, stats) -> int:
+        """Engine CPU cost of one statement (excludes journal disk time,
+        which :class:`DiskModel` charges separately)."""
+        return (
+            self.costs.parse_ns
+            + stats.rows_written * self.costs.per_row_written_ns
+            + stats.rows_scanned * self.costs.per_row_scanned_ns
+            + stats.pages_journaled * self.costs.per_page_journaled_ns
+        )
 
     def execute_cost_ns(self, op: bytes, readonly: bool) -> int:
         return 0  # all cost is accounted dynamically via take_accumulated_cost

@@ -7,10 +7,12 @@ throughput is completed operations per second of *simulated* time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.common.units import SECOND
+from repro.obs import Observability
 from repro.pbft.cluster import Cluster, build_cluster
 from repro.pbft.config import PbftConfig
 
@@ -29,6 +31,10 @@ class Measurement:
     view_changes: int
     duration_s: float
     extras: dict = field(default_factory=dict)
+    # Mean ns per protocol phase (client-send, pre-prepare, prepare,
+    # commit, execute, reply) for requests completed in the measured
+    # window; empty unless the run was traced.
+    phase_latency_ns: dict = field(default_factory=dict)
 
     @staticmethod
     def from_cluster(
@@ -36,9 +42,11 @@ class Measurement:
     ) -> "Measurement":
         latencies = sorted(latencies)
         def pct(p: float) -> int:
+            # Nearest-rank: the smallest value with at least p*n values <= it.
             if not latencies:
                 return 0
-            return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+            rank = max(1, math.ceil(p * len(latencies)))
+            return latencies[min(len(latencies) - 1, rank - 1)]
         return Measurement(
             name=name,
             tps=completed / duration_s if duration_s > 0 else 0.0,
@@ -50,6 +58,42 @@ class Measurement:
             view_changes=sum(r.stats["view_changes_started"] for r in cluster.replicas),
             duration_s=duration_s,
         )
+
+
+def _measure_window(
+    cluster: Cluster, warmup_s: float, measure_s: float
+) -> tuple[int, list[int], int]:
+    """Run warm-up then the measured window; return (completed ops,
+    their latencies, the window's simulated start time)."""
+    cluster.run_for(int(warmup_s * SECOND))
+    window_start = cluster.sim.now
+    start_completed = cluster.total_completed()
+    start_lat_counts = [len(c.latencies_ns) for c in cluster.clients]
+    cluster.run_for(int(measure_s * SECOND))
+    completed = cluster.total_completed() - start_completed
+    latencies: list[int] = []
+    for client, skip in zip(cluster.clients, start_lat_counts):
+        latencies.extend(client.latencies_ns[skip:])
+    return completed, latencies, window_start
+
+
+def _finish_traced_run(
+    cluster: Cluster,
+    measurement: Measurement,
+    trace_path: Optional[str],
+    window_start: int,
+) -> None:
+    """Fill in the per-phase breakdown and write the Chrome trace."""
+    cluster.collect_metrics()
+    if not cluster.obs.tracer.enabled:
+        return
+    from repro.obs.phases import phase_breakdown
+
+    measurement.phase_latency_ns = phase_breakdown(
+        cluster.obs.tracer, since_ns=window_start
+    )
+    if trace_path is not None:
+        cluster.obs.write_chrome_trace(trace_path)
 
 
 def _start_closed_loop(cluster: Cluster, make_op: Callable[[int, int], tuple[bytes, bool]]):
@@ -103,14 +147,21 @@ def run_null_workload(
     app_factory=None,
     cluster_hook: Optional[Callable[[Cluster], None]] = None,
     net_config=None,
+    trace_path: Optional[str] = None,
 ) -> Measurement:
-    """The paper's null-operation benchmark (Table 1 / Figure 4)."""
+    """The paper's null-operation benchmark (Table 1 / Figure 4).
+
+    With ``trace_path`` set, the run is traced and a Chrome
+    ``trace_event`` file (openable in Perfetto / chrome://tracing) is
+    written there; the measurement gains ``phase_latency_ns``.
+    """
     from repro.pbft.replica import NullApplication
 
     factory = app_factory or (lambda: NullApplication(reply_size=payload_size))
+    obs = Observability(tracing=True) if trace_path is not None else None
     cluster = build_cluster(
         config, seed=seed, real_crypto=real_crypto, app_factory=factory,
-        net_config=net_config,
+        net_config=net_config, obs=obs,
     )
     if cluster_hook is not None:
         cluster_hook(cluster)
@@ -118,15 +169,9 @@ def run_null_workload(
         _join_all(cluster)
     payload = bytes(payload_size)
     _start_closed_loop(cluster, lambda _i, _seq: (payload, False))
-    cluster.run_for(int(warmup_s * SECOND))
-    start_completed = cluster.total_completed()
-    start_lat_counts = [len(c.latencies_ns) for c in cluster.clients]
-    cluster.run_for(int(measure_s * SECOND))
-    completed = cluster.total_completed() - start_completed
-    latencies: list[int] = []
-    for client, skip in zip(cluster.clients, start_lat_counts):
-        latencies.extend(client.latencies_ns[skip:])
+    completed, latencies, window_start = _measure_window(cluster, warmup_s, measure_s)
     measurement = Measurement.from_cluster(name, cluster, completed, latencies, measure_s)
+    _finish_traced_run(cluster, measurement, trace_path, window_start)
     cluster.stop_clients()
     return measurement
 
@@ -139,6 +184,7 @@ def run_sql_workload(
     measure_s: float = 1.0,
     seed: int = 3,
     real_crypto: bool = False,
+    trace_path: Optional[str] = None,
 ) -> Measurement:
     """The paper's section 4.2 benchmark: one ballot INSERT per request.
 
@@ -153,7 +199,10 @@ def run_sql_workload(
         "CREATE UNIQUE INDEX idx_votes_voter ON votes(voter);"
     )
     factory = lambda: SqlApplication(schema_sql=schema, acid=acid)
-    cluster = build_cluster(config, seed=seed, real_crypto=real_crypto, app_factory=factory)
+    obs = Observability(tracing=True) if trace_path is not None else None
+    cluster = build_cluster(
+        config, seed=seed, real_crypto=real_crypto, app_factory=factory, obs=obs
+    )
     if config.dynamic_clients:
         _join_all(cluster)
 
@@ -168,17 +217,11 @@ def run_sql_workload(
         )
 
     _start_closed_loop(cluster, make_op)
-    cluster.run_for(int(warmup_s * SECOND))
-    start_completed = cluster.total_completed()
-    start_lat_counts = [len(c.latencies_ns) for c in cluster.clients]
-    cluster.run_for(int(measure_s * SECOND))
-    completed = cluster.total_completed() - start_completed
-    latencies: list[int] = []
-    for client, skip in zip(cluster.clients, start_lat_counts):
-        latencies.extend(client.latencies_ns[skip:])
+    completed, latencies, window_start = _measure_window(cluster, warmup_s, measure_s)
     measurement = Measurement.from_cluster(name, cluster, completed, latencies, measure_s)
     # Sanity: replicas must agree on the row count they inserted.
     counts = {r.stats["requests_executed"] for r in cluster.replicas if not r.crashed}
     measurement.extras["replica_exec_counts"] = sorted(counts)
+    _finish_traced_run(cluster, measurement, trace_path, window_start)
     cluster.stop_clients()
     return measurement

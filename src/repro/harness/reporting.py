@@ -59,6 +59,25 @@ def format_fig5(results: list[tuple[ConfigRow, Measurement]]) -> str:
     return "\n".join(lines)
 
 
+def format_phase_breakdown(measurement: Measurement) -> str:
+    """Where a request's latency goes, phase by phase (traced runs only)."""
+    phases = measurement.phase_latency_ns
+    if not phases:
+        return f"{measurement.name}: no phase data (run with trace_path=...)"
+    total = sum(phases.values()) or 1
+    header = f"{'Phase':14s} {'mean':>10s} {'share':>7s}"
+    lines = [f"{measurement.name}: per-phase latency", header, "-" * len(header)]
+    for phase, mean_ns in phases.items():
+        lines.append(
+            f"{phase:14s} {format_duration(int(mean_ns)):>10s} "
+            f"{100 * mean_ns / total:6.1f}%"
+        )
+    lines.append(
+        f"{'total':14s} {format_duration(int(total)):>10s} {100.0:6.1f}%"
+    )
+    return "\n".join(lines)
+
+
 def format_acid(acid: Measurement, noacid: Measurement) -> str:
     ratio = noacid.tps / acid.tps if acid.tps else float("inf")
     return "\n".join(

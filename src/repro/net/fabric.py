@@ -152,13 +152,20 @@ class Host:
         self.cpu_busy_ns += cost_ns
         self.sim.schedule_at(done, work)
 
-    def charge_cpu(self, cost_ns: int) -> None:
-        """Account CPU time with no completion callback (fire-and-forget cost)."""
+    def charge_cpu(self, cost_ns: int) -> tuple[int, int]:
+        """Account CPU time with no completion callback (fire-and-forget cost).
+
+        Returns the ``(start, end)`` interval the work occupies on this
+        CPU, so callers can trace where the time actually goes (the start
+        is pushed back behind whatever the CPU is already chewing on).
+        """
         if cost_ns <= 0:
-            return
+            at = max(self.sim.now, self._cpu_free_at)
+            return (at, at)
         start = max(self.sim.now, self._cpu_free_at)
         self._cpu_free_at = start + cost_ns
         self.cpu_busy_ns += cost_ns
+        return (start, self._cpu_free_at)
 
     def _reserve_nic(self, tx_ns: int) -> int:
         """Reserve the NIC for ``tx_ns``; return the time serialization ends."""
@@ -226,6 +233,7 @@ class NetworkFabric:
         config: Optional[NetworkConfig] = None,
         trace_enabled: bool = False,
         trace_limit: int = 200_000,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.rng = rng.stream("net.loss")
@@ -238,6 +246,10 @@ class NetworkFabric:
         self.trace_enabled = trace_enabled
         self.trace_limit = trace_limit
         self.trace: list[TraceRecord] = []
+        # The structured tracer generalizes the TraceRecord list: packets
+        # become flight spans / drop instants on the "net" track of the
+        # common-clock trace (repro.obs), alongside protocol phases.
+        self.tracer = tracer
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
@@ -312,10 +324,31 @@ class NetworkFabric:
         serialized_at = src_host._reserve_nic(tx_ns)
         if dropped:
             self.packets_dropped += 1
+            self._trace_packet(packet, self.sim.now, None, reason)
             return
         jitter = self.jitter_rng.randrange(link.jitter_ns + 1) if link.jitter_ns else 0
         arrival = serialized_at + link.latency_ns + jitter
+        self._trace_packet(packet, self.sim.now, arrival, "")
         self.sim.schedule_at(arrival, lambda p=packet: self._deliver(p))
+
+    def _trace_packet(
+        self, packet: Packet, sent_at: int, arrival: Optional[int], reason: str
+    ) -> None:
+        """Structured-trace one datagram: a flight span, or a drop tick."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        args = {
+            "src": f"{packet.src[0]}:{packet.src[1]}",
+            "dst": f"{packet.dst[0]}:{packet.dst[1]}",
+            "size": packet.size,
+        }
+        name = packet.kind or "datagram"
+        if arrival is None:
+            args["reason"] = reason
+            tracer.event("net", name + " DROPPED", cat="net.drop", args=args)
+        else:
+            tracer.complete("net", name, sent_at, arrival, cat="net", args=args)
 
     def _tx_time(self, size: int, link: LinkSpec) -> int:
         # Ethernet/IP/UDP framing overhead per MTU-sized fragment.
@@ -343,6 +376,14 @@ class NetworkFabric:
         sock.handler(packet)
 
     # -- introspection ------------------------------------------------------
+
+    def collect_metrics(self, registry, prefix: str = "net.") -> None:
+        """Publish fabric and per-host counters into a metrics registry."""
+        registry.gauge(prefix + "packets_sent").set(self.packets_sent)
+        registry.gauge(prefix + "packets_dropped").set(self.packets_dropped)
+        registry.gauge(prefix + "bytes_sent").set(self.bytes_sent)
+        for name, host in self.hosts.items():
+            registry.gauge(f"host.{name}.cpu_busy_ns").set(host.cpu_busy_ns)
 
     def trace_lines(self) -> list[str]:
         """Human-readable trace, one line per packet (paper section 2.2)."""

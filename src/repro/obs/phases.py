@@ -1,0 +1,110 @@
+"""Assemble request phase marks into per-request latency breakdowns.
+
+The protocol stack drops :meth:`~repro.obs.tracer.Tracer.mark` boundaries
+as each request moves through agreement:
+
+======================  =======================================================
+boundary                stamped by
+======================  =======================================================
+``invoke``              client, when the request is submitted
+``primary-recv``        primary, when the request datagram is dispatched
+``pre-prepare``         primary, when the request leaves in a pre-prepare batch
+``prepared``            primary, when the batch gathers its prepare certificate
+``committed``           primary, when the batch gathers its commit certificate
+``executed``            primary, when the request's reply is produced
+``done``                client, when enough matching replies arrived
+======================  =======================================================
+
+Consecutive boundaries bound the six protocol phases (``client-send``,
+``pre-prepare``, ``prepare``, ``commit``, ``execute``, ``reply``).  Two
+facts of the protocol complicate the raw timestamps: tentative execution
+can execute (and even complete at the client) *before* the commit
+certificate lands, and a view change can restart phases.  We therefore
+clamp each boundary into ``[invoke, done]`` and make the sequence
+monotone with a running max, so the phases tile the request's observed
+latency exactly — every nanosecond of client-visible latency is
+attributed to exactly one phase.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.obs.tracer import KIND_MARK, Tracer
+
+BOUNDARIES = (
+    "invoke",
+    "primary-recv",
+    "pre-prepare",
+    "prepared",
+    "committed",
+    "executed",
+    "done",
+)
+
+PHASE_NAMES = (
+    "client-send",
+    "pre-prepare",
+    "prepare",
+    "commit",
+    "execute",
+    "reply",
+)
+
+_BOUNDARY_INDEX = {name: i for i, name in enumerate(BOUNDARIES)}
+
+
+def collect_marks(tracer: Tracer) -> dict[object, dict[str, int]]:
+    """Per correlation id, the first timestamp seen for each boundary."""
+    marks: dict[object, dict[str, int]] = defaultdict(dict)
+    for event in tracer.events:
+        if event.kind != KIND_MARK:
+            continue
+        per_request = marks[event.corr]
+        if event.name not in per_request:
+            per_request[event.name] = event.ts
+    return dict(marks)
+
+
+def request_phases(tracer: Tracer) -> dict[object, list[tuple[str, int, int]]]:
+    """Phase intervals ``(phase, start_ns, end_ns)`` per completed request.
+
+    Only requests with both ``invoke`` and ``done`` marks are included;
+    missing interior boundaries yield zero-length phases.  The intervals
+    of one request are contiguous and cover ``[invoke, done]`` exactly.
+    """
+    out: dict[object, list[tuple[str, int, int]]] = {}
+    for corr, per_request in collect_marks(tracer).items():
+        if "invoke" not in per_request or "done" not in per_request:
+            continue
+        start = per_request["invoke"]
+        done = per_request["done"]
+        cursor = start
+        phases: list[tuple[str, int, int]] = []
+        for boundary, phase in zip(BOUNDARIES[1:], PHASE_NAMES):
+            ts = per_request.get(boundary, cursor)
+            ts = min(max(ts, cursor), done)
+            if boundary == "done":
+                ts = done
+            phases.append((phase, cursor, ts))
+            cursor = ts
+        out[corr] = phases
+    return out
+
+
+def phase_breakdown(
+    tracer: Tracer, since_ns: int = 0
+) -> dict[str, float]:
+    """Mean nanoseconds spent per phase over requests completed after
+    ``since_ns`` (use the measurement window's start to skip warm-up)."""
+    totals = {name: 0 for name in PHASE_NAMES}
+    count = 0
+    for phases in request_phases(tracer).values():
+        if phases[-1][2] < since_ns:
+            continue
+        count += 1
+        for name, start, end in phases:
+            totals[name] += end - start
+    if count == 0:
+        return {}
+    return {name: totals[name] / count for name in PHASE_NAMES}

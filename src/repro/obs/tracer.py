@@ -1,0 +1,169 @@
+"""Structured tracing over the simulation's common clock.
+
+The paper's diagnosis method is a "common-clock message log" (section
+2.2): every host's events on one timeline, so cause and effect across
+machines line up.  The simulator gives us that clock for free; this
+module gives the rest of the stack one place to put what happened on it.
+
+Three primitives:
+
+* **spans** — named intervals on a *track* (a host, the network, a
+  subsystem), recorded either open/close (:meth:`Tracer.begin` /
+  :meth:`Tracer.end`, or the :meth:`Tracer.span` context manager) or with
+  both endpoints known (:meth:`Tracer.complete`);
+* **instants** — point events (:meth:`Tracer.event`): checkpoints, view
+  changes, fsyncs, drops;
+* **marks** — request phase boundaries (:meth:`Tracer.mark`), keyed by a
+  correlation id ``(client_id, req_id)``; :mod:`repro.obs.phases` turns
+  them into the client-send/pre-prepare/prepare/commit/execute/reply
+  latency breakdown.
+
+A disabled tracer is free: every method checks ``self.enabled`` first and
+returns a module-level sentinel, so the hot path costs one attribute load
+and one branch — no event objects, no list growth, no per-request
+allocation.  Callers that build argument dicts should guard with
+``if tracer.enabled:`` to keep even that off the disabled path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+KIND_SPAN = "span"
+KIND_INSTANT = "instant"
+KIND_MARK = "mark"
+
+
+class TraceEvent:
+    """One recorded trace entry (span, instant, or phase mark)."""
+
+    __slots__ = ("kind", "track", "name", "cat", "ts", "dur", "corr", "args")
+
+    def __init__(self, kind, track, name, cat, ts, dur=None, corr=None, args=None):
+        self.kind = kind
+        self.track = track
+        self.name = name
+        self.cat = cat
+        self.ts = ts            # start time, ns of simulated time
+        self.dur = dur          # span duration in ns (None until closed)
+        self.corr = corr        # correlation id for marks/async phases
+        self.args = args
+
+    @property
+    def end(self) -> Optional[int]:
+        return None if self.dur is None else self.ts + self.dur
+
+    def __repr__(self) -> str:
+        extra = f" dur={self.dur}" if self.dur is not None else ""
+        return f"TraceEvent({self.kind} {self.track}/{self.name} ts={self.ts}{extra})"
+
+
+class _NullSpan:
+    """The span a disabled tracer hands out: one shared, inert instance."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<disabled span>"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records stamped with simulated time."""
+
+    def __init__(
+        self,
+        clock: Callable[[], int],
+        enabled: bool = True,
+        limit: int = 2_000_000,
+    ) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.limit = limit
+        self.events: list[TraceEvent] = []
+        self.dropped = 0  # events discarded once the limit was hit
+
+    # -- recording ----------------------------------------------------------
+
+    def _append(self, event: TraceEvent) -> bool:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return False
+        self.events.append(event)
+        return True
+
+    def event(self, track: str, name: str, cat: str = "", args: Optional[dict] = None) -> None:
+        """Record an instant event at the current simulated time."""
+        if not self.enabled:
+            return
+        self._append(TraceEvent(KIND_INSTANT, track, name, cat, self.clock(), args=args))
+
+    def begin(self, track: str, name: str, cat: str = "", args: Optional[dict] = None):
+        """Open a span; close it with :meth:`end`.  Spans on one track may
+        nest (begin B inside A, end B before A) — the exporter preserves
+        the nesting because children start later and end earlier."""
+        if not self.enabled:
+            return NULL_SPAN
+        event = TraceEvent(KIND_SPAN, track, name, cat, self.clock(), args=args)
+        self._append(event)
+        return event
+
+    def end(self, span, args: Optional[dict] = None) -> None:
+        if span is NULL_SPAN or span is None:
+            return
+        span.dur = self.clock() - span.ts
+        if args:
+            span.args = {**(span.args or {}), **args}
+
+    @contextmanager
+    def span(self, track: str, name: str, cat: str = "", args: Optional[dict] = None):
+        handle = self.begin(track, name, cat, args)
+        try:
+            yield handle
+        finally:
+            self.end(handle)
+
+    def complete(
+        self,
+        track: str,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        cat: str = "",
+        corr=None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a span whose endpoints are already known (e.g. a CPU
+        interval returned by the host model, or a packet's flight time)."""
+        if not self.enabled:
+            return
+        self._append(
+            TraceEvent(
+                KIND_SPAN, track, name, cat, start_ns,
+                dur=max(0, end_ns - start_ns), corr=corr, args=args,
+            )
+        )
+
+    def mark(self, corr, boundary: str, track: str = "") -> None:
+        """Record a request phase boundary for correlation id ``corr``."""
+        if not self.enabled:
+            return
+        self._append(TraceEvent(KIND_MARK, track, boundary, "phase", self.clock(), corr=corr))
+
+    # -- introspection ------------------------------------------------------
+
+    def spans(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == KIND_SPAN]
+
+    def instants(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == KIND_INSTANT]
+
+    def marks(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == KIND_MARK]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

@@ -53,8 +53,11 @@ class PbftClient(Node):
         port: int,
         keys: KeyDirectory,
         real_crypto: bool = True,
+        obs=None,
     ) -> None:
-        super().__init__(config, host, port, keys, "client", client_id, real_crypto)
+        super().__init__(
+            config, host, port, keys, "client", client_id, real_crypto, obs=obs
+        )
         self.view_guess = 0
         self.next_req_id = 0
         self.pending: Optional[PendingOp] = None
@@ -64,6 +67,10 @@ class PbftClient(Node):
         self.failed_ops = 0
         self.retransmissions = 0
         self.latencies_ns: list[int] = []
+        self.stats = self.obs.registry.view(f"client{client_id}.")
+        # One latency histogram shared by every client on the registry.
+        self._latency_hist = self.obs.registry.histogram("client.latency_ns")
+        self._track = f"client{client_id}"
         self._refresh_timer = None
         if config.use_macs:
             self._start_authenticator_rebroadcast()
@@ -126,6 +133,8 @@ class PbftClient(Node):
         self.pending = PendingOp(
             request=request, callback=callback, sent_at=self.host.sim.now
         )
+        if self.tracer.enabled:
+            self.tracer.mark((self.node_id, request.req_id), "invoke", self._track)
         self._transmit(first=True)
         return request
 
@@ -157,6 +166,12 @@ class PbftClient(Node):
             return
         pending.retransmits += 1
         self.retransmissions += 1
+        self.stats["retransmissions"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self._track, "retransmit", cat="client",
+                args={"req_id": pending.request.req_id},
+            )
         self._transmit(first=False)
 
     # -- replies ------------------------------------------------------------------------
@@ -207,6 +222,17 @@ class PbftClient(Node):
         self.pending = None
         self.completed_ops += 1
         self.latencies_ns.append(latency)
+        self.stats["completed_ops"] += 1
+        self._latency_hist.observe(latency)
+        if self.tracer.enabled:
+            corr = (self.node_id, pending.request.req_id)
+            self.tracer.mark(corr, "done", self._track)
+            self.tracer.complete(
+                self._track, "request", pending.sent_at, self.host.sim.now,
+                cat="client", corr=corr,
+                args={"retransmits": pending.retransmits,
+                      "readonly": pending.request.readonly},
+            )
         if pending.callback is not None:
             pending.callback(result, latency)
 

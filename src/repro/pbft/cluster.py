@@ -12,6 +12,7 @@ from typing import Callable, Optional
 
 from repro.common.ids import make_client_id
 from repro.net.fabric import NetworkConfig, NetworkFabric
+from repro.obs import Observability
 from repro.pbft.client import PbftClient
 from repro.pbft.config import PbftConfig
 from repro.pbft.node import CLIENT_PORT, KeyDirectory
@@ -32,6 +33,7 @@ class Cluster:
     replicas: list[Replica]
     clients: list[PbftClient]
     apps: list[Application] = field(default_factory=list)
+    obs: Observability = field(default_factory=Observability)
 
     def run_for(self, duration_ns: int) -> None:
         self.sim.run_for(duration_ns)
@@ -68,6 +70,11 @@ class Cluster:
         for client in self.clients:
             client.stop()
 
+    def collect_metrics(self) -> None:
+        """Publish simulator/fabric/host counters into the obs registry."""
+        self.sim.collect_metrics(self.obs.registry)
+        self.fabric.collect_metrics(self.obs.registry)
+
 
 def build_cluster(
     config: Optional[PbftConfig] = None,
@@ -80,6 +87,7 @@ def build_cluster(
     nondet_provider_factory=None,
     nondet_validator_factory=None,
     clock_skew_ns: int = 0,
+    obs: Optional[Observability] = None,
 ) -> Cluster:
     """Build a full deployment ready to run.
 
@@ -92,7 +100,11 @@ def build_cluster(
     config.validate()
     sim = Simulator()
     rng = RngStreams(seed)
-    fabric = NetworkFabric(sim, rng, config=net_config, trace_enabled=trace)
+    obs = obs if obs is not None else Observability()
+    obs.attach_clock(lambda: sim.now)
+    fabric = NetworkFabric(
+        sim, rng, config=net_config, trace_enabled=trace, tracer=obs.tracer
+    )
     keys = KeyDirectory(config, rng.stream("keys"))
 
     skew_rng = rng.stream("clock-skew")
@@ -112,6 +124,7 @@ def build_cluster(
             nondet_provider=nondet_provider_factory() if nondet_provider_factory else None,
             nondet_validator=nondet_validator_factory() if nondet_validator_factory else None,
             real_crypto=real_crypto,
+            obs=obs,
         )
         replicas.append(replica)
 
@@ -140,6 +153,7 @@ def build_cluster(
             port=port,
             keys=keys,
             real_crypto=real_crypto,
+            obs=obs,
         )
         session = client.generate_session_keys(session_rng)
         if not config.dynamic_clients:
@@ -158,4 +172,5 @@ def build_cluster(
         replicas=replicas,
         clients=clients,
         apps=apps,
+        obs=obs,
     )

@@ -124,7 +124,10 @@ class Node:
         kind: str,
         node_id: int,
         real_crypto: bool = True,
+        obs=None,
     ) -> None:
+        from repro.obs import Observability
+
         config.validate()
         self.config = config
         self.costs = config.costs
@@ -133,6 +136,12 @@ class Node:
         self.kind = kind
         self.node_id = node_id
         self.real_crypto = real_crypto
+        # Shared observability (metrics registry + tracer).  A private
+        # registry and disabled tracer are created when none is supplied,
+        # so standalone nodes keep working and pay nothing for tracing.
+        self.obs = obs if obs is not None else Observability()
+        self.obs.attach_clock(lambda: host.sim.now)
+        self.tracer = self.obs.tracer
         self.socket: DatagramSocket = host.fabric.bind(host.name, port)
         self.socket.on_receive(self._on_packet)
         # Session keys for MAC mode, keyed by (peer kind, peer id).

@@ -168,6 +168,8 @@ class RecoveryMixin:
             self._gossip_timer.cancel()
             self._gossip_timer = None
         self.stats["crashes"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(self.host.name, "crash", cat="pbft.fault")
 
     def restart(self) -> None:
         """Come back up from durable state only (paper section 2.3).
@@ -210,6 +212,8 @@ class RecoveryMixin:
         self.recovery_started_at = self.host.sim.now
         self.recovery_target = stable_seq
         self.stats["restarts"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(self.host.name, "restart", cat="pbft.fault")
         if self._gossip_timer is None or not self._gossip_timer.pending:
             self._gossip_timer = self.host.sim.schedule(
                 self.config.status_interval_ns, self._status_gossip
@@ -395,6 +399,11 @@ class RecoveryMixin:
                 break
         self.transfer = StateTransferTask(self, target_seq, target_root, source)
         self.stats["state_transfers_started"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.host.name, "state-transfer-start", cat="pbft.transfer",
+                args={"target_seq": target_seq, "source": source},
+            )
         self.transfer.start()
 
     def finish_state_transfer(self, task: StateTransferTask, client_marks) -> None:
@@ -423,6 +432,11 @@ class RecoveryMixin:
         self._install_own_checkpoint(task.target_seq)
         self.stats["state_transfers_completed"] += 1
         self.stats["state_transfer_pages"] += task.pages_fetched
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.host.name, "state-transfer-complete", cat="pbft.transfer",
+                args={"target_seq": task.target_seq, "pages": task.pages_fetched},
+            )
         self._execute_ready()
 
     # -- answering fetches ------------------------------------------------------------

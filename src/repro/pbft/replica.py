@@ -68,6 +68,11 @@ class Application:
         """Execute one operation deterministically and return the reply."""
         raise NotImplementedError
 
+    def attach_obs(self, obs, track: str) -> None:
+        """Receive the deployment's observability handle (metrics registry
+        plus tracer) and the host track name to record under.  Optional;
+        applications that emit no metrics or trace events ignore it."""
+
     def execute_cost_ns(self, op: bytes, readonly: bool) -> int:
         """Simulated CPU cost of executing ``op``, known up front."""
         return 0
@@ -148,9 +153,11 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         nondet_provider=None,
         nondet_validator=None,
         real_crypto: bool = True,
+        obs=None,
     ) -> None:
         super().__init__(
-            config, host, REPLICA_PORT, keys, "replica", replica_id, real_crypto
+            config, host, REPLICA_PORT, keys, "replica", replica_id, real_crypto,
+            obs=obs,
         )
         self.app = app
         self.nondet_provider = nondet_provider or TimestampProvider()
@@ -195,9 +202,13 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         )
 
         self.membership = None  # installed by repro.membership when enabled
-        self.stats: dict[str, int] = defaultdict(int)
+        # Typed counters in the shared registry; reads of unset keys are 0
+        # and ``+=`` registers the counter, so this drops in for the old
+        # defaultdict(int).
+        self.stats = self.obs.registry.view(f"replica{replica_id}.")
 
         app.bind_state(self.state, config.library_pages * config.page_size)
+        app.attach_obs(self.obs, host.name)
 
         self._handlers = {
             Request: self.on_request,
@@ -306,6 +317,9 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             self.stats["requests_rejected"] += 1
             return
 
+        if self.tracer.enabled and self.is_primary and not req.readonly:
+            self.tracer.mark((req.client, req.req_id), "primary-recv", self.host.name)
+
         if req.readonly and self.config.read_only_optimization:
             self._execute_readonly(req)
             return
@@ -344,6 +358,8 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             tentative=False,
         )
         self.stats["readonly_executed"] += 1
+        if self.tracer.enabled:
+            self.tracer.mark((req.client, req.req_id), "executed", self.host.name)
         self._send_reply(reply, req)
 
     # -- primary batching ----------------------------------------------------------------
@@ -390,6 +406,13 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             self.queued_digests.discard(req.digest)
         self.stats["batches_issued"] += 1
         self.stats["batched_requests"] += len(batch)
+        if self.tracer.enabled:
+            for req in batch:
+                self.tracer.mark((req.client, req.req_id), "pre-prepare", self.host.name)
+            self.tracer.event(
+                self.host.name, "pre-prepare", cat="pbft",
+                args={"seq": seq, "view": self.view, "batch": len(batch)},
+            )
         if inline:
             # Forwarding full request bodies inside the pre-prepare is the
             # cost the "all requests big" optimization avoids: the primary
@@ -474,6 +497,8 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             )
             vs.commits[self.node_id] = pp.batch_digest
             self.broadcast_to_replicas(commit, exclude=self.node_id)
+            if self.tracer.enabled and self.is_primary:
+                self._mark_batch(pp, "prepared")
             # Tentative execution: run the request as soon as it is
             # prepared; the client compensates by demanding 2f+1 replies.
             if self.config.tentative_execution:
@@ -497,6 +522,10 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             return
         slot.committed = True
         slot.committed_view = view
+        if self.tracer.enabled and self.is_primary:
+            pp = slot.pre_prepare_in(view)
+            if pp is not None:
+                self._mark_batch(pp, "committed")
         self._advance_committed()
         self._execute_ready(allow_tentative=self.config.tentative_execution)
 
@@ -591,6 +620,8 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             self.wedged = True
             self.wedged_since = self.host.sim.now
             self.stats["wedged_events"] += 1
+            if self.tracer.enabled:
+                self.tracer.event(self.host.name, "wedged", cat="pbft.fault")
 
     def _clear_wedge(self) -> None:
         if self.wedged and self.wedged_since is not None:
@@ -614,12 +645,23 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
                 if not silent:
                     self._resend_cached_reply(req)
                 continue
+            traced = self.tracer.enabled
             if self._is_system_op(req) and self.membership is not None:
+                cpu_start, _ = self.host.charge_cpu(0)
                 result = self.membership.execute_system(req, nondet_ts)
+                cpu_end = cpu_start
             else:
-                self.host.charge_cpu(self.app.execute_cost_ns(req.op, False))
+                cpu_start, _ = self.host.charge_cpu(
+                    self.app.execute_cost_ns(req.op, False)
+                )
                 result = self.app.execute(req.op, req.client, nondet_ts, False)
-                self.host.charge_cpu(self.app.take_accumulated_cost())
+                _, cpu_end = self.host.charge_cpu(self.app.take_accumulated_cost())
+            if traced:
+                self.tracer.complete(
+                    self.host.name, "execute", cpu_start, max(cpu_start, cpu_end),
+                    cat="pbft.exec", corr=(req.client, req.req_id),
+                    args={"seq": pp.seq, "tentative": tentative},
+                )
             reply = Reply(
                 view=self.view,
                 req_id=req.req_id,
@@ -633,6 +675,8 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
                 self.membership.touch(req.client, nondet_ts)
             self.waiting_requests.discard(req.digest)
             self.stats["requests_executed"] += 1
+            if traced and self.is_primary:
+                self.tracer.mark((req.client, req.req_id), "executed", self.host.name)
             if not silent:
                 self._send_reply(reply, req)
         self.exec_journal[pp.seq] = (pp, [r for r in requests if r is not None])
@@ -647,6 +691,13 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             self._install_own_checkpoint(pp.seq)
         if self.is_primary:
             self._try_issue_batches()
+
+    def _mark_batch(self, pp: PrePrepare, boundary: str) -> None:
+        """Phase-mark every request of a batch (primary's common-clock log)."""
+        for digest in pp.request_digests:
+            req = self.reqstore.get(digest)
+            if req is not None:
+                self.tracer.mark((req.client, req.req_id), boundary, self.host.name)
 
     def _designated_replier(self, req: Request) -> int:
         return (req.req_id + req.client) % self.config.n
@@ -705,6 +756,10 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         self.checkpoints.add(checkpoint)
         checkpoint.proof[self.node_id] = root
         self.stats["checkpoints_taken"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.host.name, "checkpoint", cat="pbft.checkpoint", args={"seq": seq}
+            )
         # Fold in votes that arrived before we got here.
         for rid, claimed in self.pending_votes.pop(seq, {}).items():
             if self.checkpoints.record_vote(seq, rid, claimed):
@@ -754,6 +809,11 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         for old in [s for s in self.pending_votes if s <= seq]:
             del self.pending_votes[old]
         self.stats["checkpoints_stabilized"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.host.name, "checkpoint-stable", cat="pbft.checkpoint",
+                args={"seq": seq},
+            )
         if self.is_primary:
             self._try_issue_batches()
 

@@ -111,6 +111,11 @@ class ViewChangeMixin:
         )
         self.view_changes.setdefault(new_view, {})[self.node_id] = msg
         self.stats["view_changes_started"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.host.name, "view-change", cat="pbft.viewchange",
+                args={"new_view": new_view},
+            )
         self.broadcast_to_replicas(msg, exclude=self.node_id)
         self._maybe_install_new_view(new_view)
         # If the new primary never shows up, move on to the next view.
@@ -215,6 +220,11 @@ class ViewChangeMixin:
         self.view_changes = {v: m for v, m in self.view_changes.items() if v > view}
         self._disarm_vc_timer()
         self.stats["views_installed"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.host.name, "new-view", cat="pbft.viewchange",
+                args={"view": view},
+            )
         is_primary = self.primary_of(view) == self.node_id
         highest = nv.stable_seq
         for proof in nv.pre_prepares:

@@ -47,6 +47,8 @@ class Simulator:
         self._queue: list[tuple[int, int, Timer]] = []
         self._seq: int = 0
         self._events_run: int = 0
+        self._events_cancelled: int = 0
+        self._max_queue_len: int = 0
 
     @property
     def now(self) -> int:
@@ -59,9 +61,33 @@ class Simulator:
         return self._events_run
 
     @property
+    def events_scheduled(self) -> int:
+        """Total number of events ever scheduled."""
+        return self._seq
+
+    @property
+    def events_cancelled(self) -> int:
+        """Events popped after cancellation (scheduled but never run)."""
+        return self._events_cancelled
+
+    @property
+    def max_queue_len(self) -> int:
+        """High-water mark of the event queue."""
+        return self._max_queue_len
+
+    @property
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    def collect_metrics(self, registry, prefix: str = "sim.") -> None:
+        """Publish event-loop counters into a metrics registry."""
+        registry.gauge(prefix + "now_ns").set(self._now)
+        registry.gauge(prefix + "events_run").set(self._events_run)
+        registry.gauge(prefix + "events_scheduled").set(self._seq)
+        registry.gauge(prefix + "events_cancelled").set(self._events_cancelled)
+        registry.gauge(prefix + "pending_events").set(len(self._queue))
+        registry.gauge(prefix + "max_queue_len").set(self._max_queue_len)
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` to run ``delay`` nanoseconds from now."""
@@ -78,6 +104,8 @@ class Simulator:
         timer = Timer(when, callback)
         heapq.heappush(self._queue, (when, self._seq, timer))
         self._seq += 1
+        if len(self._queue) > self._max_queue_len:
+            self._max_queue_len = len(self._queue)
         return timer
 
     def run(self, max_events: Optional[int] = None) -> None:
@@ -106,6 +134,7 @@ class Simulator:
         when, _seq, timer = heapq.heappop(self._queue)
         self._now = when
         if timer.cancelled:
+            self._events_cancelled += 1
             return
         timer.fired = True
         self._events_run += 1

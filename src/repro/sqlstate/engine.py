@@ -10,7 +10,7 @@ into simulated CPU/disk time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.common.errors import SqlError
 from repro.sqlstate import ast
@@ -82,6 +82,11 @@ class Database:
         self.explicit_transaction = False
         self.last_stats = StatementStats()
         self.total_statements = 0
+        # Observability hook: called after every statement (success or
+        # error) with the statement's AST type name and its instrumentation
+        # deltas.  The PBFT application layer uses it to put per-statement
+        # and per-fsync timing on the common-clock trace.
+        self.on_statement: Optional[Callable[[str, StatementStats], None]] = None
 
     # -- transactions ------------------------------------------------------------
 
@@ -135,6 +140,8 @@ class Database:
             result = self._dispatch(stmt, params)
         finally:
             self.last_stats = self._stats_since(baseline)
+            if self.on_statement is not None:
+                self.on_statement(type(stmt).__name__, self.last_stats)
         return result
 
     def _dispatch(self, stmt, params):

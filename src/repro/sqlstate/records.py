@@ -86,6 +86,8 @@ def decode_record(data: bytes) -> list[SqlValue]:
 
 
 def _encode_number(value: float) -> bytes:
+    if value == 0.0:
+        value = 0.0  # -0.0 compares equal to 0.0; encode them identically
     raw = _F64.pack(float(value))
     as_int = int.from_bytes(raw, "big")
     if as_int & (1 << 63):

@@ -68,14 +68,21 @@ class DiskModel:
         self.write_ns_per_page = write_ns_per_page
         self.syncs = 0
         self.writes = 0
+        # Optional observability hook: called as observer(kind, cost_ns)
+        # for every disk operation ("sync" or "write").
+        self.observer: Optional[Callable[[str, int], None]] = None
 
     def on_write(self, length: int) -> None:
         self.writes += 1
         self.charge(self.write_ns_per_page)
+        if self.observer is not None:
+            self.observer("write", self.write_ns_per_page)
 
     def on_sync(self) -> None:
         self.syncs += 1
         self.charge(self.sync_ns)
+        if self.observer is not None:
+            self.observer("sync", self.sync_ns)
 
 
 class MemoryVfsFile(VfsFile):

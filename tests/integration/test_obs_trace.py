@@ -1,0 +1,80 @@
+"""End-to-end observability: a traced workload writes a valid Chrome
+trace whose phase spans account for each request's latency."""
+
+import json
+from collections import defaultdict
+
+from repro.harness.measure import run_null_workload, run_sql_workload
+from repro.obs.phases import PHASE_NAMES
+from repro.pbft.config import PbftConfig
+
+
+def load_trace(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def test_traced_null_workload_writes_valid_chrome_trace(tmp_path):
+    path = tmp_path / "null.json"
+    m = run_null_workload(
+        PbftConfig(num_clients=4), warmup_s=0.05, measure_s=0.2,
+        trace_path=str(path),
+    )
+    assert m.completed > 10
+    doc = load_trace(path)
+    events = doc["traceEvents"]
+    assert events
+    assert all(e["ph"] in {"X", "i", "M"} for e in events)
+    # The measurement carries the same breakdown the trace visualizes.
+    assert set(m.phase_latency_ns) == set(PHASE_NAMES)
+    assert sum(m.phase_latency_ns.values()) > 0
+
+
+def test_phase_spans_cover_at_least_95_percent_of_request_latency(tmp_path):
+    path = tmp_path / "null.json"
+    run_null_workload(
+        PbftConfig(num_clients=4), warmup_s=0.05, measure_s=0.2,
+        trace_path=str(path),
+    )
+    events = load_trace(path)["traceEvents"]
+    by_request = defaultdict(list)
+    for e in events:
+        if e.get("cat") == "request-phase":
+            by_request[(e["pid"], e["tid"])].append(e)
+    assert len(by_request) > 10
+    for spans in by_request.values():
+        latency = max(e["ts"] + e["dur"] for e in spans) - min(e["ts"] for e in spans)
+        covered = sum(e["dur"] for e in spans)
+        assert covered >= 0.95 * latency
+
+
+def test_traced_sql_workload_includes_statement_spans(tmp_path):
+    path = tmp_path / "sql.json"
+    m = run_sql_workload(
+        PbftConfig(num_clients=4), warmup_s=0.05, measure_s=0.2,
+        trace_path=str(path),
+    )
+    assert m.completed > 5
+    events = load_trace(path)["traceEvents"]
+    cats = {e.get("cat") for e in events}
+    assert "sql" in cats        # per-statement spans from the engine hook
+    assert "sql.disk" in cats   # journal fsync instants
+    assert "pbft.exec" in cats  # replica execute spans
+
+
+def test_untraced_run_has_no_phase_data_and_no_events():
+    m = run_null_workload(PbftConfig(num_clients=4), warmup_s=0.05, measure_s=0.1)
+    assert m.phase_latency_ns == {}
+
+
+def test_tracing_does_not_change_results(tmp_path):
+    base = run_null_workload(
+        PbftConfig(num_clients=4), warmup_s=0.05, measure_s=0.2, seed=9
+    )
+    traced = run_null_workload(
+        PbftConfig(num_clients=4), warmup_s=0.05, measure_s=0.2, seed=9,
+        trace_path=str(tmp_path / "t.json"),
+    )
+    assert traced.completed == base.completed
+    assert traced.tps == base.tps
+    assert traced.p50_latency_ns == base.p50_latency_ns

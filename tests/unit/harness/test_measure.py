@@ -14,18 +14,38 @@ def test_null_workload_produces_sane_measurement():
     assert m.view_changes == 0
 
 
-def test_measurement_from_cluster_percentiles():
-    class FakeCluster:
-        clients = []
-        replicas = []
+class FakeCluster:
+    clients = []
+    replicas = []
 
+
+def test_measurement_from_cluster_percentiles():
+    # Nearest-rank: p-th percentile of n values is the ceil(p*n)-th
+    # smallest, so for 1..100 the p50 is 50 and the p99 is 99.
     latencies = list(range(1, 101))
     m = Measurement.from_cluster("x", FakeCluster(), completed=100,
                                  latencies=latencies, duration_s=2.0)
     assert m.tps == 50
-    assert m.p50_latency_ns == 51
-    assert m.p99_latency_ns == 100
+    assert m.p50_latency_ns == 50
+    assert m.p99_latency_ns == 99
     assert m.mean_latency_ns == 50.5
+
+
+def test_percentiles_nearest_rank_small_lists():
+    m = Measurement.from_cluster("x", FakeCluster(), 1, [7], 1.0)
+    assert m.p50_latency_ns == 7
+    assert m.p99_latency_ns == 7
+    # Odd length: nearest-rank p50 of 5 values is the 3rd smallest.
+    m = Measurement.from_cluster("x", FakeCluster(), 5, [10, 20, 30, 40, 50], 1.0)
+    assert m.p50_latency_ns == 30
+    assert m.p99_latency_ns == 50
+    # Even length: ceil(0.5 * 4) = 2nd smallest, never above the median.
+    m = Measurement.from_cluster("x", FakeCluster(), 4, [1, 2, 3, 4], 1.0)
+    assert m.p50_latency_ns == 2
+    assert m.p99_latency_ns == 4
+    # Unsorted input is sorted before ranking.
+    m = Measurement.from_cluster("x", FakeCluster(), 3, [30, 10, 20], 1.0)
+    assert m.p50_latency_ns == 20
 
 
 def test_measurement_with_no_latencies():

@@ -146,6 +146,81 @@ def test_partition_blocks_both_directions_until_healed():
     assert got_b == ["x2"]
 
 
+def test_drop_rule_predicate_sees_full_packet():
+    """Predicates can match on src/dst/kind/size, not just kind."""
+    sim, fabric = make_fabric()
+    fabric.add_host("c")
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    sc = fabric.bind("c", 1)
+    got_b, got_c = [], []
+    sb.on_receive(lambda p: got_b.append(p.payload))
+    sc.on_receive(lambda p: got_c.append(p.payload))
+    rule = fabric.add_drop_rule(
+        DropRule(lambda p: p.dst[0] == "b" and p.size > 50, name="big-to-b")
+    )
+    sa.send(("b", 1), "small", 10)
+    sa.send(("b", 1), "big", 100)
+    sa.send(("c", 1), "big-to-c", 100)  # different destination: untouched
+    sim.run()
+    assert got_b == ["small"]
+    assert got_c == ["big-to-c"]
+    assert rule.matched == 1
+
+
+def test_unlimited_drop_rule_keeps_matching():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p.payload))
+    rule = fabric.add_drop_rule(DropRule(lambda p: True, count=None))
+    for i in range(7):
+        sa.send(("b", 1), i, 10)
+    sim.run()
+    assert got == []
+    assert rule.matched == 7
+
+
+def test_packets_dropped_counts_rule_and_partition_drops():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p.payload))
+    fabric.add_drop_rule(DropRule(lambda p: p.kind == "victim", count=1))
+    sa.send(("b", 1), "rule-dropped", 10, kind="victim")
+    sim.run()
+    assert fabric.packets_dropped == 1
+    fabric.partition({"a"}, {"b"})
+    sa.send(("b", 1), "partition-dropped", 10)
+    sim.run()
+    assert fabric.packets_dropped == 2
+    fabric.heal_partition()
+    sa.send(("b", 1), "delivered", 10)
+    sim.run()
+    assert fabric.packets_dropped == 2
+    assert fabric.packets_sent == 3
+    assert got == ["delivered"]
+
+
+def test_partition_only_cuts_named_pairs():
+    sim, fabric = make_fabric()
+    fabric.add_host("c")
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    sc = fabric.bind("c", 1)
+    got_b, got_c = [], []
+    sb.on_receive(lambda p: got_b.append(p.payload))
+    sc.on_receive(lambda p: got_c.append(p.payload))
+    fabric.partition({"a"}, {"b"})
+    sa.send(("b", 1), "cut", 10)
+    sa.send(("c", 1), "open", 10)
+    sim.run()
+    assert got_b == []
+    assert got_c == ["open"]
+
+
 def test_multicast_reaches_all_destinations():
     sim, fabric = make_fabric()
     fabric.add_host("c")

@@ -1,0 +1,112 @@
+"""Exporters: JSONL lines and Chrome ``trace_event`` documents."""
+
+import json
+
+from repro.obs import Observability
+from repro.obs.export import chrome_trace_events, write_chrome_trace, write_jsonl
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+def sample_tracer():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    tracer.complete("replica0", "execute", 1000, 3500, cat="pbft.exec",
+                    corr=(1, 1), args={"seq": 5, "digest": b"\xab\xcd"})
+    clock.now = 4000
+    tracer.event("replica0", "checkpoint", cat="pbft.checkpoint", args={"seq": 128})
+    for boundary, ts in (("invoke", 0), ("primary-recv", 900), ("done", 5000)):
+        clock.now = ts
+        tracer.mark((1, 1), boundary, "client1")
+    return tracer
+
+
+def test_jsonl_one_parseable_object_per_event(tmp_path):
+    tracer = sample_tracer()
+    path = tmp_path / "trace.jsonl"
+    count = write_jsonl(tracer, str(path))
+    lines = path.read_text().splitlines()
+    assert count == len(lines) == len(tracer.events)
+    records = [json.loads(line) for line in lines]
+    assert records[0]["kind"] == "span"
+    assert records[0]["dur_ns"] == 2500
+    assert records[0]["args"]["digest"] == "abcd"  # bytes hexed
+    assert records[1]["kind"] == "instant"
+    assert {r["kind"] for r in records[2:]} == {"mark"}
+    assert records[2]["corr"] == [1, 1]
+
+
+def test_chrome_events_spans_instants_and_metadata():
+    events = chrome_trace_events(sample_tracer())
+    span = next(e for e in events if e.get("ph") == "X" and e["name"] == "execute")
+    assert span["ts"] == 1.0 and span["dur"] == 2.5  # ns -> us
+    assert span["cat"] == "pbft.exec"
+    instant = next(e for e in events if e.get("ph") == "i")
+    assert instant["name"] == "checkpoint" and instant["s"] == "t"
+    names = [
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    ]
+    assert "replica0" in names and "requests" in names
+    # Events on one track share a pid; tracks differ.
+    assert span["pid"] == instant["pid"]
+
+
+def test_chrome_events_assemble_request_phase_rows():
+    events = chrome_trace_events(sample_tracer())
+    phase_events = [e for e in events if e.get("cat") == "request-phase"]
+    assert len(phase_events) == 6
+    assert all(e["ph"] == "X" for e in phase_events)
+    total_us = sum(e["dur"] for e in phase_events)
+    assert total_us == 5.0  # invoke..done is 5000ns
+    thread_meta = next(
+        e for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+    )
+    assert thread_meta["args"]["name"] == "client 1 req 1"
+    # No raw marks leak into the document.
+    assert not any(e.get("kind") == "mark" for e in events)
+
+
+def test_write_chrome_trace_document_shape(tmp_path):
+    tracer = sample_tracer()
+    path = tmp_path / "trace.json"
+    obs = Observability(tracer=tracer)
+    obs.registry.counter("ops").inc(9)
+    count = obs.write_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    assert isinstance(doc["traceEvents"], list)
+    assert len(doc["traceEvents"]) == count
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["clock"] == "simulated"
+    assert doc["otherData"]["metrics"]["ops"] == 9
+    assert all(e["ph"] in {"X", "i", "M"} for e in doc["traceEvents"])
+
+
+def test_dropped_events_reported_in_other_data(tmp_path):
+    clock = FakeClock()
+    tracer = Tracer(clock, limit=1)
+    tracer.event("t", "kept")
+    tracer.event("t", "dropped")
+    path = tmp_path / "trace.json"
+    write_chrome_trace(tracer, str(path))
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["events_dropped_at_limit"] == 1
+
+
+def test_empty_tracer_still_writes_valid_documents(tmp_path):
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    jsonl = tmp_path / "empty.jsonl"
+    chrome = tmp_path / "empty.json"
+    assert write_jsonl(tracer, str(jsonl)) == 0
+    assert write_chrome_trace(tracer, str(chrome)) == 0
+    assert jsonl.read_text() == ""
+    assert json.loads(chrome.read_text())["traceEvents"] == []

@@ -1,0 +1,118 @@
+"""Phase assembly: boundary marks -> contiguous per-request intervals."""
+
+from repro.obs.phases import (
+    BOUNDARIES,
+    PHASE_NAMES,
+    collect_marks,
+    phase_breakdown,
+    request_phases,
+)
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+def traced(marks):
+    """Build a tracer holding the given (corr, boundary, ts) marks."""
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    for corr, boundary, ts in marks:
+        clock.now = ts
+        tracer.mark(corr, boundary)
+    return tracer
+
+
+def test_collect_marks_keeps_first_timestamp():
+    tracer = traced([
+        ((1, 1), "invoke", 0),
+        ((1, 1), "pre-prepare", 10),
+        ((1, 1), "pre-prepare", 99),  # duplicate (e.g. after view change)
+    ])
+    marks = collect_marks(tracer)
+    assert marks[(1, 1)] == {"invoke": 0, "pre-prepare": 10}
+
+
+def test_phases_tile_the_request_exactly():
+    corr = (1, 1)
+    tracer = traced([
+        (corr, "invoke", 0),
+        (corr, "primary-recv", 100),
+        (corr, "pre-prepare", 150),
+        (corr, "prepared", 300),
+        (corr, "committed", 450),
+        (corr, "executed", 500),
+        (corr, "done", 600),
+    ])
+    (phases,) = request_phases(tracer).values()
+    assert [p[0] for p in phases] == list(PHASE_NAMES)
+    # Contiguous: each phase starts where the previous ended.
+    for (_, _, prev_end), (_, start, _) in zip(phases, phases[1:]):
+        assert start == prev_end
+    assert phases[0][1] == 0 and phases[-1][2] == 600
+    assert sum(end - start for _, start, end in phases) == 600
+
+
+def test_tentative_execution_out_of_order_commit_is_clamped():
+    """With tentative execution the commit certificate can land after the
+    client already finished; the running-max clamp keeps phases tiling."""
+    corr = (1, 1)
+    tracer = traced([
+        (corr, "invoke", 0),
+        (corr, "prepared", 200),
+        (corr, "executed", 250),
+        (corr, "done", 300),
+        (corr, "committed", 900),  # after done
+    ])
+    (phases,) = request_phases(tracer).values()
+    assert sum(end - start for _, start, end in phases) == 300
+    assert all(0 <= start <= end <= 300 for _, start, end in phases)
+    # Execution time is attributed even though committed came later.
+    by_name = {name: (start, end) for name, start, end in phases}
+    assert by_name["commit"] == (200, 300)  # clamped to done
+    assert by_name["execute"] == (300, 300)
+
+
+def test_missing_interior_boundaries_yield_zero_phases():
+    corr = (2, 7)
+    tracer = traced([(corr, "invoke", 50), (corr, "done", 450)])
+    (phases,) = request_phases(tracer).values()
+    assert sum(end - start for _, start, end in phases) == 400
+    # All time lands in the final phase; the rest are zero-length.
+    assert phases[-1] == ("reply", 50, 450)
+
+
+def test_incomplete_requests_are_excluded():
+    tracer = traced([
+        ((1, 1), "invoke", 0),
+        ((1, 1), "pre-prepare", 10),  # never done
+        ((2, 2), "done", 99),         # never invoked (stale reply)
+    ])
+    assert request_phases(tracer) == {}
+
+
+def test_phase_breakdown_means_and_window_filter():
+    tracer = traced([
+        ((1, 1), "invoke", 0),
+        ((1, 1), "primary-recv", 100),
+        ((1, 1), "done", 200),
+        ((1, 2), "invoke", 1000),
+        ((1, 2), "primary-recv", 1300),
+        ((1, 2), "done", 1400),
+    ])
+    both = phase_breakdown(tracer)
+    assert both["client-send"] == 200.0  # mean of 100 and 300
+    assert sum(both.values()) == 300.0   # mean total latency
+    # since_ns drops the first (warm-up) request.
+    late = phase_breakdown(tracer, since_ns=500)
+    assert late["client-send"] == 300.0
+    assert phase_breakdown(tracer, since_ns=10_000) == {}
+
+
+def test_boundary_and_phase_tables_line_up():
+    assert len(BOUNDARIES) == len(PHASE_NAMES) + 1

@@ -1,0 +1,116 @@
+"""Tracer semantics: spans, instants, marks, the limit, and the
+zero-cost guarantee when disabled."""
+
+from repro.obs.tracer import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+def make_tracer(enabled=True, limit=2_000_000):
+    clock = FakeClock()
+    return Tracer(clock, enabled=enabled, limit=limit), clock
+
+
+def test_instant_event_stamped_with_clock():
+    tracer, clock = make_tracer()
+    clock.now = 42
+    tracer.event("net", "drop", cat="net.drop", args={"reason": "partition"})
+    (e,) = tracer.instants()
+    assert (e.track, e.name, e.cat, e.ts) == ("net", "drop", "net.drop", 42)
+    assert e.args == {"reason": "partition"}
+    assert e.dur is None
+
+
+def test_begin_end_records_duration():
+    tracer, clock = make_tracer()
+    clock.now = 100
+    span = tracer.begin("replica0", "execute", cat="pbft")
+    clock.now = 350
+    tracer.end(span, args={"ops": 3})
+    assert span.ts == 100 and span.dur == 250 and span.end == 350
+    assert span.args == {"ops": 3}
+
+
+def test_spans_nest_on_one_track():
+    tracer, clock = make_tracer()
+    outer = tracer.begin("replica0", "batch")
+    clock.now = 10
+    inner = tracer.begin("replica0", "statement")
+    clock.now = 20
+    tracer.end(inner)
+    clock.now = 30
+    tracer.end(outer)
+    assert outer.ts <= inner.ts
+    assert inner.end <= outer.end
+    assert [s.name for s in tracer.spans()] == ["batch", "statement"]
+
+
+def test_span_context_manager_closes_on_exception():
+    tracer, clock = make_tracer()
+    try:
+        with tracer.span("replica0", "work") as span:
+            clock.now = 5
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert span.dur == 5
+
+
+def test_complete_clamps_negative_durations():
+    tracer, _clock = make_tracer()
+    tracer.complete("net", "packet", 100, 90)
+    (span,) = tracer.spans()
+    assert span.dur == 0
+
+
+def test_marks_carry_correlation_ids():
+    tracer, clock = make_tracer()
+    clock.now = 7
+    tracer.mark((1, 2), "invoke", "client1")
+    (m,) = tracer.marks()
+    assert m.corr == (1, 2) and m.name == "invoke" and m.ts == 7
+
+
+def test_limit_drops_overflow_and_counts_it():
+    tracer, _clock = make_tracer(limit=2)
+    for i in range(5):
+        tracer.event("t", f"e{i}")
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 3
+    tracer.clear()
+    assert tracer.events == [] and tracer.dropped == 0
+
+
+def test_disabled_tracer_records_nothing():
+    tracer, _clock = make_tracer(enabled=False)
+    tracer.event("t", "e")
+    tracer.mark((1, 1), "invoke")
+    tracer.complete("t", "s", 0, 10)
+    with tracer.span("t", "cm"):
+        pass
+    assert tracer.events == []
+
+
+def test_disabled_tracer_allocates_no_span_objects():
+    """begin() hands out the one shared sentinel — no per-request objects."""
+    tracer, _clock = make_tracer(enabled=False)
+    spans = [tracer.begin("t", f"s{i}") for i in range(100)]
+    assert all(s is NULL_SPAN for s in spans)
+    tracer.end(spans[0])  # ending the sentinel is a no-op
+    assert tracer.events == []
+
+
+def test_disabled_clock_never_called():
+    def exploding_clock():
+        raise AssertionError("clock read on the disabled path")
+
+    tracer = Tracer(exploding_clock, enabled=False)
+    tracer.event("t", "e")
+    tracer.mark((1, 1), "invoke")
+    tracer.begin("t", "s")
