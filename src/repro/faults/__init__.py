@@ -1,0 +1,59 @@
+"""repro.faults — deterministic fault-injection campaigns.
+
+Declarative :class:`FaultSchedule`s (crash/restart, partitions, windowed
+link disturbances, mute and equivocating primaries) are applied to a
+running cluster by a polling :class:`FaultInjector`; the campaign runner
+sweeps schedules × RNG seeds and checks four protocol invariants after
+every run — agreement, no committed-op loss, monotone checkpoint
+stability, and client liveness.  On violation it re-runs the identical
+(schedule, seed) pair with tracing enabled and dumps a Chrome trace plus
+a minimized event log via :mod:`repro.obs`.
+"""
+
+from repro.faults.campaign import (
+    CampaignResult,
+    RunResult,
+    campaign_config,
+    run_campaign,
+    run_schedule,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    Violation,
+    check_agreement,
+    check_checkpoint_monotone,
+    check_liveness,
+    check_no_committed_loss,
+)
+from repro.faults.library import builtin_schedules
+from repro.faults.schedule import (
+    CrashReplica,
+    EquivocatingPrimary,
+    FaultSchedule,
+    LinkDisturbance,
+    MutePrimary,
+    PartitionFault,
+    Trigger,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CrashReplica",
+    "EquivocatingPrimary",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkDisturbance",
+    "MutePrimary",
+    "PartitionFault",
+    "RunResult",
+    "Trigger",
+    "Violation",
+    "builtin_schedules",
+    "campaign_config",
+    "check_agreement",
+    "check_checkpoint_monotone",
+    "check_liveness",
+    "check_no_committed_loss",
+    "run_campaign",
+    "run_schedule",
+]

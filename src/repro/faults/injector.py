@@ -1,0 +1,177 @@
+"""The fault injector: applies a schedule to a running cluster.
+
+A deterministic polling loop on the cluster's simulator evaluates every
+pending fault's :class:`~repro.faults.schedule.Trigger` against the
+current time / committed sequence / installed view, applies those that
+fire through the hooks in :mod:`repro.net.fabric` and
+:mod:`repro.pbft.replica`, and schedules the matching heal (restart,
+unpartition, window close, unmute).  Each poll also samples per-replica
+checkpoint stability for the monotonicity invariant.
+
+Polling (rather than callbacks buried in the protocol) keeps injection
+deterministic and external: the replicas under test never know the
+campaign exists.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import MILLISECOND
+from repro.net.fabric import LinkFault
+from repro.pbft.cluster import Cluster
+from repro.faults.schedule import (
+    CrashReplica,
+    EquivocatingPrimary,
+    FaultSchedule,
+    LinkDisturbance,
+    MutePrimary,
+    PartitionFault,
+)
+
+
+class FaultInjector:
+    """Drives one :class:`FaultSchedule` against one :class:`Cluster`."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        schedule: FaultSchedule,
+        poll_interval_ns: int = 2 * MILLISECOND,
+    ) -> None:
+        schedule.validate(cluster.config.n)
+        self.cluster = cluster
+        self.schedule = schedule
+        self.poll_interval_ns = poll_interval_ns
+        self.pending = list(schedule.faults)
+        self.open_heals = 0  # restarts/heals scheduled but not yet fired
+        self.log: list[str] = []  # human-readable applied-fault journal
+        # replica id -> list of sampled checkpoint stable seqs (only while
+        # the replica is up), for the monotone-stability invariant.
+        self.stability_samples: dict[int, list[int]] = {
+            r.node_id: [] for r in cluster.replicas
+        }
+        self._timer = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self._arm()
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def quiescent(self) -> bool:
+        """True once every fault has been applied *and* healed."""
+        return not self.pending and self.open_heals == 0
+
+    # -- polling ------------------------------------------------------------
+
+    def _arm(self) -> None:
+        self._timer = self.cluster.sim.schedule(self.poll_interval_ns, self._poll)
+
+    def _poll(self) -> None:
+        self._timer = None
+        cluster = self.cluster
+        now = cluster.sim.now
+        live = [r for r in cluster.replicas if not r.crashed]
+        max_seq = max((r.committed_upto for r in live), default=0)
+        max_view = max((r.view for r in live), default=0)
+        still_pending = []
+        for fault in self.pending:
+            trigger = fault.at if isinstance(fault, CrashReplica) else fault.start
+            if trigger.ready(now, max_seq, max_view):
+                self._apply(fault, max_view)
+            else:
+                still_pending.append(fault)
+        self.pending = still_pending
+        for replica in live:
+            self.stability_samples[replica.node_id].append(
+                replica.checkpoints.stable_seq
+            )
+        self._arm()
+
+    # -- application --------------------------------------------------------
+
+    def _note(self, text: str) -> None:
+        self.log.append(f"{self.cluster.sim.now / MILLISECOND:9.1f}ms  {text}")
+
+    def _heal_later(self, delay_ns: int, action, text: str) -> None:
+        self.open_heals += 1
+
+        def heal() -> None:
+            self.open_heals -= 1
+            action()
+            self._note(text)
+
+        self.cluster.sim.schedule(delay_ns, heal)
+
+    def _apply(self, fault, max_view: int) -> None:
+        cluster = self.cluster
+        if isinstance(fault, CrashReplica):
+            replica = cluster.replicas[fault.replica]
+            if replica.crashed:
+                self._note(f"skip: replica{fault.replica} already crashed")
+                return
+            replica.crash()
+            self._note(fault.describe())
+            if fault.restart_after_ns is not None:
+                self._heal_later(
+                    fault.restart_after_ns,
+                    replica.restart,
+                    f"restart replica{fault.replica}",
+                )
+        elif isinstance(fault, PartitionFault):
+            cluster.fabric.partition(set(fault.group_a), set(fault.group_b))
+            self._note(fault.describe())
+            self._heal_later(
+                fault.heal_after_ns,
+                lambda: cluster.fabric.unpartition(
+                    set(fault.group_a), set(fault.group_b)
+                ),
+                f"heal partition {sorted(fault.group_a)} | {sorted(fault.group_b)}",
+            )
+        elif isinstance(fault, LinkDisturbance):
+            link_fault = LinkFault(
+                src=fault.src,
+                dst=fault.dst,
+                drop_probability=fault.drop_probability,
+                extra_delay_ns=fault.extra_delay_ns,
+                duplicate_probability=fault.duplicate_probability,
+                reorder_probability=fault.reorder_probability,
+                name=f"{self.schedule.name}:{fault.src}->{fault.dst}",
+            )
+            cluster.fabric.add_link_fault(link_fault)
+            self._note(fault.describe())
+            self._heal_later(
+                fault.duration_ns,
+                lambda: cluster.fabric.remove_link_fault(link_fault),
+                f"close disturbance window {fault.src}->{fault.dst}",
+            )
+        elif isinstance(fault, MutePrimary):
+            primary = cluster.replicas[max_view % cluster.config.n]
+            primary.muted = True
+            self._note(f"{fault.describe()} -> replica{primary.node_id}")
+
+            def unmute() -> None:
+                primary.muted = False
+
+            self._heal_later(
+                fault.duration_ns, unmute, f"unmute replica{primary.node_id}"
+            )
+        elif isinstance(fault, EquivocatingPrimary):
+            primary = cluster.replicas[max_view % cluster.config.n]
+            primary.equivocate = True
+            self._note(f"{fault.describe()} -> replica{primary.node_id}")
+
+            def stop_equivocating() -> None:
+                primary.equivocate = False
+
+            self._heal_later(
+                fault.duration_ns,
+                stop_equivocating,
+                f"replica{primary.node_id} stops equivocating",
+            )
+        else:  # pragma: no cover - schedule.validate keeps this unreachable
+            raise TypeError(f"unknown fault declaration {fault!r}")

@@ -1,0 +1,143 @@
+"""Protocol invariants checked after every fault-campaign run.
+
+Four checks, matching the paper's safety and liveness claims:
+
+* **agreement** — replicas never diverge: state roots match at every
+  shared stable checkpoint and execution journals agree on every shared
+  sequence number;
+* **no committed-op loss** — an operation the client observed as
+  completed survives every view change: a quorum of live replicas holds
+  its per-client execution watermark;
+* **monotone checkpoint stability** — a replica's stable checkpoint
+  sequence never moves backwards, crash/restart included;
+* **client liveness** — once every fault has healed and the drain window
+  has passed, no invoked operation is left incomplete.
+
+Checks return :class:`Violation` lists rather than raising, so a
+campaign can keep sweeping and report everything it found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pbft.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str
+    description: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.description}"
+
+
+def check_agreement(cluster: Cluster) -> list[Violation]:
+    """State roots and execution journals must agree wherever they overlap."""
+    violations: list[Violation] = []
+    replicas = cluster.replicas
+    for seq in sorted({r.checkpoints.stable_seq for r in replicas}):
+        roots = {
+            r.node_id: cp.root
+            for r in replicas
+            if (cp := r.checkpoints.get(seq)) is not None
+        }
+        if len(set(roots.values())) > 1:
+            violations.append(
+                Violation(
+                    "agreement",
+                    f"divergent state roots at stable seq {seq}: "
+                    + ", ".join(
+                        f"replica{rid}={root.hex()[:8]}"
+                        for rid, root in sorted(roots.items())
+                    ),
+                )
+            )
+    for i, a in enumerate(replicas):
+        for b in replicas[i + 1 :]:
+            for seq in sorted(set(a.exec_journal) & set(b.exec_journal)):
+                ra = [(r.client, r.req_id) for r in a.exec_journal[seq][1]]
+                rb = [(r.client, r.req_id) for r in b.exec_journal[seq][1]]
+                if ra != rb:
+                    violations.append(
+                        Violation(
+                            "agreement",
+                            f"journal divergence at seq {seq} between "
+                            f"replica{a.node_id} ({ra}) and "
+                            f"replica{b.node_id} ({rb})",
+                        )
+                    )
+    return violations
+
+
+def check_no_committed_loss(
+    cluster: Cluster, completed: list[tuple[int, int]]
+) -> list[Violation]:
+    """Every client-completed op must survive on a quorum of live replicas.
+
+    A completed op was committed (the client held f+1 stable or 2f+1
+    tentative replies), so after view changes and recoveries a quorum of
+    live replicas must still carry its per-client execution watermark —
+    the watermark is checkpoint-durable, so losing it means the view
+    change dropped a committed operation.
+    """
+    violations: list[Violation] = []
+    live = [r for r in cluster.replicas if not r.crashed]
+    needed = min(cluster.config.quorum, len(live))
+    # Only the highest completed req_id per client matters: watermarks are
+    # monotone per client.
+    latest: dict[int, int] = {}
+    for client_id, req_id in completed:
+        latest[client_id] = max(latest.get(client_id, -1), req_id)
+    for client_id, req_id in sorted(latest.items()):
+        holders = [
+            r.node_id
+            for r in live
+            if r.reqstore.last_executed_req.get(client_id, -1) >= req_id
+        ]
+        if len(holders) < needed:
+            violations.append(
+                Violation(
+                    "committed-loss",
+                    f"client {client_id} op {req_id} completed at the client "
+                    f"but only replicas {holders} (need {needed}) still "
+                    f"carry its execution watermark",
+                )
+            )
+    return violations
+
+
+def check_checkpoint_monotone(
+    stability_samples: dict[int, list[int]],
+) -> list[Violation]:
+    """A replica's stable checkpoint seq must never regress."""
+    violations: list[Violation] = []
+    for rid, samples in sorted(stability_samples.items()):
+        for earlier, later in zip(samples, samples[1:]):
+            if later < earlier:
+                violations.append(
+                    Violation(
+                        "checkpoint-monotone",
+                        f"replica{rid} stable checkpoint regressed "
+                        f"{earlier} -> {later}",
+                    )
+                )
+                break  # one report per replica is enough
+    return violations
+
+
+def check_liveness(
+    cluster: Cluster, invoked: list[tuple[int, int]], completed: list[tuple[int, int]]
+) -> list[Violation]:
+    """After faults heal and the drain window passes, nothing is pending."""
+    missing = sorted(set(invoked) - set(completed))
+    return [
+        Violation(
+            "liveness",
+            f"client {client_id} op {req_id} never completed after faults healed",
+        )
+        for client_id, req_id in missing
+    ]

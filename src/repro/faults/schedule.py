@@ -1,0 +1,186 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is data, not code: a named list of fault
+declarations, each bound to a :class:`Trigger` saying *when* it fires
+(wall-clock time, committed sequence number, and/or installed view) and,
+where applicable, how long the disturbance lasts.  The
+:class:`~repro.faults.injector.FaultInjector` turns the declarations into
+concrete actions against a running cluster; keeping the two apart means a
+schedule can be swept across RNG seeds, printed in a report, and replayed
+exactly when an invariant fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import MILLISECOND
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """When a fault fires: every specified condition must hold.
+
+    ``at_ns`` compares against simulated time; ``at_seq`` against the
+    highest committed sequence number on any live replica; ``at_view``
+    against the highest installed view.  A trigger with no conditions
+    fires immediately.
+    """
+
+    at_ns: int | None = None
+    at_seq: int | None = None
+    at_view: int | None = None
+
+    def ready(self, now_ns: int, max_seq: int, max_view: int) -> bool:
+        if self.at_ns is not None and now_ns < self.at_ns:
+            return False
+        if self.at_seq is not None and max_seq < self.at_seq:
+            return False
+        if self.at_view is not None and max_view < self.at_view:
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.at_ns is not None:
+            parts.append(f"t>={self.at_ns / MILLISECOND:.0f}ms")
+        if self.at_seq is not None:
+            parts.append(f"seq>={self.at_seq}")
+        if self.at_view is not None:
+            parts.append(f"view>={self.at_view}")
+        return " and ".join(parts) if parts else "immediately"
+
+
+@dataclass(frozen=True)
+class CrashReplica:
+    """Crash one replica; optionally restart it after a delay."""
+
+    replica: int
+    at: Trigger = field(default_factory=Trigger)
+    restart_after_ns: int | None = 400 * MILLISECOND
+
+    def describe(self) -> str:
+        tail = (
+            f", restart +{self.restart_after_ns / MILLISECOND:.0f}ms"
+            if self.restart_after_ns is not None
+            else ", no restart"
+        )
+        return f"crash replica{self.replica} ({self.at.describe()}{tail})"
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Cut every link between two host groups, then heal exactly those."""
+
+    group_a: frozenset[str]
+    group_b: frozenset[str]
+    start: Trigger = field(default_factory=Trigger)
+    heal_after_ns: int = 400 * MILLISECOND
+
+    def describe(self) -> str:
+        return (
+            f"partition {sorted(self.group_a)} | {sorted(self.group_b)} "
+            f"({self.start.describe()}, heal +{self.heal_after_ns / MILLISECOND:.0f}ms)"
+        )
+
+
+@dataclass(frozen=True)
+class LinkDisturbance:
+    """A windowed per-link drop/delay/duplicate/reorder disturbance.
+
+    ``src``/``dst`` are host-name patterns (``fnmatch`` style, e.g.
+    ``"replica*"``); the window opens at ``start`` and closes after
+    ``duration_ns``.
+    """
+
+    src: str = "*"
+    dst: str = "*"
+    start: Trigger = field(default_factory=Trigger)
+    duration_ns: int = 400 * MILLISECOND
+    drop_probability: float = 0.0
+    extra_delay_ns: int = 0
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+
+    def describe(self) -> str:
+        effects = []
+        if self.drop_probability:
+            effects.append(f"drop {self.drop_probability:.0%}")
+        if self.extra_delay_ns:
+            effects.append(f"delay +{self.extra_delay_ns / MILLISECOND:.1f}ms")
+        if self.duplicate_probability:
+            effects.append(f"dup {self.duplicate_probability:.0%}")
+        if self.reorder_probability:
+            effects.append(f"reorder {self.reorder_probability:.0%}")
+        return (
+            f"disturb {self.src}->{self.dst} [{', '.join(effects) or 'no-op'}] "
+            f"({self.start.describe()}, {self.duration_ns / MILLISECOND:.0f}ms window)"
+        )
+
+
+@dataclass(frozen=True)
+class MutePrimary:
+    """Silence the *current* primary: it receives but sends nothing.
+
+    Models a live process behind a dead NIC — the silent-primary failure
+    only client retransmissions and view-change timers can detect.
+    """
+
+    start: Trigger = field(default_factory=Trigger)
+    duration_ns: int = 400 * MILLISECOND
+
+    def describe(self) -> str:
+        return (
+            f"mute primary ({self.start.describe()}, "
+            f"{self.duration_ns / MILLISECOND:.0f}ms)"
+        )
+
+
+@dataclass(frozen=True)
+class EquivocatingPrimary:
+    """Make the *current* primary assign conflicting pre-prepares.
+
+    Backups split between two batch digests; neither side can gather a
+    commit quorum, so the window ends in a view change that must not lose
+    committed operations.
+    """
+
+    start: Trigger = field(default_factory=Trigger)
+    duration_ns: int = 300 * MILLISECOND
+
+    def describe(self) -> str:
+        return (
+            f"equivocating primary ({self.start.describe()}, "
+            f"{self.duration_ns / MILLISECOND:.0f}ms)"
+        )
+
+
+Fault = (
+    CrashReplica
+    | PartitionFault
+    | LinkDisturbance
+    | MutePrimary
+    | EquivocatingPrimary
+)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, ordered set of fault declarations for one campaign run."""
+
+    name: str
+    description: str
+    faults: tuple[Fault, ...]
+
+    def validate(self, n: int) -> None:
+        if not self.name:
+            raise ConfigError("fault schedule needs a name")
+        for fault in self.faults:
+            if isinstance(fault, CrashReplica) and not 0 <= fault.replica < n:
+                raise ConfigError(
+                    f"schedule {self.name!r} crashes unknown replica {fault.replica}"
+                )
+
+    def describe(self) -> list[str]:
+        return [fault.describe() for fault in self.faults]

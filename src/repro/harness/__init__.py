@@ -7,7 +7,9 @@
   configurations);
 * section 4.2's ACID vs No-ACID — :func:`run_acid_comparison`;
 * section 2.3's recovery stall — :func:`run_recovery_experiment`;
-* section 2.4's packet-loss wedge — :func:`run_packet_loss_experiment`.
+* section 2.4's packet-loss wedge — :func:`run_packet_loss_experiment`;
+* the fault-injection campaign — :func:`run_fault_campaign` (schedules ×
+  seeds, four protocol invariants checked after every run).
 
 Each returns structured results; :mod:`repro.harness.reporting` renders
 them in the paper's row/series format.
@@ -27,12 +29,14 @@ from repro.harness.experiments import (
     run_acid_comparison,
     run_recovery_experiment,
     run_packet_loss_experiment,
+    run_fault_campaign,
 )
 from repro.harness.reporting import (
     format_table1,
     format_fig4,
     format_fig5,
     format_acid,
+    format_campaign,
 )
 from repro.harness.wan import run_wan_sweep, format_wan, PROFILES
 from repro.harness.analysis import summarize, messages_per_request
@@ -51,7 +55,9 @@ __all__ = [
     "run_acid_comparison",
     "run_recovery_experiment",
     "run_packet_loss_experiment",
+    "run_fault_campaign",
     "format_table1",
+    "format_campaign",
     "format_fig4",
     "format_fig5",
     "format_acid",

@@ -90,3 +90,26 @@ def format_acid(acid: Measurement, noacid: Measurement) -> str:
             f"{PAPER_SQL_NOACID_TPS / PAPER_SQL_ACID_TPS:.2f}x)",
         ]
     )
+
+
+def format_campaign(campaign) -> str:
+    """One row per (schedule, seed) run of a fault campaign, worst first."""
+    header = (
+        f"{'Schedule':26s} {'Seed':>4s} {'Ops':>11s} {'Views':>5s} "
+        f"{'SimTime':>9s} {'Verdict'}"
+    )
+    lines = [header, "-" * len(header)]
+    for run in sorted(campaign.runs, key=lambda r: (r.ok, r.schedule, r.seed)):
+        verdict = "ok" if run.ok else "; ".join(str(v) for v in run.violations)
+        lines.append(
+            f"{run.schedule:26s} {run.seed:4d} "
+            f"{run.completed_ops}/{run.invoked_ops:<5d} {run.max_view:5d} "
+            f"{format_duration(run.sim_time_ns):>9s} {verdict}"
+        )
+    failed = campaign.failed_runs
+    lines.append(
+        f"{len(campaign.runs) - len(failed)}/{len(campaign.runs)} runs passed "
+        "all four invariants"
+        + ("" if not failed else f"; {len(failed)} FAILED")
+    )
+    return "\n".join(lines)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fnmatch import fnmatch
 from typing import Callable, Optional
 
 from repro.common.errors import ConfigError, NetworkError
@@ -108,6 +109,56 @@ class DropRule:
         if self.remaining is not None:
             self.remaining -= 1
         return True
+
+
+class LinkFault:
+    """A windowed link disturbance for fault-injection campaigns.
+
+    While ``active``, every packet whose endpoints match the ``src``/``dst``
+    host patterns (``fnmatch`` style, e.g. ``"replica*"``) is subjected to
+    probabilistic drop, fixed extra delay, probabilistic duplication, and
+    probabilistic reordering (a one-off large delay that pushes the packet
+    behind later traffic).  Campaign schedules toggle ``active`` to model
+    disturbance windows; counters record what actually happened so
+    invariant reports can say which faults bit.
+    """
+
+    def __init__(
+        self,
+        src: str = "*",
+        dst: str = "*",
+        drop_probability: float = 0.0,
+        extra_delay_ns: int = 0,
+        duplicate_probability: float = 0.0,
+        duplicate_delay_ns: int = 200 * MICROSECOND,
+        reorder_probability: float = 0.0,
+        reorder_delay_ns: int = 2_000 * MICROSECOND,
+        name: str = "link-fault",
+    ) -> None:
+        for prob in (drop_probability, duplicate_probability, reorder_probability):
+            if not 0.0 <= prob <= 1.0:
+                raise ConfigError("link fault probabilities must be within [0, 1]")
+        if extra_delay_ns < 0 or duplicate_delay_ns < 0 or reorder_delay_ns < 0:
+            raise ConfigError("link fault delays must be non-negative")
+        self.src = src
+        self.dst = dst
+        self.drop_probability = drop_probability
+        self.extra_delay_ns = extra_delay_ns
+        self.duplicate_probability = duplicate_probability
+        self.duplicate_delay_ns = duplicate_delay_ns
+        self.reorder_probability = reorder_probability
+        self.reorder_delay_ns = reorder_delay_ns
+        self.name = name
+        self.active = True
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    def matches(self, packet: Packet) -> bool:
+        if not self.active:
+            return False
+        return fnmatch(packet.src[0], self.src) and fnmatch(packet.dst[0], self.dst)
 
 
 class Host:
@@ -238,11 +289,15 @@ class NetworkFabric:
         self.sim = sim
         self.rng = rng.stream("net.loss")
         self.jitter_rng = rng.stream("net.jitter")
+        # Link faults draw from their own stream so installing a campaign
+        # cannot perturb the loss/jitter sequences of an un-faulted run.
+        self.fault_rng = rng.stream("net.faults")
         self.config = config or NetworkConfig()
         self.config.default_link.validate()
         self.hosts: dict[str, Host] = {}
         self.sockets: dict[Address, DatagramSocket] = {}
         self.drop_rules: list[DropRule] = []
+        self.link_faults: list[LinkFault] = []
         self.trace_enabled = trace_enabled
         self.trace_limit = trace_limit
         self.trace: list[TraceRecord] = []
@@ -288,11 +343,31 @@ class NetworkFabric:
         self.drop_rules.append(rule)
         return rule
 
+    def add_link_fault(self, fault: LinkFault) -> LinkFault:
+        self.link_faults.append(fault)
+        return fault
+
+    def remove_link_fault(self, fault: LinkFault) -> None:
+        fault.active = False
+        if fault in self.link_faults:
+            self.link_faults.remove(fault)
+
     def partition(self, group_a: set[str], group_b: set[str]) -> None:
         """Disconnect every (a, b) host pair in both directions."""
         for a in group_a:
             for b in group_b:
                 self.partitions.add(frozenset((a, b)))
+
+    def unpartition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Heal exactly the (a, b) pairs cut by a matching :meth:`partition`.
+
+        Unlike :meth:`heal_partition` this leaves other concurrent
+        partitions in place, so overlapping fault windows heal
+        independently.
+        """
+        for a in group_a:
+            for b in group_b:
+                self.partitions.discard(frozenset((a, b)))
 
     def heal_partition(self) -> None:
         self.partitions.clear()
@@ -328,8 +403,39 @@ class NetworkFabric:
             return
         jitter = self.jitter_rng.randrange(link.jitter_ns + 1) if link.jitter_ns else 0
         arrival = serialized_at + link.latency_ns + jitter
+        arrival = self._apply_link_faults(packet, arrival)
         self._trace_packet(packet, self.sim.now, arrival, "")
         self.sim.schedule_at(arrival, lambda p=packet: self._deliver(p))
+
+    def _apply_link_faults(self, packet: Packet, arrival: int) -> int:
+        """Delay/duplicate/reorder a surviving packet per active faults.
+
+        Drops were already decided in :meth:`_drop_decision` (so they share
+        the normal trace/accounting path); what remains here only ever
+        *adds* copies or delay.
+        """
+        for fault in self.link_faults:
+            if not fault.matches(packet):
+                continue
+            if fault.extra_delay_ns:
+                fault.delayed += 1
+                arrival += fault.extra_delay_ns
+            if (
+                fault.reorder_probability
+                and self.fault_rng.random() < fault.reorder_probability
+            ):
+                # A one-off large delay: the packet lands behind traffic
+                # sent after it, which is what reordering looks like to UDP.
+                fault.reordered += 1
+                arrival += fault.reorder_delay_ns
+            if (
+                fault.duplicate_probability
+                and self.fault_rng.random() < fault.duplicate_probability
+            ):
+                fault.duplicated += 1
+                dup_at = arrival + fault.duplicate_delay_ns
+                self.sim.schedule_at(dup_at, lambda p=packet: self._deliver(p))
+        return arrival
 
     def _trace_packet(
         self, packet: Packet, sent_at: int, arrival: Optional[int], reason: str
@@ -362,6 +468,14 @@ class NetworkFabric:
         for rule in self.drop_rules:
             if rule.wants(packet):
                 return True, rule.name
+        for fault in self.link_faults:
+            if (
+                fault.drop_probability
+                and fault.matches(packet)
+                and self.fault_rng.random() < fault.drop_probability
+            ):
+                fault.dropped += 1
+                return True, fault.name
         if link.loss_probability > 0.0 and self.rng.random() < link.loss_probability:
             return True, "random-loss"
         return False, ""

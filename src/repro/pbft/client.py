@@ -157,8 +157,22 @@ class PbftClient(Node):
             primary = self.view_guess % self.config.n
             self.broadcast_to_replicas(request, only=[primary])
         pending.timer = self.host.sim.schedule(
-            self.config.client_retransmit_ns, self._on_retransmit_timeout
+            self._retransmit_interval_ns(pending.retransmits),
+            self._on_retransmit_timeout,
         )
+
+    def _retransmit_interval_ns(self, retransmits: int) -> int:
+        """Exponential backoff: double per retransmission, capped.
+
+        A fixed interval floods the group exactly when it is least able
+        to absorb the load — during a long view change every waiting
+        client multicasts on every tick.  The counter lives on the
+        PendingOp, so completing a request naturally resets the backoff.
+        """
+        base = self.config.client_retransmit_ns
+        cap = self.config.client_retransmit_cap_ns
+        shift = min(retransmits, 32)  # avoid giant ints before the cap
+        return min(base << shift, cap)
 
     def _on_retransmit_timeout(self) -> None:
         pending = self.pending
@@ -242,6 +256,7 @@ class PbftClient(Node):
             self.pending.timer.cancel()
         if self.pending is not None:
             self.failed_ops += 1
+            self.stats["failed_ops"] += 1
         self.pending = None
 
     def stop(self) -> None:

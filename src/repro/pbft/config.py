@@ -81,6 +81,9 @@ class PbftConfig:
 
     # -- timers ----------------------------------------------------------------
     client_retransmit_ns: int = 150 * MILLISECOND
+    # Ceiling for the client's exponential retransmission backoff (the
+    # interval doubles on every retransmission and resets on completion).
+    client_retransmit_cap_ns: int = 2 * SECOND
     view_change_timeout_ns: int = 500 * MILLISECOND
     # Blind periodic rebroadcast of client session keys (section 2.3): the
     # only way a restarted replica re-learns authenticators.
@@ -149,6 +152,10 @@ class PbftConfig:
             )
         if self.max_batch <= 0 or self.congestion_window <= 0:
             raise ConfigError("batching parameters must be positive")
+        if self.client_retransmit_cap_ns < self.client_retransmit_ns:
+            raise ConfigError(
+                "client retransmit cap must be at least the base interval"
+            )
         if self.library_pages >= self.state_pages:
             raise ConfigError("library partition must leave room for the application")
 

@@ -283,6 +283,25 @@ class Reply:
             return self.result
         return md5_digest(self.result)
 
+    def stabilized(self) -> "Reply":
+        """This reply with the tentative flag cleared.
+
+        Used when a later quorum proof (commit certificate, stable
+        checkpoint) shows the execution that produced it is final; a
+        no-op for replies that were stable to begin with.
+        """
+        if not self.tentative:
+            return self
+        return Reply(
+            view=self.view,
+            req_id=self.req_id,
+            client=self.client,
+            sender=self.sender,
+            result=self.result,
+            tentative=False,
+            digest_only=self.digest_only,
+        )
+
     def body_size(self) -> int:
         return 1 + 2 + 8 + 8 + 4 + 1 + 1 + (4 + len(self.result))
 
@@ -331,6 +350,11 @@ class PreparedProof:
     non-determinism data), not merely its digest: the new primary and the
     backups must be able to re-propose the batch in the new view even if
     they never received the original pre-prepare.
+
+    ``noop`` marks a sequence-number gap filler in a NEW-VIEW: no batch
+    prepared at that number, so the new view orders an empty batch there.
+    The flag is explicit because a *genuine* proof for an empty batch in
+    view 0 would otherwise be indistinguishable from the placeholder.
     """
 
     seq: int
@@ -338,9 +362,11 @@ class PreparedProof:
     batch_digest: bytes
     request_digests: tuple[bytes, ...] = ()
     nondet: bytes = b""
+    noop: bool = False
 
     def encode_into(self, enc: Encoder) -> None:
         enc.u64(self.seq).u64(self.view).raw(self.batch_digest)
+        enc.boolean(self.noop)
         enc.blob(self.nondet)
         enc.sequence(self.request_digests, lambda e, d: e.raw(d))
 
@@ -349,6 +375,7 @@ class PreparedProof:
         seq = dec.u64()
         view = dec.u64()
         batch_digest = dec.raw(DIGEST_SIZE)
+        noop = dec.boolean()
         nondet = dec.blob()
         digests = tuple(dec.sequence(lambda d: d.raw(DIGEST_SIZE)))
         return cls(
@@ -357,11 +384,12 @@ class PreparedProof:
             batch_digest=batch_digest,
             request_digests=digests,
             nondet=nondet,
+            noop=noop,
         )
 
     def size(self) -> int:
         return (
-            8 + 8 + DIGEST_SIZE + (4 + len(self.nondet))
+            8 + 8 + DIGEST_SIZE + 1 + (4 + len(self.nondet))
             + 4 + DIGEST_SIZE * len(self.request_digests)
         )
 
@@ -434,16 +462,19 @@ class ViewChangeMsg:
 class NewViewMsg:
     """The new primary's installation message.
 
-    ``view_change_digests`` prove 2f+1 replicas voted; ``pre_prepares``
-    re-propose (as :class:`PreparedProof` contents) every batch that might
-    have committed in earlier views.  An entry with no request digests is
-    a no-op filler for a sequence-number gap.
+    ``view_changes`` is the full V set — the 2f+1 VIEW-CHANGE messages the
+    new primary acted on.  Carrying the messages themselves (not merely
+    their digests) lets every backup independently recompute min-s and the
+    re-proposed ``pre_prepares`` and reject a NEW-VIEW whose O set was
+    fabricated.  ``pre_prepares`` re-propose (as :class:`PreparedProof`
+    contents) every batch that might have committed in earlier views; a
+    ``noop`` entry fills a sequence-number gap.
     """
 
     TAG = 8
 
     view: int
-    view_change_digests: tuple[tuple[int, bytes], ...]
+    view_changes: tuple[ViewChangeMsg, ...]
     pre_prepares: tuple[PreparedProof, ...]
     stable_seq: int
     sender: int
@@ -456,9 +487,7 @@ class NewViewMsg:
             .u64(self.view)
             .u64(self.stable_seq)
         )
-        enc.sequence(
-            self.view_change_digests, lambda e, rv: e.u16(rv[0]).raw(rv[1])
-        )
+        enc.sequence(self.view_changes, lambda e, vc: e.blob(vc.encode()))
         enc.sequence(self.pre_prepares, lambda e, p: p.encode_into(e))
         return enc.finish()
 
@@ -469,20 +498,26 @@ class NewViewMsg:
         sender = dec.u16()
         view = dec.u64()
         stable_seq = dec.u64()
-        vcs = tuple(dec.sequence(lambda d: (d.u16(), d.raw(DIGEST_SIZE))))
+        vcs = tuple(
+            dec.sequence(lambda d: ViewChangeMsg.decode(Decoder(d.blob())))
+        )
         pps = tuple(dec.sequence(PreparedProof.decode_from))
         return cls(
             view=view,
-            view_change_digests=vcs,
+            view_changes=vcs,
             pre_prepares=pps,
             stable_seq=stable_seq,
             sender=sender,
         )
 
+    @property
+    def view_change_digests(self) -> tuple[tuple[int, bytes], ...]:
+        return tuple((vc.sender, vc.digest) for vc in self.view_changes)
+
     def body_size(self) -> int:
         return (
             1 + 2 + 8 + 8
-            + 4 + len(self.view_change_digests) * (2 + DIGEST_SIZE)
+            + 4 + sum(4 + vc.body_size() for vc in self.view_changes)
             + 4 + sum(p.size() for p in self.pre_prepares)
         )
 
@@ -690,12 +725,18 @@ class PagesMsg:
     # partition (the restarted replica needs them for at-most-once
     # semantics after jumping forward).
     client_marks: tuple[tuple[int, int], ...] = ()
+    # The encoded last reply per client from the same partition.  Without
+    # them a replica that learns a client's watermark by state transfer
+    # treats the client's retransmissions as already executed but has
+    # nothing cached to resend — a reply black hole.
+    client_replies: tuple[tuple[int, bytes], ...] = ()
 
     def encode(self) -> bytes:
         enc = Encoder().u8(self.TAG).u16(self.sender).u64(self.checkpoint_seq)
         enc.raw(self.root)
         enc.sequence(self.pages, lambda e, ip: e.u32(ip[0]).blob(ip[1]))
         enc.sequence(self.client_marks, lambda e, cm: e.u32(cm[0]).u64(cm[1]))
+        enc.sequence(self.client_replies, lambda e, cr: e.u32(cr[0]).blob(cr[1]))
         return enc.finish()
 
     @classmethod
@@ -707,12 +748,14 @@ class PagesMsg:
         root = dec.raw(DIGEST_SIZE)
         pages = tuple(dec.sequence(lambda d: (d.u32(), d.blob())))
         marks = tuple(dec.sequence(lambda d: (d.u32(), d.u64())))
+        replies = tuple(dec.sequence(lambda d: (d.u32(), d.blob())))
         return cls(
             checkpoint_seq=seq,
             root=root,
             pages=pages,
             sender=sender,
             client_marks=marks,
+            client_replies=replies,
         )
 
     def body_size(self) -> int:
@@ -720,6 +763,7 @@ class PagesMsg:
             1 + 2 + 8 + DIGEST_SIZE
             + 4 + sum(4 + 4 + len(data) for _, data in self.pages)
             + 4 + len(self.client_marks) * 12
+            + 4 + sum(4 + 4 + len(data) for _, data in self.client_replies)
         )
 
     def auth_bytes(self) -> bytes:

@@ -148,6 +148,12 @@ class Node:
         self.session_keys: dict[tuple[str, int], MacKey] = {}
         self.auth_failures = 0
         self.messages_handled = 0
+        # Fault injection: a muted node receives and processes messages but
+        # sends nothing — a live process behind a dead NIC.  Muting the
+        # primary models the paper's silent-primary failure, which only
+        # client retransmissions and view changes can detect.
+        self.muted = False
+        self.messages_muted = 0
 
     # -- key management -------------------------------------------------------
 
@@ -175,6 +181,9 @@ class Node:
 
     def send_signed(self, dst: Address, msg, kind: str = "") -> None:
         """Sign with our private key and send (expensive)."""
+        if self.muted:
+            self.messages_muted += 1
+            return
         self.host.charge_cpu(self._marshal_cost(msg) + self.costs.crypto.sign_ns)
         sig = rabin_sign(self._own_signing_key(), msg.auth_bytes()) if self.real_crypto else None
         env = Envelope(msg, AUTH_SIG, sig, self.kind, self.node_id)
@@ -182,6 +191,9 @@ class Node:
 
     def send_mac(self, dst: Address, peer_kind: str, peer_id: int, msg, kind: str = "") -> None:
         """Authenticate with the pairwise session key and send (cheap)."""
+        if self.muted:
+            self.messages_muted += 1
+            return
         self.host.charge_cpu(self._marshal_cost(msg) + self.costs.crypto.mac_ns)
         key = self._session_key_for(peer_kind, peer_id)
         tag = compute_mac(key, msg.auth_bytes()) if (self.real_crypto and key) else b"\0\0\0\0"
@@ -190,6 +202,9 @@ class Node:
 
     def send_plain(self, dst: Address, msg, kind: str = "") -> None:
         """Unauthenticated send (join phase 1, challenges)."""
+        if self.muted:
+            self.messages_muted += 1
+            return
         self.host.charge_cpu(self._marshal_cost(msg))
         env = Envelope(msg, AUTH_NONE, None, self.kind, self.node_id)
         self.socket.send(dst, env, env.size, kind or type(msg).__name__)
@@ -210,6 +225,9 @@ class Node:
         section 2.3 shows complicates recovery.  Marshalling CPU is charged
         per destination: each datagram is a separate copy out of the NIC.
         """
+        if self.muted:
+            self.messages_muted += 1
+            return
         rids = only if only is not None else list(range(self.config.n))
         dests = [(rid, replica_address(rid)) for rid in rids if rid != exclude]
         if not dests:

@@ -30,8 +30,10 @@ from repro.pbft.messages import (
     FetchDigestsMsg,
     FetchPagesMsg,
     PagesMsg,
+    Reply,
     StatusMsg,
 )
+from repro.pbft.wire import Decoder
 from repro.pbft.nondet import decode_timestamp
 from repro.statemgr.merkle import MerkleTree
 
@@ -113,7 +115,7 @@ class StateTransferTask:
     def _finish_walk(self) -> None:
         self.walk_done = True
         if not self.diff_pages:
-            self.replica.finish_state_transfer(self, ())
+            self.replica.finish_state_transfer(self, (), ())
             return
         self._request_pages()
 
@@ -144,11 +146,16 @@ class StateTransferTask:
                 self.pages_fetched += 1
         if msg.client_marks:
             self._marks = dict(msg.client_marks)
+        if msg.client_replies:
+            self._replies = dict(msg.client_replies)
         if self.diff_pages:
             self._request_pages()
             return
         marks = getattr(self, "_marks", {})
-        self.replica.finish_state_transfer(self, tuple(marks.items()))
+        replies = getattr(self, "_replies", {})
+        self.replica.finish_state_transfer(
+            self, tuple(marks.items()), tuple(replies.items())
+        )
 
 
 class RecoveryMixin:
@@ -201,6 +208,12 @@ class RecoveryMixin:
         if stable is not None:
             self.state.restore(stable.pages)
             self.reqstore.last_executed_req = dict(stable.meta.get("client_marks", {}))
+            # Stable-checkpoint replies are final regardless of how they
+            # were flagged when the checkpoint was taken.
+            self.reqstore.last_reply = {
+                client: reply.stabilized()
+                for client, reply in stable.meta.get("client_replies", {}).items()
+            }
         self.last_exec = stable_seq
         self.committed_upto = stable_seq
         self.next_seq = max(self.next_seq, stable_seq)
@@ -406,7 +419,9 @@ class RecoveryMixin:
             )
         self.transfer.start()
 
-    def finish_state_transfer(self, task: StateTransferTask, client_marks) -> None:
+    def finish_state_transfer(
+        self, task: StateTransferTask, client_marks, client_replies=()
+    ) -> None:
         """Install the fetched checkpoint and resume from it."""
         root = self.state.refresh_tree()
         if root != task.target_root:
@@ -423,6 +438,15 @@ class RecoveryMixin:
         for client, req_id in client_marks:
             if self.reqstore.last_executed_req.get(client, -1) < req_id:
                 self.reqstore.last_executed_req[client] = req_id
+        # Adopting a client's watermark obliges us to answer its
+        # retransmissions: install the checkpoint's last reply wherever it
+        # is at least as recent as what we hold.  The transferred
+        # checkpoint is stable, so its replies count as stable too.
+        for client, data in client_replies:
+            reply = Reply.decode(Decoder(data)).stabilized()
+            cached = self.reqstore.last_reply.get(client)
+            if cached is None or cached.req_id <= reply.req_id:
+                self.reqstore.last_reply[client] = reply
         self.last_exec = max(self.last_exec, task.target_seq)
         self.committed_upto = max(self.committed_upto, task.target_seq)
         self.next_seq = max(self.next_seq, task.target_seq)
@@ -468,6 +492,10 @@ class RecoveryMixin:
             if 0 <= index < len(checkpoint.pages)
         )
         marks = tuple(checkpoint.meta.get("client_marks", {}).items())
+        replies = tuple(
+            (client, reply.encode())
+            for client, reply in checkpoint.meta.get("client_replies", {}).items()
+        )
         self.send_to_replica(
             msg.sender,
             PagesMsg(
@@ -476,5 +504,6 @@ class RecoveryMixin:
                 pages=pages,
                 sender=self.node_id,
                 client_marks=marks,
+                client_replies=replies,
             ),
         )

@@ -185,6 +185,10 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         self.waiting_requests: set[bytes] = set()
 
         self.crashed = False
+        # Fault injection: an equivocating primary assigns conflicting
+        # pre-prepares for the same sequence number (see
+        # :meth:`_issue_pre_prepare`).  Harmless on a backup.
+        self.equivocate = False
         self.recovering = False
         self.recovery_started_at: Optional[int] = None
         self.recovery_completed_at: Optional[int] = None
@@ -423,7 +427,26 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
                 (self.config.n - 1)
                 * (inline_bytes * self.costs.inline_body_ns_x100) // 100
             )
-        self.broadcast_to_replicas(pp, exclude=self.node_id)
+        if self.equivocate and self.config.n > 2:
+            # Byzantine behaviour: f backups see the genuine assignment,
+            # the rest see a twin whose non-determinism data is perturbed
+            # (still validator-acceptable, but a different batch digest).
+            # Neither variant can gather a commit quorum, so the group
+            # stalls until client retransmissions trigger a view change.
+            twin = PrePrepare(
+                view=pp.view,
+                seq=seq,
+                request_digests=pp.request_digests,
+                nondet=pp.nondet + b"\x00",
+                inline_requests=pp.inline_requests,
+                sender=self.node_id,
+            )
+            backups = [rid for rid in range(self.config.n) if rid != self.node_id]
+            self.stats["equivocations"] += 1
+            self.broadcast_to_replicas(pp, only=backups[: self.config.f])
+            self.broadcast_to_replicas(twin, only=backups[self.config.f :])
+        else:
+            self.broadcast_to_replicas(pp, exclude=self.node_id)
         self._maybe_prepared(seq, self.view)
 
     # -- agreement ------------------------------------------------------------------------
@@ -553,17 +576,14 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         for req in entry[1]:
             if req is None:
                 continue
-            cached = self.reqstore.last_reply.get(req.client)
-            if cached is not None and cached.req_id == req.req_id and cached.tentative:
-                self.reqstore.last_reply[req.client] = Reply(
-                    view=cached.view,
-                    req_id=cached.req_id,
-                    client=cached.client,
-                    sender=cached.sender,
-                    result=cached.result,
-                    tentative=False,
-                    digest_only=cached.digest_only,
-                )
+            self._stabilize_cached_reply(req)
+
+    def _stabilize_cached_reply(self, req: Request) -> None:
+        """Clear the tentative flag on the cached reply for ``req`` once a
+        quorum proof shows its execution committed."""
+        cached = self.reqstore.last_reply.get(req.client)
+        if cached is not None and cached.req_id == req.req_id and cached.tentative:
+            self.reqstore.last_reply[req.client] = cached.stabilized()
 
     # -- execution -----------------------------------------------------------------------
 
@@ -642,6 +662,11 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             if req is None:
                 continue
             if self.reqstore.already_executed(req):
+                # A committed replay of something we executed tentatively
+                # is its commit proof: upgrade the cached reply first so
+                # the resend counts toward the client's stable quorum.
+                if not tentative:
+                    self._stabilize_cached_reply(req)
                 if not silent:
                     self._resend_cached_reply(req)
                 continue
@@ -751,7 +776,13 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             root=root,
             pages=self.state.snapshot_pages(),
             tree_nodes=self.state.tree.snapshot_nodes(),
-            meta={"client_marks": dict(self.reqstore.last_executed_req)},
+            meta={
+                "client_marks": dict(self.reqstore.last_executed_req),
+                # The last reply per client is part of the checkpointed
+                # state (paper section 2.1): anyone who adopts the
+                # watermarks must also be able to answer retransmissions.
+                "client_replies": dict(self.reqstore.last_reply),
+            },
         )
         self.checkpoints.add(checkpoint)
         checkpoint.proof[self.node_id] = root
@@ -798,6 +829,14 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         # globally (2f+1 replicas executed it), even if our own commit
         # certificates for the tail are still in flight.  (We only get here
         # with a local checkpoint at ``seq``, so last_exec >= seq already.)
+        # That same proof finalizes any tentative execution at or below
+        # ``seq``: upgrade cached replies before committed_upto jumps over
+        # the slots, or clients keep receiving tentative-flagged replies
+        # for operations that are in fact durable and can never assemble
+        # the f+1 stable votes they are waiting for.
+        for slot in self.log.slots.values():
+            if slot.seq <= seq and slot.executed and slot.tentative:
+                self._finalize_tentative(slot)
         self.committed_upto = max(self.committed_upto, seq)
         self.log.advance_stable(seq)
         self.reqstore.gc_digests(self.log.live_request_digests())
@@ -852,9 +891,16 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             self.reqstore.last_executed_req = dict(
                 stable.meta.get("client_marks", {})
             )
+            # Replies from a *stable* checkpoint are final even if they
+            # were cached as tentative when the checkpoint was taken.
+            self.reqstore.last_reply = {
+                client: reply.stabilized()
+                for client, reply in stable.meta.get("client_replies", {}).items()
+            }
         else:
             self.state.restore([bytes(self.config.page_size)] * self.config.state_pages)
             self.reqstore.last_executed_req = {}
+            self.reqstore.last_reply = {}
         self._state_installed()
         replay = [
             self.exec_journal[seq]

@@ -162,19 +162,22 @@ class ViewChangeMixin:
                     break
         self._maybe_install_new_view(msg.new_view)
 
-    def _maybe_install_new_view(self, new_view: int) -> None:
-        """If we are the would-be primary and have a quorum, send NEW-VIEW."""
-        if self.primary_of(new_view) != self.node_id:
-            return
-        votes = self.view_changes.get(new_view, {})
-        if len(votes) < self.config.quorum:
-            return
-        if self.view >= new_view:
-            return
+    @staticmethod
+    def _compute_new_view_proposal(
+        votes: dict[int, ViewChangeMsg],
+    ) -> tuple[int, tuple[PreparedProof, ...]]:
+        """min-s and the re-proposed O set implied by a V set of votes.
+
+        Deterministic in the *contents* of ``votes``: iteration is sorted
+        by sender and ties are broken strictly by higher view, so any
+        replica holding the same view-change messages derives the same
+        proposal — the basis for validating a NEW-VIEW against its
+        embedded V set.
+        """
         min_s = max(vc.stable_seq for vc in votes.values())
         chosen: dict[int, PreparedProof] = {}  # seq -> highest-view proof
         max_s = min_s
-        for vc in votes.values():
+        for _rid, vc in sorted(votes.items()):
             for proof in vc.prepared:
                 if proof.seq <= min_s:
                     continue
@@ -185,15 +188,27 @@ class ViewChangeMixin:
         pre_prepares = tuple(
             chosen.get(
                 seq,
-                PreparedProof(seq=seq, view=0, batch_digest=bytes(16)),  # no-op
+                PreparedProof(
+                    seq=seq, view=0, batch_digest=bytes(16), noop=True
+                ),
             )
             for seq in range(min_s + 1, max_s + 1)
         )
+        return min_s, pre_prepares
+
+    def _maybe_install_new_view(self, new_view: int) -> None:
+        """If we are the would-be primary and have a quorum, send NEW-VIEW."""
+        if self.primary_of(new_view) != self.node_id:
+            return
+        votes = self.view_changes.get(new_view, {})
+        if len(votes) < self.config.quorum:
+            return
+        if self.view >= new_view:
+            return
+        min_s, pre_prepares = self._compute_new_view_proposal(votes)
         nv = NewViewMsg(
             view=new_view,
-            view_change_digests=tuple(
-                (rid, vc.digest) for rid, vc in sorted(votes.items())
-            ),
+            view_changes=tuple(vc for _rid, vc in sorted(votes.items())),
             pre_prepares=pre_prepares,
             stable_seq=min_s,
             sender=self.node_id,
@@ -201,12 +216,45 @@ class ViewChangeMixin:
         self.broadcast_to_replicas(nv, exclude=self.node_id)
         self._enter_view(new_view, nv)
 
+    def _validate_new_view(self, msg: NewViewMsg) -> bool:
+        """Check a NEW-VIEW against its embedded V set before installing.
+
+        A correct NEW-VIEW must (a) carry quorum view-change votes for
+        this exact view from distinct senders, (b) agree with any
+        first-hand vote we hold from those senders, and (c) re-propose
+        exactly the min-s and O set implied by the votes — otherwise a
+        faulty new primary could smuggle an arbitrary batch into the new
+        view or silently drop a prepared one.
+        """
+        votes: dict[int, ViewChangeMsg] = {}
+        for vc in msg.view_changes:
+            if vc.new_view != msg.view or vc.sender in votes:
+                return False
+            votes[vc.sender] = vc
+        if len(votes) < self.config.quorum:
+            return False
+        first_hand = self.view_changes.get(msg.view, {})
+        for rid, vc in votes.items():
+            known = first_hand.get(rid)
+            if known is not None and known.digest != vc.digest:
+                return False  # forged or altered vote
+        min_s, expected = self._compute_new_view_proposal(votes)
+        return msg.stable_seq == min_s and msg.pre_prepares == expected
+
     def on_new_view(self, msg: NewViewMsg) -> None:
         if msg.view <= self.view:
             return
         if msg.sender != self.primary_of(msg.view):
             return
-        if len(msg.view_change_digests) < self.config.quorum:
+        if not self._validate_new_view(msg):
+            self.stats["new_views_rejected"] += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    self.host.name, "new-view-rejected", cat="pbft.viewchange",
+                    args={"view": msg.view, "sender": msg.sender},
+                )
+            # The would-be primary proved itself faulty: move past it.
+            self.start_view_change(msg.view + 1)
             return
         self._enter_view(msg.view, msg)
 
@@ -232,16 +280,34 @@ class ViewChangeMixin:
             highest = max(highest, seq)
             if seq <= self.log.low_watermark:
                 continue
-            # The proof carries the batch contents, so every replica can
-            # re-propose it in the new view — even one that never saw the
-            # original pre-prepare.
-            rebuilt = PrePrepare(
-                view=view,
-                seq=seq,
-                request_digests=proof.request_digests,
-                nondet=proof.nondet,
-                sender=nv.sender,
-            )
+            if seq > self.log.high_watermark:
+                # We are behind the quorum's stable checkpoint: this slot
+                # lies outside our log window.  Skip it — checkpoint and
+                # status gossip will bring us up to date via state
+                # transfer rather than an out-of-window log write.
+                continue
+            if proof.noop:
+                # Explicit gap filler: no batch prepared at this number,
+                # so the new view orders an empty batch there to let the
+                # numbers after it execute in order.
+                rebuilt = PrePrepare(
+                    view=view,
+                    seq=seq,
+                    request_digests=(),
+                    nondet=b"",
+                    sender=nv.sender,
+                )
+            else:
+                # The proof carries the batch contents, so every replica
+                # can re-propose it in the new view — even one that never
+                # saw the original pre-prepare.
+                rebuilt = PrePrepare(
+                    view=view,
+                    seq=seq,
+                    request_digests=proof.request_digests,
+                    nondet=proof.nondet,
+                    sender=nv.sender,
+                )
             slot = self.log.slot(seq)
             vs = slot.view_slot(view)
             vs.pre_prepare = rebuilt

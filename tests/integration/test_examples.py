@@ -9,9 +9,9 @@ import pytest
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 
-def run_example(name: str, timeout: int = 240) -> str:
+def run_example(name: str, timeout: int = 240, args: tuple = ()) -> str:
     result = subprocess.run(
-        [sys.executable, str(EXAMPLES / name)],
+        [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
@@ -49,6 +49,11 @@ def test_threshold_keys():
     out = run_example("threshold_keys.py")
     assert "distinct signatures produced: 1" in out
     assert "verifies: False" in out
+
+
+def test_fault_campaign_smoke():
+    out = run_example("fault_campaign.py", args=("--smoke",))
+    assert "8/8 runs passed all four invariants" in out
 
 
 @pytest.mark.slow

@@ -83,6 +83,10 @@ def test_sustained_random_loss_still_makes_progress():
         log_window=64,
         num_clients=4,
         client_retransmit_ns=40 * MILLISECOND,
+        # Keep the retransmission backoff shallow: this test measures
+        # throughput under loss in a short window, so clients should stay
+        # aggressive the way the 40ms base interval intends.
+        client_retransmit_cap_ns=160 * MILLISECOND,
     )
     net = NetworkConfig(default_link=LinkSpec(loss_probability=0.01))
     cluster = build_cluster(config, seed=19, real_crypto=False, net_config=net)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import ConfigError, NetworkError
 from repro.common.units import MICROSECOND
-from repro.net.fabric import DropRule, LinkSpec, NetworkConfig, NetworkFabric
+from repro.net.fabric import DropRule, LinkFault, LinkSpec, NetworkConfig, NetworkFabric
 from repro.sim.rng import RngStreams
 from repro.sim.simulator import Simulator
 
@@ -299,6 +299,110 @@ def test_link_spec_validation():
         LinkSpec(bandwidth_bps=0).validate()
     with pytest.raises(ConfigError):
         LinkSpec(loss_probability=1.5).validate()
+
+
+def test_link_fault_drops_matching_packets():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p.payload))
+    fault = fabric.add_link_fault(LinkFault(drop_probability=1.0, name="blackout"))
+    for i in range(4):
+        sa.send(("b", 1), i, 10)
+    sim.run()
+    assert got == []
+    assert fault.dropped == 4
+    assert fabric.packets_dropped == 4
+
+
+def test_link_fault_extra_delay_shifts_arrival():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    times = []
+    sb.on_receive(lambda p: times.append(sim.now))
+    fault = fabric.add_link_fault(LinkFault(extra_delay_ns=5_000_000))
+    sa.send(("b", 1), "x", 10)
+    sim.run()
+    assert times[0] >= 5_000_000 + 70 * MICROSECOND
+    assert fault.delayed == 1
+
+
+def test_link_fault_duplicates_deliver_twice():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p.payload))
+    fault = fabric.add_link_fault(LinkFault(duplicate_probability=1.0))
+    sa.send(("b", 1), "twin", 10)
+    sim.run()
+    assert got == ["twin", "twin"]
+    assert fault.duplicated == 1
+
+
+def test_link_fault_reorder_pushes_packet_behind_later_traffic():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p.payload))
+    fault = fabric.add_link_fault(
+        LinkFault(reorder_probability=1.0, reorder_delay_ns=10_000_000)
+    )
+    sa.send(("b", 1), "first-sent", 10)
+    fault.active = False
+    sa.send(("b", 1), "second-sent", 10)
+    sim.run()
+    assert got == ["second-sent", "first-sent"]
+    assert fault.reordered == 1
+
+
+def test_link_fault_patterns_scope_src_and_dst():
+    sim, fabric = make_fabric()
+    fabric.add_host("c")
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    sc = fabric.bind("c", 1)
+    got_b, got_c = [], []
+    sb.on_receive(lambda p: got_b.append(p.payload))
+    sc.on_receive(lambda p: got_c.append(p.payload))
+    fault = fabric.add_link_fault(
+        LinkFault(src="a", dst="b", drop_probability=1.0)
+    )
+    sa.send(("b", 1), "cut", 10)
+    sa.send(("c", 1), "open", 10)
+    sim.run()
+    assert got_b == [] and got_c == ["open"]
+    assert fault.dropped == 1
+
+
+def test_link_fault_inactive_and_removed_do_not_bite():
+    sim, fabric = make_fabric()
+    sa = fabric.bind("a", 1)
+    sb = fabric.bind("b", 1)
+    got = []
+    sb.on_receive(lambda p: got.append(p.payload))
+    fault = fabric.add_link_fault(LinkFault(drop_probability=1.0))
+    fault.active = False
+    sa.send(("b", 1), "window-closed", 10)
+    sim.run()
+    fault.active = True
+    fabric.remove_link_fault(fault)
+    sa.send(("b", 1), "removed", 10)
+    sim.run()
+    assert got == ["window-closed", "removed"]
+    assert fault.dropped == 0
+
+
+def test_link_fault_validates_probabilities_and_delays():
+    with pytest.raises(ConfigError):
+        LinkFault(drop_probability=1.5)
+    with pytest.raises(ConfigError):
+        LinkFault(duplicate_probability=-0.1)
+    with pytest.raises(ConfigError):
+        LinkFault(extra_delay_ns=-1)
 
 
 def test_per_pair_link_override():

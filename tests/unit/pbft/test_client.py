@@ -166,6 +166,61 @@ def test_view_guess_tracks_replies(rig):
     client.cancel_pending()
 
 
+def test_retransmit_interval_doubles_then_caps(rig):
+    _sim, config, client = rig
+    base = config.client_retransmit_ns
+    cap = config.client_retransmit_cap_ns
+    assert client._retransmit_interval_ns(0) == base
+    assert client._retransmit_interval_ns(1) == 2 * base
+    assert client._retransmit_interval_ns(2) == 4 * base
+    assert client._retransmit_interval_ns(10) == cap
+    # Huge counters must not overflow into giant shifts before the cap.
+    assert client._retransmit_interval_ns(10_000) == cap
+
+
+def test_retransmit_timer_backs_off(rig):
+    sim, config, client = rig
+    base = config.client_retransmit_ns
+    client.invoke(b"op")
+    sim.run_for(base + 1_000_000)
+    assert client.retransmissions == 1
+    # The second interval is doubled: another base elapses with no fire...
+    sim.run_for(base)
+    assert client.retransmissions == 1
+    # ...but it does fire once the doubled interval is up.
+    sim.run_for(base + 1_000_000)
+    assert client.retransmissions == 2
+    client.cancel_pending()
+
+
+def test_backoff_resets_on_completion(rig):
+    sim, config, client = rig
+    client.invoke(b"op")
+    sim.run_for(config.client_retransmit_ns + 1_000_000)
+    assert client.pending.retransmits == 1
+    feed_reply(client, sender=0)
+    feed_reply(client, sender=1)
+    assert client.pending is None
+    # A fresh request starts from the base interval again.
+    client.invoke(b"op2")
+    assert client.pending.retransmits == 0
+    sim.run_for(config.client_retransmit_ns + 1_000_000)
+    assert client.pending.retransmits == 1
+    client.cancel_pending()
+
+
+def test_cancel_pending_reconciles_failed_op_stats(rig):
+    _sim, _config, client = rig
+    client.invoke(b"op")
+    client.cancel_pending()
+    assert client.failed_ops == 1
+    assert client.stats["failed_ops"] == 1
+    # Idempotent with nothing outstanding: neither counter moves.
+    client.cancel_pending()
+    assert client.failed_ops == 1
+    assert client.stats["failed_ops"] == 1
+
+
 def test_invoke_before_join_rejected():
     sim = Simulator()
     rng = RngStreams(92)

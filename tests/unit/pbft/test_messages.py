@@ -63,10 +63,22 @@ ALL_MESSAGES = [
     ),
     NewViewMsg(
         view=3,
-        view_change_digests=((0, D), (1, D), (2, D)),
+        view_changes=tuple(
+            ViewChangeMsg(
+                new_view=3,
+                stable_seq=128,
+                stable_root=R,
+                checkpoint_proof=((0, R), (1, R), (2, R)),
+                prepared=(),
+                sender=rid,
+            )
+            for rid in range(3)
+        ),
         pre_prepares=(
             PreparedProof(seq=129, view=2, batch_digest=D, request_digests=(D,)),
-            PreparedProof(seq=130, view=0, batch_digest=bytes(16)),  # no-op
+            PreparedProof(
+                seq=130, view=0, batch_digest=bytes(16), noop=True
+            ),
         ),
         stable_seq=128,
         sender=3,
@@ -87,6 +99,14 @@ ALL_MESSAGES = [
         pages=((5, b"\x01" * 32),),
         sender=0,
         client_marks=((1000, 7),),
+        client_replies=(
+            (
+                1000,
+                Reply(
+                    view=1, req_id=7, client=1000, sender=0, result=b"ok"
+                ).encode(),
+            ),
+        ),
     ),
     AuthenticatorRefresh(client=1000, keys=((0, b"k" * 16), (1, b"j" * 16))),
 ]

@@ -103,3 +103,88 @@ def test_transfer_falls_back_to_another_source_on_bad_root(cluster):
     cluster.run_for(2 * SECOND)
     assert target.stats["state_transfer_failures"] >= 1
     assert target.state.refresh_tree() == checkpoint.root  # healed elsewhere
+
+
+# -- reply-cache durability ---------------------------------------------------
+#
+# The last reply per client is part of the checkpointed state: anyone who
+# adopts a checkpoint's client watermarks must also be able to answer
+# retransmissions of the marked operations, or retransmitting clients hit
+# a reply black hole (caught by the fault campaign's lossy-links schedule).
+
+
+def test_stable_checkpoint_meta_carries_client_replies(cluster):
+    diverge_and_checkpoint(cluster)
+    replica = cluster.replicas[0]
+    meta = replica.checkpoints.latest_stable().meta
+    assert set(meta["client_replies"]) == set(meta["client_marks"])
+    for client, reply in meta["client_replies"].items():
+        assert reply.req_id == meta["client_marks"][client]
+
+
+def test_restart_restores_reply_cache_stabilized(cluster):
+    diverge_and_checkpoint(cluster)
+    replica = cluster.replicas[3]
+    expected = replica.checkpoints.latest_stable().meta["client_replies"]
+    assert expected
+    replica.crash()
+    replica.restart()
+    assert set(replica.reqstore.last_reply) == set(expected)
+    for client, reply in replica.reqstore.last_reply.items():
+        assert reply.req_id == expected[client].req_id
+        # Stability proves commitment: restored replies are never tentative.
+        assert not reply.tentative
+
+
+def test_state_transfer_restores_reply_cache(cluster):
+    diverge_and_checkpoint(cluster)
+    source = cluster.replicas[0]
+    target = cluster.replicas[3]
+    checkpoint = source.checkpoints.latest_stable()
+    expected = checkpoint.meta["client_replies"]
+    assert expected
+    target.state.restore(
+        [bytes(target.config.page_size)] * target.config.state_pages
+    )
+    target.last_exec = 0
+    target.committed_upto = 0
+    target.reqstore.last_reply = {}
+    target.reqstore.last_executed_req = {}
+    target.maybe_start_state_transfer(checkpoint.seq, checkpoint.root)
+    cluster.run_for(int(0.5 * SECOND))
+    assert target.transfer is None
+    for client, reply in expected.items():
+        got = target.reqstore.last_reply.get(client)
+        assert got is not None
+        assert got.req_id >= reply.req_id
+        assert not got.tentative
+
+
+def test_checkpoint_stable_finalizes_tentative_executions(cluster):
+    """A stable checkpoint is a global commit proof: it must clear the
+    tentative flag on covered slots and their cached replies before
+    ``committed_upto`` jumps over them."""
+    from repro.pbft.messages import Reply
+
+    diverge_and_checkpoint(cluster)
+    replica = cluster.replicas[0]
+    seq = max(replica.exec_journal)
+    _pp, requests = replica.exec_journal[seq]
+    slot = replica.log.peek(seq)
+    slot.tentative = True
+    req = next(r for r in requests if r is not None)
+    cached = replica.reqstore.last_reply[req.client]
+    assert cached.req_id == req.req_id
+    replica.reqstore.last_reply[req.client] = Reply(
+        view=cached.view,
+        req_id=cached.req_id,
+        client=cached.client,
+        sender=cached.sender,
+        result=cached.result,
+        tentative=True,
+        digest_only=cached.digest_only,
+    )
+    replica._on_checkpoint_stable(seq)
+    assert not slot.tentative
+    assert not replica.reqstore.last_reply[req.client].tentative
+    assert replica.committed_upto >= seq

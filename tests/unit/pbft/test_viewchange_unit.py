@@ -5,7 +5,7 @@ import pytest
 from repro.common.units import MILLISECOND, SECOND
 from repro.pbft.cluster import build_cluster
 from repro.pbft.config import PbftConfig
-from repro.pbft.messages import PreparedProof, ViewChangeMsg
+from repro.pbft.messages import NewViewMsg, PreparedProof, ViewChangeMsg
 
 
 @pytest.fixture()
@@ -151,3 +151,180 @@ def test_timeout_doubles_between_attempts(cluster):
     replica.waiting_requests.add(b"x" * 16)
     replica._on_vc_timeout()
     assert replica._vc_timeout_current == 2 * base
+
+
+# -- NEW-VIEW validation against the embedded V set ---------------------------
+
+D = b"d" * 16
+
+
+def make_vote(sender, new_view=1, prepared=()):
+    return ViewChangeMsg(
+        new_view=new_view,
+        stable_seq=0,
+        stable_root=bytes(16),
+        checkpoint_proof=(),
+        prepared=tuple(prepared),
+        sender=sender,
+    )
+
+
+def make_new_view(votes, pre_prepares=None, stable_seq=None, view=1, sender=1):
+    from repro.pbft.viewchange import ViewChangeMixin
+
+    by_sender = {vc.sender: vc for vc in votes}
+    min_s, expected = ViewChangeMixin._compute_new_view_proposal(by_sender)
+    return NewViewMsg(
+        view=view,
+        view_changes=tuple(votes),
+        pre_prepares=expected if pre_prepares is None else tuple(pre_prepares),
+        stable_seq=min_s if stable_seq is None else stable_seq,
+        sender=sender,
+    )
+
+
+def test_honest_new_view_accepted(cluster):
+    replica = cluster.replicas[2]
+    nv = make_new_view([make_vote(s) for s in (0, 1, 3)])
+    replica.on_new_view(nv)
+    assert replica.view == 1
+    assert not replica.in_view_change
+    assert replica.stats["new_views_rejected"] == 0
+
+
+def test_new_view_with_smuggled_batch_rejected(cluster):
+    """A faulty new primary cannot slip a batch past the V set.
+
+    The embedded votes imply an empty O set, but the NEW-VIEW re-proposes
+    a fabricated batch at seq 1.  The backup must reject it and move past
+    the proven-faulty primary rather than install the smuggled batch.
+    """
+    replica = cluster.replicas[2]
+    forged = PreparedProof(seq=1, view=0, batch_digest=D, request_digests=(D,))
+    nv = make_new_view([make_vote(s) for s in (0, 1, 3)], pre_prepares=(forged,))
+    replica.on_new_view(nv)
+    assert replica.view == 0
+    assert replica.stats["new_views_rejected"] == 1
+    assert replica.in_view_change
+    assert replica.pending_new_view == 2
+
+
+def test_new_view_with_wrong_stable_seq_rejected(cluster):
+    replica = cluster.replicas[2]
+    nv = make_new_view([make_vote(s) for s in (0, 1, 3)], stable_seq=8)
+    replica.on_new_view(nv)
+    assert replica.view == 0
+    assert replica.stats["new_views_rejected"] == 1
+
+
+def test_new_view_without_quorum_votes_rejected(cluster):
+    replica = cluster.replicas[2]
+    nv = make_new_view([make_vote(s) for s in (0, 1)])
+    replica.on_new_view(nv)
+    assert replica.view == 0
+    assert replica.stats["new_views_rejected"] == 1
+
+
+def test_new_view_with_duplicate_voters_rejected(cluster):
+    replica = cluster.replicas[2]
+    votes = [make_vote(0), make_vote(0), make_vote(1)]
+    nv = NewViewMsg(
+        view=1, view_changes=tuple(votes), pre_prepares=(), stable_seq=0, sender=1
+    )
+    replica.on_new_view(nv)
+    assert replica.view == 0
+    assert replica.stats["new_views_rejected"] == 1
+
+
+def test_new_view_contradicting_first_hand_vote_rejected(cluster):
+    """An altered vote in the V set loses to the first-hand copy."""
+    replica = cluster.replicas[2]
+    genuine = make_vote(
+        0, prepared=(PreparedProof(seq=1, view=0, batch_digest=D,
+                                   request_digests=(D,)),)
+    )
+    replica.on_view_change(genuine)
+    assert not replica.in_view_change  # a single vote does not drag us along
+    # The new primary embeds a doctored sender-0 vote (prepared set erased,
+    # silently dropping the prepared batch) — internally consistent, but it
+    # contradicts the first-hand copy we hold.
+    nv = make_new_view([make_vote(0), make_vote(1), make_vote(3)])
+    replica.on_new_view(nv)
+    assert replica.view == 0
+    assert replica.stats["new_views_rejected"] == 1
+
+
+def test_new_view_from_wrong_sender_ignored(cluster):
+    replica = cluster.replicas[2]
+    nv = make_new_view([make_vote(s) for s in (0, 1, 3)], sender=3)
+    replica.on_new_view(nv)
+    assert replica.view == 0
+    # Not a *rejection* (no proof of primary misbehaviour): just ignored.
+    assert replica.stats["new_views_rejected"] == 0
+    assert not replica.in_view_change
+
+
+def test_noop_filler_installs_empty_preprepare(cluster):
+    """A gap below a prepared batch is ordered as an explicit no-op."""
+    replica = cluster.replicas[2]
+    proof = PreparedProof(
+        seq=2, view=0, batch_digest=D, request_digests=(D,), nondet=b"n" * 8
+    )
+    votes = [make_vote(0, prepared=(proof,)), make_vote(1), make_vote(3)]
+    nv = make_new_view(votes)
+    assert nv.pre_prepares[0].noop and nv.pre_prepares[0].seq == 1
+    replica.on_new_view(nv)
+    assert replica.view == 1
+    filler = replica.log.peek(1).pre_prepare_in(1)
+    assert filler is not None
+    assert filler.request_digests == ()
+    reproposed = replica.log.peek(2).pre_prepare_in(1)
+    assert reproposed.request_digests == (D,)
+
+
+def test_out_of_window_proofs_skipped_without_error(cluster):
+    """Re-proposals beyond the log window defer to state transfer."""
+    replica = cluster.replicas[2]
+    beyond = replica.log.high_watermark + 4
+    proof = PreparedProof(
+        seq=beyond, view=0, batch_digest=D, request_digests=(D,)
+    )
+    votes = [make_vote(0, prepared=(proof,)), make_vote(1), make_vote(3)]
+    replica.on_new_view(make_new_view(votes))
+    assert replica.view == 1
+    assert replica.log.peek(beyond) is None
+
+
+# -- the timeout-during-view-change branches ----------------------------------
+
+
+def test_lone_suspicion_is_abandoned_on_timeout(cluster):
+    """With no supporters, the timeout concludes *we* were confused."""
+    replica = cluster.replicas[2]
+    base = replica.config.view_change_timeout_ns
+    replica.start_view_change(1)
+    assert replica.in_view_change
+    replica._on_vc_timeout_during_change()
+    assert not replica.in_view_change
+    assert replica.view == 0  # rejoined the old view, did not escalate
+    assert replica.stats["view_changes_abandoned"] == 1
+    assert replica._vc_timeout_current == base
+
+
+def test_supported_view_change_escalates_on_timeout(cluster):
+    replica = cluster.replicas[2]
+    base = replica.config.view_change_timeout_ns
+    replica.start_view_change(1)
+    replica.on_view_change(make_vote(3))  # a peer shares the suspicion
+    replica._on_vc_timeout_during_change()
+    assert replica.in_view_change
+    assert replica.pending_new_view == 2
+    assert replica._vc_timeout_current == 2 * base
+
+
+def test_vc_timer_rearmed_after_entering_view_with_outstanding_work(cluster):
+    replica = cluster.replicas[2]
+    replica.waiting_requests.add(b"x" * 16)  # unknown digest: still waiting
+    replica.on_new_view(make_new_view([make_vote(s) for s in (0, 1, 3)]))
+    assert replica.view == 1
+    assert replica._vc_timer is not None and replica._vc_timer.pending
