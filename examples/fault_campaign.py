@@ -3,19 +3,21 @@
 
 Every built-in fault schedule — primary/backup crash and restart, primary
 partition, lossy/delaying/duplicating/reordering links, mute primary,
-equivocating primary — runs against a fresh deterministic cluster at each
-RNG seed.  After every run four protocol invariants are checked:
+equivocating primary, and the Byzantine clients (flooding, invalid-MAC
+spam, oversized requests) — runs against a fresh deterministic cluster at
+each RNG seed.  After every run five protocol invariants are checked:
 
 * agreement (replicas never diverge),
 * no committed-op loss across view changes,
 * monotone checkpoint stability,
-* client liveness once every fault has healed.
+* client liveness once every fault has healed,
+* honest-client liveness while a Byzantine client misbehaves.
 
 A failing run is deterministically re-executed with tracing enabled and
 dumps a Chrome trace plus a minimized event log under ``--artifacts``.
 
 Run:  python examples/fault_campaign.py [--smoke] [--seeds N] [--artifacts DIR]
-      --smoke runs one seed per schedule (CI-sized, well under 30 s).
+      --smoke runs one seed per schedule (the CI-sized sweep).
 Exits non-zero if any invariant was violated.
 """
 

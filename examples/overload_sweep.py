@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Open-loop overload sweep: drive offered load past saturation.
+
+Estimates the cluster's closed-loop capacity, then replays open-loop
+arrival schedules at multiples of it (below, at, and past saturation).
+Each point reports goodput, latency percentiles, and the admission
+pipeline's work — requests shed from the bounded queue, BUSY replies,
+per-client cap strikes, and source-side drops — so the sweep shows
+*graceful* degradation: goodput plateaus near capacity instead of
+collapsing as offered load doubles.
+
+Run:  python examples/overload_sweep.py [--smoke] [--out BENCH_overload.json]
+Exits non-zero if goodput at 2x offered load falls below 80% of goodput
+at 1x (the graceful-degradation bar the CI smoke job enforces).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness import format_overload, run_overload_sweep
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="3-point sweep with short windows, sized for CI",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, help="RNG seed (default 3)"
+    )
+    parser.add_argument(
+        "--multipliers", default=None, metavar="M1,M2,...",
+        help="offered-load multipliers (default 0.5,1.0,1.5,2.0; "
+        "smoke uses 0.5,1.0,2.0)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_overload.json", metavar="FILE",
+        help="write the sweep as JSON here (default BENCH_overload.json)",
+    )
+    args = parser.parse_args()
+
+    if args.multipliers is not None:
+        multipliers = tuple(float(m) for m in args.multipliers.split(","))
+    elif args.smoke:
+        multipliers = (0.5, 1.0, 2.0)
+    else:
+        multipliers = (0.5, 1.0, 1.5, 2.0)
+    windows = (
+        dict(warmup_s=0.2, measure_s=0.3) if args.smoke
+        else dict(warmup_s=0.3, measure_s=0.5)
+    )
+
+    start = time.time()
+    sweep = run_overload_sweep(
+        multipliers=multipliers, seed=args.seed, **windows
+    )
+    wall = time.time() - start
+
+    print(format_overload(sweep))
+    print(f"wall time: {wall:.1f}s for {len(sweep.points)} points")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(sweep.to_dict(), fh, indent=2)
+        print(f"wrote {args.out}")
+
+    graceful = sweep.graceful(at=2.0, reference=1.0, threshold=0.8)
+    verdict = "graceful" if graceful else "COLLAPSED"
+    ratio = sweep.point_at(2.0).goodput_tps / (
+        sweep.point_at(1.0).goodput_tps or 1.0
+    )
+    print(f"degradation at 2x offered load: {verdict} "
+          f"(goodput ratio {ratio:.2f}, bar 0.80)")
+    return 0 if graceful else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

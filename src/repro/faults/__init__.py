@@ -22,6 +22,7 @@ from repro.faults.invariants import (
     Violation,
     check_agreement,
     check_checkpoint_monotone,
+    check_flood_liveness,
     check_liveness,
     check_no_committed_loss,
 )
@@ -30,8 +31,11 @@ from repro.faults.schedule import (
     CrashReplica,
     EquivocatingPrimary,
     FaultSchedule,
+    FloodingClient,
+    InvalidMacSpammer,
     LinkDisturbance,
     MutePrimary,
+    OversizedClient,
     PartitionFault,
     Trigger,
 )
@@ -42,8 +46,11 @@ __all__ = [
     "EquivocatingPrimary",
     "FaultInjector",
     "FaultSchedule",
+    "FloodingClient",
+    "InvalidMacSpammer",
     "LinkDisturbance",
     "MutePrimary",
+    "OversizedClient",
     "PartitionFault",
     "RunResult",
     "Trigger",
@@ -52,6 +59,7 @@ __all__ = [
     "campaign_config",
     "check_agreement",
     "check_checkpoint_monotone",
+    "check_flood_liveness",
     "check_liveness",
     "check_no_committed_loss",
     "run_campaign",

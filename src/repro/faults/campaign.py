@@ -28,6 +28,7 @@ from repro.faults.invariants import (
     Violation,
     check_agreement,
     check_checkpoint_monotone,
+    check_flood_liveness,
     check_liveness,
     check_no_committed_loss,
 )
@@ -46,6 +47,17 @@ def campaign_config() -> PbftConfig:
         client_retransmit_cap_ns=500 * MILLISECOND,
         view_change_timeout_ns=250 * MILLISECOND,
         status_interval_ns=100 * MILLISECOND,
+        # Overload defenses sized for the Byzantine-client schedules: a
+        # small queue budget so floods actually press against it, a tight
+        # size limit for the oversized-client run, and a penalty box that
+        # trips well inside a spam window.
+        pending_queue_budget=32,
+        max_request_bytes=4096,
+        penalty_box_threshold=5,
+        penalty_box_ns=200 * MILLISECOND,
+        busy_retry_hint_ns=20 * MILLISECOND,
+        client_busy_backoff_ns=20 * MILLISECOND,
+        client_busy_backoff_cap_ns=200 * MILLISECOND,
     )
 
 
@@ -87,6 +99,7 @@ def _start_workload(
     cluster: Cluster,
     invoked: list[tuple[int, int]],
     completed: list[tuple[int, int]],
+    completed_at_ns: list[int],
     issuing: dict[str, bool],
 ) -> None:
     for client in cluster.clients:
@@ -94,6 +107,7 @@ def _start_workload(
         def submit(client=client) -> None:
             def done(_res, _lat) -> None:
                 completed.append((client.node_id, req.req_id))
+                completed_at_ns.append(cluster.sim.now)
                 if issuing["on"]:
                     submit(client)
 
@@ -117,8 +131,9 @@ def _execute(
     injector = FaultInjector(cluster, schedule)
     invoked: list[tuple[int, int]] = []
     completed: list[tuple[int, int]] = []
+    completed_at_ns: list[int] = []
     issuing = {"on": True}
-    _start_workload(cluster, invoked, completed, issuing)
+    _start_workload(cluster, invoked, completed, completed_at_ns, issuing)
     injector.start()
 
     step = 10 * MILLISECOND
@@ -156,6 +171,7 @@ def _execute(
         + check_no_committed_loss(cluster, completed)
         + check_checkpoint_monotone(injector.stability_samples)
         + check_liveness(cluster, invoked, completed)
+        + check_flood_liveness(injector.client_fault_windows, completed_at_ns)
     )
     result = RunResult(
         schedule=schedule.name,

@@ -15,15 +15,22 @@ campaign exists.
 
 from __future__ import annotations
 
+from repro.common.ids import make_client_id
 from repro.common.units import MILLISECOND
 from repro.net.fabric import LinkFault
+from repro.pbft.client import PbftClient
 from repro.pbft.cluster import Cluster
+from repro.pbft.messages import Request
+from repro.pbft.node import AUTH_MAC, CLIENT_PORT, Envelope, replica_address
 from repro.faults.schedule import (
     CrashReplica,
     EquivocatingPrimary,
     FaultSchedule,
+    FloodingClient,
+    InvalidMacSpammer,
     LinkDisturbance,
     MutePrimary,
+    OversizedClient,
     PartitionFault,
 )
 
@@ -49,6 +56,11 @@ class FaultInjector:
         self.stability_samples: dict[int, list[int]] = {
             r.node_id: [] for r in cluster.replicas
         }
+        # (start_ns, end_ns) of every Byzantine-client disturbance, for
+        # the flood-liveness invariant (honest clients must complete work
+        # *inside* these windows, not merely after they close).
+        self.client_fault_windows: list[tuple[int, int]] = []
+        self._rogues = 0
         self._timer = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -173,5 +185,159 @@ class FaultInjector:
                 stop_equivocating,
                 f"replica{primary.node_id} stops equivocating",
             )
+        elif isinstance(fault, FloodingClient):
+            self._apply_flooding_client(fault)
+        elif isinstance(fault, InvalidMacSpammer):
+            self._apply_invalid_mac_spammer(fault)
+        elif isinstance(fault, OversizedClient):
+            self._apply_oversized_client(fault)
         else:  # pragma: no cover - schedule.validate keeps this unreachable
             raise TypeError(f"unknown fault declaration {fault!r}")
+
+    # -- Byzantine-client drivers -------------------------------------------
+
+    def _rogue_client(self, register: bool) -> PbftClient:
+        """A fresh client endpoint outside the workload population.
+
+        ``register`` pre-shares its address and session keys at every
+        replica (a legitimately admitted but misbehaving client); without
+        it the principal is unknown and every MAC it sends fails
+        verification.
+        """
+        cluster = self.cluster
+        index = self._rogues
+        self._rogues += 1
+        client_id = make_client_id(900 + index)
+        host = cluster.fabric.add_host(f"byzhost{index}")
+        cluster.keys.new_client_keypair(client_id)
+        client = PbftClient(
+            client_id=client_id,
+            config=cluster.config,
+            host=host,
+            port=CLIENT_PORT + 900 + index,
+            keys=cluster.keys,
+            real_crypto=cluster.replicas[0].real_crypto,
+            obs=cluster.obs,
+        )
+        if register:
+            session = client.generate_session_keys(
+                cluster.rng.stream(f"byz-sessions-{index}")
+            )
+            for replica in cluster.replicas:
+                replica.register_client(
+                    client_id, client.socket.address, session[replica.node_id]
+                )
+        return client
+
+    def _open_client_fault_window(self, duration_ns: int) -> int:
+        start = self.cluster.sim.now
+        self.client_fault_windows.append((start, start + duration_ns))
+        return start
+
+    def _apply_flooding_client(self, fault: FloodingClient) -> None:
+        cluster = self.cluster
+        rogue = self._rogue_client(register=True)
+        payload = bytes(fault.payload_bytes)
+        state = {"req_id": 0, "timer": None}
+
+        def tick() -> None:
+            state["req_id"] += 1
+            # Fire-and-forget at whoever currently leads: the flooder
+            # never waits for replies, which is exactly what the
+            # per-client in-flight cap is for.  ``big=False`` keeps the
+            # body inline in pre-prepares, so the one admitted request
+            # per cycle stays executable group-wide.
+            req = Request(
+                client=rogue.node_id,
+                req_id=state["req_id"],
+                op=payload,
+                big=False,
+            )
+            view = max(r.view for r in cluster.replicas if not r.crashed)
+            rogue.broadcast_to_replicas(req, only=[view % cluster.config.n])
+            state["timer"] = cluster.sim.schedule(fault.interval_ns, tick)
+
+        self._open_client_fault_window(fault.duration_ns)
+        tick()
+        self._note(fault.describe() + f" -> client {rogue.node_id}")
+
+        def stop_flood() -> None:
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            rogue.stop()
+            self._note(f"  ... {state['req_id']} flood requests were sent")
+
+        self._heal_later(
+            fault.duration_ns, stop_flood,
+            f"flood from client {rogue.node_id} ends",
+        )
+
+    def _apply_invalid_mac_spammer(self, fault: InvalidMacSpammer) -> None:
+        cluster = self.cluster
+        rogue = self._rogue_client(register=False)
+        payload = bytes(fault.payload_bytes)
+        state = {"req_id": 0, "timer": None}
+
+        def tick() -> None:
+            state["req_id"] += 1
+            req = Request(
+                client=rogue.node_id, req_id=state["req_id"], op=payload
+            )
+            # Hand-built envelope with a garbage MAC trailer: the node
+            # send paths would refuse to fake one, a Byzantine sender
+            # has no such scruples.
+            env = Envelope(req, AUTH_MAC, b"\xde\xad\xbe\xef", "client",
+                           rogue.node_id)
+            for rid in range(cluster.config.n):
+                rogue.host.charge_cpu(cluster.config.costs.msg_send_ns)
+                rogue.socket.send(replica_address(rid), env, env.size, "Request")
+            state["timer"] = cluster.sim.schedule(fault.interval_ns, tick)
+
+        self._open_client_fault_window(fault.duration_ns)
+        tick()
+        self._note(fault.describe() + f" -> principal {rogue.node_id}")
+
+        def stop_spam() -> None:
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            rogue.stop()
+            self._note(f"  ... {state['req_id']} garbage datagrams were sent")
+
+        self._heal_later(
+            fault.duration_ns, stop_spam,
+            f"invalid-MAC spam from principal {rogue.node_id} ends",
+        )
+
+    def _apply_oversized_client(self, fault: OversizedClient) -> None:
+        cluster = self.cluster
+        rogue = self._rogue_client(register=True)
+        limit = cluster.config.max_request_bytes or 0
+        size = fault.payload_bytes if fault.payload_bytes is not None else 2 * limit + 1
+        payload = bytes(size)
+        state = {"req_id": 0, "timer": None}
+
+        def tick() -> None:
+            state["req_id"] += 1
+            req = Request(
+                client=rogue.node_id,
+                req_id=state["req_id"],
+                op=payload,
+                big=cluster.config.is_big(len(payload)),
+            )
+            rogue.broadcast_to_replicas(req)
+            state["timer"] = cluster.sim.schedule(fault.interval_ns, tick)
+
+        self._open_client_fault_window(fault.duration_ns)
+        tick()
+        self._note(fault.describe() + f" -> client {rogue.node_id}")
+
+        def stop_oversized() -> None:
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            rogue.stop()
+            self._note(f"  ... {state['req_id']} oversized requests were sent")
+
+        self._heal_later(
+            fault.duration_ns, stop_oversized,
+            f"oversized spam from client {rogue.node_id} ends",
+        )

@@ -129,6 +129,34 @@ def check_checkpoint_monotone(
     return violations
 
 
+def check_flood_liveness(
+    client_fault_windows: list[tuple[int, int]],
+    completed_at_ns: list[int],
+) -> list[Violation]:
+    """Honest clients must keep completing work *during* a client-side
+    attack (flood, MAC spam, oversized spam), not merely after it heals.
+
+    ``client_fault_windows`` comes from the injector; ``completed_at_ns``
+    are the completion timestamps of the honest workload.  Graceful
+    degradation means goodput inside the window stays above zero.
+    """
+    from repro.common.units import MILLISECOND
+
+    violations: list[Violation] = []
+    for start, end in client_fault_windows:
+        inside = sum(1 for t in completed_at_ns if start <= t <= end)
+        if inside == 0:
+            violations.append(
+                Violation(
+                    "flood-liveness",
+                    f"no honest operation completed inside the "
+                    f"Byzantine-client window "
+                    f"{start / MILLISECOND:.0f}ms-{end / MILLISECOND:.0f}ms",
+                )
+            )
+    return violations
+
+
 def check_liveness(
     cluster: Cluster, invoked: list[tuple[int, int]], completed: list[tuple[int, int]]
 ) -> list[Violation]:

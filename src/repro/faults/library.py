@@ -15,8 +15,11 @@ from repro.faults.schedule import (
     CrashReplica,
     EquivocatingPrimary,
     FaultSchedule,
+    FloodingClient,
+    InvalidMacSpammer,
     LinkDisturbance,
     MutePrimary,
+    OversizedClient,
     PartitionFault,
     Trigger,
 )
@@ -152,6 +155,57 @@ def equivocating_primary() -> FaultSchedule:
     )
 
 
+def flooding_client() -> FaultSchedule:
+    return FaultSchedule(
+        name="flooding-client",
+        description="A registered Byzantine client fire-hoses requests at "
+        "the primary without awaiting replies; the per-client in-flight "
+        "cap must hold it to one slot per cycle while honest clients "
+        "keep completing inside the flood window.",
+        faults=(
+            FloodingClient(
+                start=Trigger(at_ns=250 * MILLISECOND),
+                duration_ns=400 * MILLISECOND,
+                # Far faster than the group's execution cycle, so several
+                # flood requests always race one admitted slot.
+                interval_ns=MILLISECOND // 4,
+            ),
+        ),
+    )
+
+
+def invalid_mac_spammer() -> FaultSchedule:
+    return FaultSchedule(
+        name="invalid-mac-spammer",
+        description="An unregistered principal sprays garbage-MAC requests "
+        "at every replica; after penalty_box_threshold failures each "
+        "replica mutes it and drops the rest at header-peek cost.",
+        faults=(
+            InvalidMacSpammer(
+                start=Trigger(at_ns=250 * MILLISECOND),
+                duration_ns=300 * MILLISECOND,
+                interval_ns=1 * MILLISECOND,
+            ),
+        ),
+    )
+
+
+def oversized_client() -> FaultSchedule:
+    return FaultSchedule(
+        name="oversized-client",
+        description="A registered client submits operations at twice the "
+        "max_request_bytes limit; each is rejected with BUSY/oversized "
+        "before consuming queue space.",
+        faults=(
+            OversizedClient(
+                start=Trigger(at_ns=250 * MILLISECOND),
+                duration_ns=300 * MILLISECOND,
+                interval_ns=10 * MILLISECOND,
+            ),
+        ),
+    )
+
+
 def builtin_schedules() -> list[FaultSchedule]:
     """The default campaign: every built-in schedule, in sweep order."""
     return [
@@ -163,4 +217,7 @@ def builtin_schedules() -> list[FaultSchedule]:
         reorder_storm(),
         mute_primary(),
         equivocating_primary(),
+        flooding_client(),
+        invalid_mac_spammer(),
+        oversized_client(),
     ]

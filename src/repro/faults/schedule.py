@@ -156,12 +156,80 @@ class EquivocatingPrimary:
         )
 
 
+@dataclass(frozen=True)
+class FloodingClient:
+    """A registered Byzantine client firing requests far faster than it
+    waits for replies, aimed at the primary's batching queue.
+
+    The admission pipeline should hold it to one in-flight operation
+    (``inflight_capped`` strikes the rest) while honest clients keep
+    completing work — the flood-liveness invariant checks exactly that.
+    """
+
+    start: Trigger = field(default_factory=Trigger)
+    duration_ns: int = 400 * MILLISECOND
+    interval_ns: int = 2 * MILLISECOND
+    payload_bytes: int = 128
+
+    def describe(self) -> str:
+        return (
+            f"flooding client, 1 req/{self.interval_ns / MILLISECOND:.2f}ms "
+            f"at the primary ({self.start.describe()}, "
+            f"{self.duration_ns / MILLISECOND:.0f}ms)"
+        )
+
+
+@dataclass(frozen=True)
+class InvalidMacSpammer:
+    """An unregistered principal spraying garbage-MAC requests at every
+    replica: the penalty-box workload.  Every datagram fails
+    authentication; after ``penalty_box_threshold`` failures the sender
+    is muted and the rest of the flood is dropped at header-peek cost.
+    """
+
+    start: Trigger = field(default_factory=Trigger)
+    duration_ns: int = 300 * MILLISECOND
+    interval_ns: int = 1 * MILLISECOND
+    payload_bytes: int = 128
+
+    def describe(self) -> str:
+        return (
+            f"invalid-MAC spammer, 1 msg/{self.interval_ns / MILLISECOND:.1f}ms "
+            f"to all replicas ({self.start.describe()}, "
+            f"{self.duration_ns / MILLISECOND:.0f}ms)"
+        )
+
+
+@dataclass(frozen=True)
+class OversizedClient:
+    """A registered client submitting operations beyond
+    ``max_request_bytes``; every one must be rejected with a
+    BUSY/oversized reply before touching the queue.  ``payload_bytes``
+    of ``None`` means twice the configured limit.
+    """
+
+    start: Trigger = field(default_factory=Trigger)
+    duration_ns: int = 300 * MILLISECOND
+    interval_ns: int = 10 * MILLISECOND
+    payload_bytes: int | None = None
+
+    def describe(self) -> str:
+        size = "2x limit" if self.payload_bytes is None else f"{self.payload_bytes}B"
+        return (
+            f"oversized-request client ({size}, {self.start.describe()}, "
+            f"{self.duration_ns / MILLISECOND:.0f}ms)"
+        )
+
+
 Fault = (
     CrashReplica
     | PartitionFault
     | LinkDisturbance
     | MutePrimary
     | EquivocatingPrimary
+    | FloodingClient
+    | InvalidMacSpammer
+    | OversizedClient
 )
 
 

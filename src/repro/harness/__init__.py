@@ -31,12 +31,20 @@ from repro.harness.experiments import (
     run_packet_loss_experiment,
     run_fault_campaign,
 )
+from repro.harness.overload import (
+    OverloadPoint,
+    OverloadSweep,
+    estimate_capacity,
+    overload_config,
+    run_overload_sweep,
+)
 from repro.harness.reporting import (
     format_table1,
     format_fig4,
     format_fig5,
     format_acid,
     format_campaign,
+    format_overload,
 )
 from repro.harness.wan import run_wan_sweep, format_wan, PROFILES
 from repro.harness.analysis import summarize, messages_per_request
@@ -56,6 +64,12 @@ __all__ = [
     "run_recovery_experiment",
     "run_packet_loss_experiment",
     "run_fault_campaign",
+    "OverloadPoint",
+    "OverloadSweep",
+    "estimate_capacity",
+    "overload_config",
+    "run_overload_sweep",
+    "format_overload",
     "format_table1",
     "format_campaign",
     "format_fig4",

@@ -21,7 +21,13 @@ from repro.common.errors import ConfigError
 from repro.crypto.mac import MacKey
 from repro.net.fabric import Host
 from repro.pbft.config import PbftConfig
-from repro.pbft.messages import AuthenticatorRefresh, Reply, Request
+from repro.pbft.messages import (
+    BUSY_OVERSIZED,
+    AuthenticatorRefresh,
+    BusyReply,
+    Reply,
+    Request,
+)
 from repro.pbft.node import Envelope, KeyDirectory, Node
 
 
@@ -37,6 +43,13 @@ class PendingOp:
     votes: dict[bytes, dict[int, bool]] = field(default_factory=dict)
     full_result: dict[bytes, bytes] = field(default_factory=dict)
     retransmits: int = 0
+    # Consecutive BUSY replies absorbed for this request: drives the
+    # busy-backoff schedule, separate from the loss-retransmit counter.
+    busy_count: int = 0
+    # Replicas that rejected this request as oversized; f+1 distinct
+    # senders prove at least one correct replica did, and the operation
+    # fails permanently instead of retrying forever.
+    oversized_from: set[int] = field(default_factory=set)
     # Signed requests (join phase 2) are signature-authenticated because no
     # session keys exist at the replicas yet.
     signed: bool = False
@@ -194,8 +207,98 @@ class PbftClient(Node):
         msg = env.msg
         if isinstance(msg, Reply):
             self.on_reply(msg, env)
+        elif isinstance(msg, BusyReply):
+            self.on_busy(msg, env)
         elif self.join_state is not None:
             self.join_state.dispatch(env)
+
+    # -- backpressure -------------------------------------------------------------------
+
+    def on_busy(self, msg: BusyReply, env: Envelope = None) -> None:
+        """An explicit overload rejection from a replica.
+
+        BUSY is advisory for timing: a forged one merely delays a single
+        retransmission, so any sender is honored for backoff.  The
+        exception is the oversized verdict, which would abort the
+        operation — that needs f+1 distinct replicas to agree.
+        """
+        pending = self.pending
+        if (
+            pending is None
+            or msg.req_id != pending.request.req_id
+            or msg.client != self.node_id
+        ):
+            return
+        self.stats["busy_received"] += 1
+        if msg.view > self.view_guess:
+            self.view_guess = msg.view
+        if msg.reason == BUSY_OVERSIZED:
+            pending.oversized_from.add(msg.sender)
+            if len(pending.oversized_from) >= self.config.weak_quorum:
+                self._fail_pending("oversized")
+            return
+        pending.busy_count += 1
+        if pending.timer is not None:
+            pending.timer.cancel()
+        delay = self._busy_backoff_ns(pending, msg.retry_after_ns)
+        pending.timer = self.host.sim.schedule(delay, self._on_busy_timeout)
+        if self.tracer.enabled:
+            self.tracer.event(
+                self._track, "busy-backoff", cat="client",
+                args={"req_id": msg.req_id, "reason": msg.reason,
+                      "delay_ns": delay},
+            )
+
+    def _busy_backoff_ns(self, pending: PendingOp, retry_after_ns: int) -> int:
+        """Jittered exponential backoff after a BUSY reply.
+
+        Doubles per consecutive BUSY (floored by the replica's retry-after
+        hint, capped by config) with a deterministic +/-25% jitter derived
+        from (client, request, attempt) — so shed clients spread out
+        instead of thundering back in lock-step, and identical runs make
+        identical choices.
+        """
+        base = self.config.client_busy_backoff_ns
+        cap = self.config.client_busy_backoff_cap_ns
+        shift = min(pending.busy_count - 1, 32)
+        interval = max(retry_after_ns, min(base << shift, cap))
+        x = (
+            self.node_id * 2654435761
+            + pending.request.req_id * 40503
+            + pending.busy_count * 69069
+        ) & 0xFFFFFFFF
+        x ^= x >> 16
+        x = (x * 2246822519) & 0xFFFFFFFF
+        x ^= x >> 13
+        jitter = (x % 1001) / 1000.0 - 0.5  # in [-0.5, 0.5]
+        return max(1, int(interval * (1.0 + 0.5 * jitter)))
+
+    def _on_busy_timeout(self) -> None:
+        pending = self.pending
+        if pending is None:
+            return
+        self.stats["busy_retries"] += 1
+        # The replica that said BUSY is alive — retry toward the primary
+        # on the first-transmission path (big/read-only requests still
+        # multicast) and let the ordinary loss-retransmit timer take over
+        # from there.
+        self._transmit(first=True)
+
+    def _fail_pending(self, reason: str) -> None:
+        pending = self.pending
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.pending = None
+        self.failed_ops += 1
+        self.stats["failed_ops"] += 1
+        self.stats[f"rejected_{reason}"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self._track, f"rejected-{reason}", cat="client",
+                args={"req_id": pending.request.req_id},
+            )
 
     def on_reply(self, reply: Reply, env: Envelope = None) -> None:
         pending = self.pending

@@ -84,6 +84,12 @@ class PbftConfig:
     # Ceiling for the client's exponential retransmission backoff (the
     # interval doubles on every retransmission and resets on completion).
     client_retransmit_cap_ns: int = 2 * SECOND
+    # Client backoff after a BUSY reply: a separate, jittered exponential
+    # schedule (doubles per consecutive BUSY, +/-25% deterministic jitter)
+    # so shed clients spread their retries instead of thundering back in
+    # lock-step with the loss-retransmit timer.
+    client_busy_backoff_ns: int = 20 * MILLISECOND
+    client_busy_backoff_cap_ns: int = 1 * SECOND
     view_change_timeout_ns: int = 500 * MILLISECOND
     # Blind periodic rebroadcast of client session keys (section 2.3): the
     # only way a restarted replica re-learns authenticators.
@@ -94,6 +100,32 @@ class PbftConfig:
     # replicas pull missing batches from peers (the original's STATUS
     # message retransmission backbone).
     status_interval_ns: int = 150 * MILLISECOND
+
+    # -- overload robustness (admission pipeline) -------------------------------
+    # Per-client in-flight cap at the primary: the protocol's "each client
+    # waits for one request to complete before sending the next" rule
+    # (Castro-Liskov section 4.1), previously unenforced.  A client's
+    # retransmission of an already-admitted request is absorbed (replied
+    # from the cache or dropped with a stat); a *different* request while
+    # one is outstanding is dropped.  0 disables enforcement.
+    max_client_inflight: int = 1
+    # Global budget for the primary's batching queue (``pending_requests``).
+    # When an arrival would exceed it, the newest request of the heaviest
+    # client is shed with an explicit BUSY reply.  ``None`` = unbounded
+    # (the legacy behaviour).  Backups bound ``waiting_requests`` by the
+    # same budget.
+    pending_queue_budget: int | None = 1024
+    # Requests whose operation bodies exceed this many bytes are rejected
+    # outright with a BUSY/oversized reply.  ``None`` disables the check.
+    max_request_bytes: int | None = 1 << 20
+    # Invalid-MAC / garbage-flood penalty box: a sender accumulating this
+    # many authentication failures within one ``penalty_box_ns`` window is
+    # muted (packets dropped before verification) for ``penalty_box_ns``.
+    penalty_box_threshold: int = 8
+    penalty_box_ns: int = 2 * SECOND
+    # Base retry-after hint carried in BUSY replies (scaled by queue
+    # pressure at the replica).
+    busy_retry_hint_ns: int = 50 * MILLISECOND
 
     # -- non-determinism (section 2.5) -----------------------------------------
     # Max |primary timestamp - local clock| accepted by the time-delta
@@ -158,6 +190,20 @@ class PbftConfig:
             )
         if self.library_pages >= self.state_pages:
             raise ConfigError("library partition must leave room for the application")
+        if self.max_client_inflight < 0:
+            raise ConfigError("per-client in-flight cap cannot be negative")
+        if self.pending_queue_budget is not None and self.pending_queue_budget < 1:
+            raise ConfigError("pending queue budget must be positive (or None)")
+        if self.max_request_bytes is not None and self.max_request_bytes < 1:
+            raise ConfigError("max request size must be positive (or None)")
+        if self.penalty_box_threshold < 1:
+            raise ConfigError("penalty box threshold must be positive")
+        if self.penalty_box_ns < 0 or self.busy_retry_hint_ns < 0:
+            raise ConfigError("penalty box / busy hint durations cannot be negative")
+        if self.client_busy_backoff_cap_ns < self.client_busy_backoff_ns:
+            raise ConfigError(
+                "client busy-backoff cap must be at least the base interval"
+            )
 
     def with_options(self, **overrides) -> "PbftConfig":
         """A copy with some fields replaced (dataclass ``replace`` helper)."""

@@ -808,6 +808,72 @@ class AuthenticatorRefresh:
         return self.encode()
 
 
+# BUSY reply reason codes (admission pipeline, see DESIGN.md overload
+# section): the request was shed from a full queue, rejected because the
+# client already has an operation in flight, or rejected for size.
+BUSY_SHED = 0
+BUSY_INFLIGHT = 1
+BUSY_OVERSIZED = 2
+
+
+@dataclass(frozen=True)
+class BusyReply:
+    """Explicit backpressure: the replica refused to queue a request.
+
+    Sent instead of silently dropping when the admission pipeline sheds
+    a request (queue budget exceeded) or rejects it (oversized).  Carries
+    a retry-after hint and the queue depth observed at rejection time so
+    clients can back off proportionally.  Advisory for timing only — a
+    forged BUSY merely delays one retransmission — except for
+    ``BUSY_OVERSIZED``, where the client requires f+1 matching replies
+    from distinct replicas before failing the operation permanently.
+    """
+
+    TAG = 16
+
+    view: int
+    req_id: int
+    client: int
+    sender: int
+    reason: int
+    retry_after_ns: int
+    queue_depth: int
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .u8(self.TAG)
+            .u16(self.sender)
+            .u64(self.view)
+            .u64(self.req_id)
+            .u32(self.client)
+            .u8(self.reason)
+            .u64(self.retry_after_ns)
+            .u32(self.queue_depth)
+            .finish()
+        )
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "BusyReply":
+        if dec.u8() != cls.TAG:
+            raise ProtocolError("not a BusyReply")
+        return cls(
+            sender=dec.u16(),
+            view=dec.u64(),
+            req_id=dec.u64(),
+            client=dec.u32(),
+            reason=dec.u8(),
+            retry_after_ns=dec.u64(),
+            queue_depth=dec.u32(),
+        )
+
+    def body_size(self) -> int:
+        return 1 + 2 + 8 + 8 + 4 + 1 + 8 + 4
+
+    def auth_bytes(self) -> bytes:
+        return self.encode()
+
+
 _TAG_TO_CLASS = {
     cls.TAG: cls
     for cls in (
@@ -826,6 +892,7 @@ _TAG_TO_CLASS = {
         FetchPagesMsg,
         PagesMsg,
         AuthenticatorRefresh,
+        BusyReply,
     )
 }
 

@@ -198,6 +198,7 @@ class RecoveryMixin:
         self.reqstore = RequestStore()
         self.pending_requests = []
         self.queued_digests = set()
+        self.admission.reset_inflight()
         self.exec_journal = {}
         self.view_changes = {}
         self.in_view_change = False

@@ -20,11 +20,22 @@ from typing import Optional
 from repro.common.errors import ConfigError
 from repro.crypto.digests import DIGEST_SIZE
 from repro.net.fabric import Address, Host
+from repro.pbft.admission import (
+    ADMIT,
+    CAPPED,
+    DUPLICATE,
+    AdmissionControl,
+    pick_shed_victim,
+)
 from repro.pbft.config import PbftConfig
 from repro.pbft.log import MessageLog, RequestStore, Slot
 from repro.pbft.messages import (
+    BUSY_INFLIGHT,
+    BUSY_OVERSIZED,
+    BUSY_SHED,
     AuthenticatorRefresh,
     BatchRetransmit,
+    BusyReply,
     CheckpointMsg,
     Commit,
     DigestsMsg,
@@ -210,6 +221,12 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         # and ``+=`` registers the counter, so this drops in for the old
         # defaultdict(int).
         self.stats = self.obs.registry.view(f"replica{replica_id}.")
+        # Overload admission pipeline (see repro.pbft.admission): per-client
+        # in-flight caps, queue shedding policy, and the penalty box.
+        self.admission = AdmissionControl(config)
+        self._depth_gauge = self.obs.registry.gauge(
+            f"replica{replica_id}.pending_depth"
+        )
 
         app.bind_state(self.state, config.library_pages * config.page_size)
         app.attach_obs(self.obs, host.name)
@@ -306,8 +323,41 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             return
         handler(env.msg, env)
 
+    def _on_packet(self, packet) -> None:
+        # Penalty box: packets from muted senders are dropped for the cost
+        # of a header peek, before the MAC/signature check — the whole
+        # point of the box is to shed a garbage flood's verification cost.
+        env = packet.payload
+        if isinstance(env, Envelope) and not self.crashed:
+            key = (env.sender_kind, env.sender_id)
+            if self.admission.penalty.muted(key, self.host.sim.now):
+                self.host.charge_cpu(self.costs.msg_recv_ns)
+                self.stats["penalty_box_drops"] += 1
+                return
+        super()._on_packet(packet)
+
     def on_auth_failure(self, env: Envelope) -> None:
         self.stats["auth_failures"] += 1
+        if env.sender_kind != "client":
+            # Muting a replica could silence a correct peer and cut into
+            # the quorum; replica misbehaviour is the protocol's job.
+            return
+        registered = env.sender_id in self.client_addr or (
+            self.membership is not None
+            and self.membership.client_address(env.sender_id) is not None
+        )
+        if registered and self._session_key_for("client", env.sender_id) is None:
+            # Indistinguishable from the restarted-replica condition of
+            # paper section 2.3: we may simply have lost this registered
+            # client's session key.  Never penalize it.
+            return
+        if self.admission.penalty.strike(("client", env.sender_id), self.host.sim.now):
+            self.stats["penalty_boxed"] += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    self.host.name, "penalty-box", cat="pbft.admission",
+                    args={"sender": env.sender_id},
+                )
 
     # -- client requests ---------------------------------------------------------------
 
@@ -321,6 +371,16 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             self.stats["requests_rejected"] += 1
             return
 
+        max_bytes = self.config.max_request_bytes
+        if (
+            max_bytes is not None
+            and len(req.op) > max_bytes
+            and not self._is_system_op(req)
+        ):
+            self.stats["oversized_rejected"] += 1
+            self._send_busy(req, BUSY_OVERSIZED, 0)
+            return
+
         if self.tracer.enabled and self.is_primary and not req.readonly:
             self.tracer.mark((req.client, req.req_id), "primary-recv", self.host.name)
 
@@ -329,20 +389,144 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             return
 
         if self.reqstore.already_executed(req):
+            self.admission.release(req.client, req.req_id)
             self._resend_cached_reply(req)
             return
 
-        self.reqstore.add(req)
         if self.is_primary and not self.in_view_change:
-            if req.digest not in self.queued_digests:
-                self.queued_digests.add(req.digest)
-                self.pending_requests.append(req)
-                self._try_issue_batches()
+            self._admit_at_primary(req)
         else:
             # A backup holding an unexecuted request starts the clock on
-            # the primary.
+            # the primary.  The waiting set doubles as the body store for
+            # digest-only ("big") pre-prepares, so a global budget here
+            # would starve execution of honest work; instead it is bounded
+            # per client — the single-outstanding-op rule.  Only bodies no
+            # accepted pre-prepare references count toward the bound: a
+            # lagging backup legitimately holds many ordered-but-unexecuted
+            # bodies for one correct client, and refusing the next body
+            # would wedge it until a checkpoint transfer (the §2.4 failure
+            # this tree exists to avoid).  A flood's surplus is exactly the
+            # unordered part, so the defense is unchanged.
+            cap = self.config.max_client_inflight
+            if (
+                cap > 0
+                and req.digest not in self.waiting_requests
+                and not self._is_system_op(req)
+                and self._waiting_held_by(req.client) >= cap
+            ):
+                self.stats["waiting_shed"] += 1
+                return
+            self.reqstore.add(req)
             self.waiting_requests.add(req.digest)
             self._arm_vc_timer()
+
+    def _waiting_held_by(self, client: int) -> int:
+        """Unordered request bodies this backup already holds for a client.
+
+        Bodies referenced by an accepted pre-prepare are excluded: they are
+        ordered work this replica must keep to execute, however far behind
+        it is running.  The log scan is skipped entirely in the common case
+        of a caught-up backup holding nothing for the client.
+        """
+        held = []
+        for digest in self.waiting_requests:
+            req = self.reqstore.get(digest)
+            if req is not None and req.client == client:
+                held.append(digest)
+        if not held:
+            return 0
+        ordered = self.log.live_request_digests()
+        return sum(1 for digest in held if digest not in ordered)
+
+    def _admit_at_primary(self, req: Request) -> None:
+        """The primary's bounded admission pipeline.
+
+        Order matters: a retransmission of something already queued or in
+        ordering is absorbed first (it must not consume more queue space —
+        the per-client single-outstanding-request rule), then the global
+        queue budget is enforced by shedding the newest request of the
+        heaviest client with an explicit BUSY reply.
+        """
+        if req.digest in self.queued_digests:
+            self.stats["duplicate_inflight"] += 1
+            return
+        verdict = self.admission.inflight_verdict(req)
+        if verdict != ADMIT and self._is_system_op(req):
+            # Membership system ops ride outside the client cap.
+            verdict = ADMIT
+        if verdict == DUPLICATE:
+            # Same (client, req_id) already admitted under a *different*
+            # digest — a client mutating an op it already submitted.  The
+            # first version keeps its slot.
+            self.stats["duplicate_inflight"] += 1
+            return
+        if verdict == CAPPED:
+            self.stats["inflight_capped"] += 1
+            self._send_busy(
+                req, BUSY_INFLIGHT,
+                self.admission.retry_hint_ns(
+                    len(self.pending_requests), self.config.pending_queue_budget
+                ),
+            )
+            return
+        self.reqstore.add(req)
+        self.admission.note_inflight(req)
+        budget = self.config.pending_queue_budget
+        if budget is not None and len(self.pending_requests) >= budget:
+            victim = pick_shed_victim(self.pending_requests, req)
+            self._shed(victim)
+            if victim is req:
+                return
+        self.queued_digests.add(req.digest)
+        self.pending_requests.append(req)
+        self._depth_gauge.set(len(self.pending_requests))
+        self._try_issue_batches()
+
+    def _shed(self, req: Request) -> None:
+        """Drop a queued (or arriving) request, with an explicit BUSY reply."""
+        if req.digest in self.queued_digests:
+            self.queued_digests.discard(req.digest)
+            self.pending_requests.remove(req)
+        self.admission.release(req.client, req.req_id)
+        # Shed requests were never assigned a sequence number, so their
+        # bodies can be dropped from the store too.
+        self.reqstore.by_digest.pop(req.digest, None)
+        self.stats["requests_shed"] += 1
+        self._depth_gauge.set(len(self.pending_requests))
+        if self.tracer.enabled:
+            self.tracer.mark((req.client, req.req_id), "shed", self.host.name)
+        self._send_busy(
+            req, BUSY_SHED,
+            self.admission.retry_hint_ns(
+                len(self.pending_requests), self.config.pending_queue_budget
+            ),
+        )
+
+    def _send_busy(self, req: Request, reason: int, retry_after_ns: int) -> None:
+        addr = self.client_addr.get(req.client)
+        if addr is None and self.membership is not None:
+            addr = self.membership.client_address(req.client)
+        if addr is None:
+            return
+        msg = BusyReply(
+            view=self.view,
+            req_id=req.req_id,
+            client=req.client,
+            sender=self.node_id,
+            reason=reason,
+            retry_after_ns=retry_after_ns,
+            queue_depth=len(self.pending_requests),
+        )
+        self.stats["busy_sent"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.host.name, "busy-reply", cat="pbft.admission",
+                args={"client": req.client, "req_id": req.req_id, "reason": reason},
+            )
+        if self.config.use_macs and ("client", req.client) in self.session_keys:
+            self.send_mac(addr, "client", req.client, msg)
+        else:
+            self.send_signed(addr, msg)
 
     @staticmethod
     def _is_system_op(req: Request) -> bool:
@@ -389,6 +573,7 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             size = self.config.max_batch if self.config.batching else 1
             batch = self.pending_requests[:size]
             del self.pending_requests[:size]
+            self._depth_gauge.set(len(self.pending_requests))
             self._issue_pre_prepare(batch)
 
     def _issue_pre_prepare(self, batch: list[Request]) -> None:
@@ -408,6 +593,14 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         slot.view_slot(self.view).pre_prepare = pp
         for req in batch:
             self.queued_digests.discard(req.digest)
+            # The in-flight cap guards the *unordered* queue.  Release at
+            # pre-prepare issuance, not execution: a correct client only
+            # sends its next operation after f+1 replies to the last one,
+            # and those replies exist only if this primary already ordered
+            # it — but our own execution may lag our pre-prepare (e.g.
+            # reordered commits), and holding the slot until then would
+            # make the primary refuse valid work and get itself deposed.
+            self.admission.release(req.client, req.req_id)
         self.stats["batches_issued"] += 1
         self.stats["batched_requests"] += len(batch)
         if self.tracer.enabled:
@@ -696,6 +889,7 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
                 tentative=tentative,
             )
             self.reqstore.record_execution(req, reply, nondet_ts)
+            self.admission.release(req.client, req.req_id)
             if self.membership is not None:
                 self.membership.touch(req.client, nondet_ts)
             self.waiting_requests.discard(req.digest)

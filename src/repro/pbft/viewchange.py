@@ -317,16 +317,48 @@ class ViewChangeMixin:
                 self._maybe_prepared(seq, view)
         if is_primary:
             self.next_seq = max(self.next_seq, highest)
-            # Requests observed as outstanding while we were a backup are
-            # now our responsibility to order.
-            for digest in sorted(self.waiting_requests):
-                req = self.reqstore.get(digest)
+            # Rebuild the batching queue from scratch so pending_requests
+            # and queued_digests stay an exact pair.  Carrying the old
+            # queued_digests across the view boundary left stale entries
+            # whenever the new view's O set re-proposed (or executed) a
+            # batch we still had queued — and a stale digest permanently
+            # blocks that request's re-submission, because both admission
+            # and this rebuild skip digests already marked queued.
+            reproposed: set[bytes] = set()
+            for proof in nv.pre_prepares:
+                reproposed.update(proof.request_digests)
+            # The waiting set is requeued only when we have executed up
+            # to the quorum's stable checkpoint.  A new primary that lags
+            # behind it may hold waiting bodies whose operations already
+            # executed cluster-wide; its stale execution marks cannot
+            # filter them, and re-proposing one wedges the group: the
+            # batch commits (no body needed to prepare), but caught-up
+            # replicas GC'd the executed bodies and in-order execution
+            # halts forever at the slot.  At or past the stable
+            # checkpoint the marks are trustworthy — anything executed
+            # elsewhere beyond them sits in a prepared slot the new view
+            # carries, so the reproposed filter below catches it.  A
+            # lagging primary instead waits for client retransmissions,
+            # which re-check already_executed at arrival, after catch-up.
+            carried = list(self.pending_requests)
+            if self.last_exec >= nv.stable_seq:
+                carried += [
+                    self.reqstore.get(digest)
+                    for digest in sorted(self.waiting_requests)
+                ]
+            self.pending_requests = []
+            self.queued_digests = set()
+            self.admission.reset_inflight()
+            for req in carried:
                 if req is None or self.reqstore.already_executed(req):
                     continue
-                if digest not in self.queued_digests:
-                    self.queued_digests.add(digest)
-                    self.pending_requests.append(req)
+                if req.digest in reproposed or req.digest in self.queued_digests:
+                    continue
+                self.queued_digests.add(req.digest)
+                self.pending_requests.append(req)
+                self.admission.note_inflight(req)
             self.waiting_requests.clear()
+            self._depth_gauge.set(len(self.pending_requests))
             self._try_issue_batches()
         else:
             # A deposed primary hands its queue back to the waiting set;
@@ -335,5 +367,7 @@ class ViewChangeMixin:
                 self.waiting_requests.add(req.digest)
             self.pending_requests = []
             self.queued_digests = set()
+            self.admission.reset_inflight()
+            self._depth_gauge.set(0)
         if self._has_outstanding_work():
             self._arm_vc_timer()

@@ -121,3 +121,35 @@ def test_view_change_timer_exponential_backoff_reaches_working_primary():
     assert len(result) == 1024
     views = {r.view for r in cluster.replicas if not r.crashed}
     assert len(views) == 1
+
+
+def test_stale_queued_digest_does_not_block_resubmission_after_view_change():
+    """Regression: the incoming primary rebuilds its batching queue.
+
+    Before the fix, a new primary carried its old ``queued_digests`` set
+    across the view boundary; any stale entry (left over from a batch the
+    new view re-proposed, or planted by an earlier life as primary)
+    permanently blocked that request's re-submission, because admission
+    drops requests whose digest is already marked queued.
+    """
+    from repro.pbft.messages import Request
+
+    cluster = make_cluster()
+    client = cluster.clients[0]
+    cluster.invoke_and_wait(client, b"\x00warm")
+
+    # The exact request the client will submit next.
+    op = b"\x00next"
+    upcoming = Request(
+        client=client.node_id,
+        req_id=client.next_req_id + 1,
+        op=op,
+        big=cluster.config.is_big(len(op)),
+    )
+    incoming_primary = cluster.replicas[1]
+    incoming_primary.queued_digests.add(upcoming.digest)  # stale leftover
+
+    cluster.replicas[0].crash()  # depose view 0; replica1 takes over
+    result = cluster.invoke_and_wait(client, op, max_wait_ns=5 * SECOND)
+    assert len(result) == 1024
+    assert incoming_primary.is_primary

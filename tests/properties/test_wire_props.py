@@ -3,6 +3,7 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.pbft.messages import (
+    BusyReply,
     CheckpointMsg,
     Commit,
     PagesMsg,
@@ -75,6 +76,16 @@ def test_preprepare_roundtrip(msg):
             result=st.binary(max_size=128),
             tentative=st.booleans(),
             digest_only=st.booleans(),
+        ),
+        st.builds(
+            BusyReply,
+            view=seq_nums,
+            req_id=seq_nums,
+            client=small_int,
+            sender=replica_ids,
+            reason=st.integers(min_value=0, max_value=2),
+            retry_after_ns=seq_nums,
+            queue_depth=st.integers(min_value=0, max_value=2**31),
         ),
     )
 )

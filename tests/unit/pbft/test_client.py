@@ -6,7 +6,7 @@ from repro.common.errors import ConfigError
 from repro.net.fabric import NetworkFabric
 from repro.pbft.client import PbftClient
 from repro.pbft.config import PbftConfig
-from repro.pbft.messages import Reply
+from repro.pbft.messages import BUSY_OVERSIZED, BUSY_SHED, BusyReply, Reply
 from repro.pbft.node import KeyDirectory
 from repro.sim.rng import RngStreams
 from repro.sim.simulator import Simulator
@@ -234,3 +234,104 @@ def test_invoke_before_join_rejected():
     client = PbftClient(1000, config, fabric.host("clienthost0"), 6000, keys)
     with pytest.raises(ConfigError, match="joined"):
         client.invoke(b"op")
+
+
+# -- BUSY backpressure ------------------------------------------------------
+
+
+def feed_busy(client, sender, reason=BUSY_SHED, retry_after_ns=0, req_id=None):
+    pending = client.pending
+    client.on_busy(
+        BusyReply(
+            view=0,
+            req_id=req_id if req_id is not None else pending.request.req_id,
+            client=client.node_id,
+            sender=sender,
+            reason=reason,
+            retry_after_ns=retry_after_ns,
+            queue_depth=5,
+        )
+    )
+
+
+def test_busy_reschedules_on_its_own_backoff(rig):
+    sim, config, client = rig
+    client.invoke(b"op")
+    feed_busy(client, sender=0)
+    assert client.stats["busy_received"] == 1
+    assert client.pending is not None  # the op survives; only timing changes
+    # The busy backoff (20 ms base +/-25% jitter) fires long before the
+    # loss-retransmit interval (150 ms) would have.
+    sim.run_for(int(config.client_busy_backoff_ns * 1.5))
+    assert client.stats["busy_retries"] == 1
+    assert client.stats["retransmissions"] == 0
+    # ... and hands back to the ordinary loss-retransmit schedule.
+    sim.run_for(config.client_retransmit_ns + 1_000_000)
+    assert client.stats["retransmissions"] == 1
+    client.cancel_pending()
+
+
+def test_busy_backoff_is_deterministic_and_jitter_bounded(rig):
+    _sim, config, client = rig
+    client.invoke(b"op")
+    pending = client.pending
+    pending.busy_count = 1
+    first = client._busy_backoff_ns(pending, 0)
+    assert first == client._busy_backoff_ns(pending, 0)  # same inputs, same delay
+    base = config.client_busy_backoff_ns
+    assert 0.75 * base <= first <= 1.25 * base
+    # Doubling per consecutive BUSY, still inside the jitter band.
+    pending.busy_count = 3
+    third = client._busy_backoff_ns(pending, 0)
+    assert 0.75 * 4 * base <= third <= 1.25 * 4 * base
+    client.cancel_pending()
+
+
+def test_busy_backoff_honors_retry_hint_and_cap(rig):
+    _sim, config, client = rig
+    client.invoke(b"op")
+    pending = client.pending
+    pending.busy_count = 1
+    hint = 7 * config.client_busy_backoff_ns
+    floored = client._busy_backoff_ns(pending, hint)
+    assert floored >= 0.75 * hint  # replica's retry-after floors the interval
+    # Far past the doubling range the cap bounds it, independent of the
+    # loss-retransmit cap (which may be much larger).
+    pending.busy_count = 30
+    capped = client._busy_backoff_ns(pending, 0)
+    assert capped <= 1.25 * config.client_busy_backoff_cap_ns
+    client.cancel_pending()
+
+
+def test_busy_backoff_independent_of_loss_retransmit_counter(rig):
+    _sim, _config, client = rig
+    client.invoke(b"op")
+    pending = client.pending
+    pending.busy_count = 1
+    baseline = client._busy_backoff_ns(pending, 0)
+    pending.retransmits = 9  # deep into loss-retransmit backoff
+    assert client._busy_backoff_ns(pending, 0) == baseline
+    client.cancel_pending()
+
+
+def test_oversized_needs_weak_quorum_of_distinct_senders(rig):
+    _sim, config, client = rig
+    done = []
+    client.invoke(b"op", callback=lambda r, l: done.append(r))
+    feed_busy(client, sender=0, reason=BUSY_OVERSIZED)
+    assert client.pending is not None  # one replica cannot kill an op
+    feed_busy(client, sender=0, reason=BUSY_OVERSIZED)
+    assert client.pending is not None  # duplicates do not count twice
+    feed_busy(client, sender=2, reason=BUSY_OVERSIZED)
+    assert client.pending is None  # f+1 distinct senders agree
+    assert client.stats["rejected_oversized"] == 1
+    assert client.failed_ops == 1
+    assert not done  # the callback is never invoked for a failed op
+
+
+def test_busy_for_stale_request_ignored(rig):
+    _sim, _config, client = rig
+    client.invoke(b"op")
+    feed_busy(client, sender=0, req_id=999)
+    assert client.stats["busy_received"] == 0
+    client.cancel_pending()
