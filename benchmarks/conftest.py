@@ -10,6 +10,17 @@ also asserts the paper's qualitative shape, so `pytest benchmarks/
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Tag everything under benchmarks/ so `-m "not bench"` excludes it.
+
+    The tier-1 suite already stays out via ``testpaths = ["tests"]``;
+    the marker makes the exclusion explicit for runs that name both
+    directories (e.g. ``pytest tests benchmarks -m "not bench"``).
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Hot-path wall-clock bench: how fast does the simulator itself run?
+
+Runs the normal-case null-op loop and the e-voting SQL workload twice
+each — hot-path caches off (the seed implementation's behaviour) and on —
+and reports simulated-operations-per-wall-clock-second for both, plus the
+speedup, the MAC cache hit rate, and the per-phase simulated latency
+split from repro.obs tracing.  Both runs of a scenario must produce
+identical simulated results (the caches are pure memos); the harness
+asserts this, so every bench run is also a differential test.
+
+Run:  python examples/hotpath_bench.py [--smoke] [--out BENCH_hotpath.json]
+
+Default mode writes the results to --out (the committed baseline).
+--smoke shortens the windows, compares the measured cache speedup against
+the committed baseline with a 20% tolerance, and exits non-zero on
+regression — the CI perf-smoke job.  Absolute ops/sec varies with the
+host, so the smoke comparison uses the machine-independent speedup ratio;
+pass --absolute to also compare raw ops/sec (same-machine runs only).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.perf import (
+    REGRESSION_TOLERANCE,
+    compare_to_baseline,
+    format_bench,
+    run_hotpath_bench,
+    write_bench_json,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short windows; compare against --baseline and exit non-zero "
+        "on regression instead of overwriting it",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, help="RNG seed (default 3)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_hotpath.json", metavar="FILE",
+        help="write results here (default BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--baseline", default="BENCH_hotpath.json", metavar="FILE",
+        help="committed baseline to compare against in --smoke mode",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=REGRESSION_TOLERANCE,
+        help="allowed fractional regression vs the baseline (default 0.20)",
+    )
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="also compare absolute sim-ops/sec against the baseline "
+        "(only meaningful on the machine that produced it)",
+    )
+    parser.add_argument(
+        "--no-phases", action="store_true",
+        help="skip the traced per-phase breakdown run",
+    )
+    args = parser.parse_args()
+
+    start = time.time()
+    results = run_hotpath_bench(
+        smoke=args.smoke, seed=args.seed, include_phases=not args.no_phases
+    )
+    wall = time.time() - start
+    print(format_bench(results))
+    print(f"(total bench wall time {wall:.1f}s)")
+
+    if args.smoke:
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; nothing to compare", file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        problems = compare_to_baseline(
+            results, baseline,
+            tolerance=args.tolerance, check_absolute=args.absolute,
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        floors = {
+            name: round(sc["speedup"] * (1 - args.tolerance), 3)
+            for name, sc in baseline["scenarios"].items()
+        }
+        print(f"perf-smoke OK: speedups within tolerance (floors {floors})")
+        return 0
+
+    write_bench_json(results, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

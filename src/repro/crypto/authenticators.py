@@ -13,7 +13,11 @@ behaviour is reproduced in :mod:`repro.pbft.recovery`.
 
 from __future__ import annotations
 
-from repro.crypto.mac import MacKey, compute_mac, verify_mac
+import hmac
+from collections import OrderedDict
+
+from repro.common.hotpath import HOTPATH
+from repro.crypto.mac import MAC_SIZE, MacKey, compute_mac, verify_mac
 
 
 class Authenticator:
@@ -42,6 +46,78 @@ class Authenticator:
 def make_authenticator(keys: dict[int, MacKey], data: bytes) -> Authenticator:
     """MAC ``data`` once per replica with that replica's session key."""
     return Authenticator({rid: compute_mac(key, data) for rid, key in keys.items()})
+
+
+class MacCache:
+    """Bounded memo of MAC tags keyed by ``(session key bytes, data)``.
+
+    A MAC is a pure function of the key and the message bytes, so the memo
+    can never change a tag — only skip recomputing one.  The protocol
+    recomputes the same tag constantly: the sender MACs a message once per
+    replica when building an authenticator and again on retransmission,
+    and every receiver re-derives its own entry to verify it.  Determinism
+    is preserved because a cache hit returns exactly the bytes a fresh
+    computation would.
+
+    Eviction is FIFO over insertion order with a bound high enough that
+    the working set (messages currently in flight) never thrashes.  The
+    cache keys on the raw key *bytes*, so dropping and re-learning a
+    session key (restart recovery, section 2.3) naturally maps onto the
+    right entries: a different key means a different cache line.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_tags")
+
+    def __init__(self, max_entries: int = 1 << 15) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        # OrderedDict for O(1) oldest-first eviction; a plain dict's
+        # next(iter(...)) degrades to O(n) tombstone scans under churn.
+        self._tags: OrderedDict[tuple[bytes, bytes], bytes] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def tag(self, key: MacKey, data: bytes) -> bytes:
+        """Compute (or recall) the 4-byte tag over ``data``."""
+        if not HOTPATH.enabled:
+            return compute_mac(key, data)
+        tags = self._tags
+        cache_key = (key.key, data)
+        tag = tags.get(cache_key)
+        if tag is None:
+            self.misses += 1
+            tag = compute_mac(key, data)
+            if len(tags) >= self.max_entries:
+                tags.popitem(last=False)
+            tags[cache_key] = tag
+        else:
+            self.hits += 1
+        return tag
+
+    def verify(self, key: MacKey, data: bytes, tag: bytes) -> bool:
+        """Constant-time tag check through the cache."""
+        if len(tag) != MAC_SIZE:
+            return False
+        return hmac.compare_digest(self.tag(key, data), tag)
+
+    def authenticator(self, keys: dict[int, MacKey], data: bytes) -> Authenticator:
+        """:func:`make_authenticator` through the cache."""
+        tag = self.tag
+        return Authenticator({rid: tag(key, data) for rid, key in keys.items()})
+
+    def verify_authenticator(
+        self, key: MacKey, replica_id: int, data: bytes, auth: Authenticator
+    ) -> bool:
+        """:func:`verify_authenticator` through the cache."""
+        tag = auth.tag_for(replica_id)
+        if tag is None:
+            return False
+        return self.verify(key, data, tag)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._tags)}
 
 
 def verify_authenticator(

@@ -184,6 +184,7 @@ def run_sql_workload(
     measure_s: float = 1.0,
     seed: int = 3,
     real_crypto: bool = False,
+    cluster_hook: Optional[Callable[[Cluster], None]] = None,
     trace_path: Optional[str] = None,
 ) -> Measurement:
     """The paper's section 4.2 benchmark: one ballot INSERT per request.
@@ -203,6 +204,8 @@ def run_sql_workload(
     cluster = build_cluster(
         config, seed=seed, real_crypto=real_crypto, app_factory=factory, obs=obs
     )
+    if cluster_hook is not None:
+        cluster_hook(cluster)
     if config.dynamic_clients:
         _join_all(cluster)
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import ProtocolError
 from repro.crypto.digests import DIGEST_SIZE, md5_digest
+from repro.pbft.messages import WireMemo
 from repro.pbft.wire import Decoder, Encoder
 
 SYSTEM_OP_PREFIX = 0xFF
@@ -24,7 +25,7 @@ REPLY_PREFIX_LEN = 6
 
 
 @dataclass(frozen=True)
-class JoinPhase1:
+class JoinPhase1(WireMemo):
     """Phase 1: announce address, public key, nonce, and await a challenge."""
 
     TAG = 20
@@ -65,12 +66,9 @@ class JoinPhase1:
             + (4 + len(self.host.encode())) + 2
         )
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class JoinChallenge:
+class JoinChallenge(WireMemo):
     """A replica's challenge, sent to the claimed address.
 
     The challenge is computed deterministically from the join data, so
@@ -104,9 +102,6 @@ class JoinChallenge:
 
     def body_size(self) -> int:
         return 1 + 2 + 4 + DIGEST_SIZE
-
-    def auth_bytes(self) -> bytes:
-        return self.encode()
 
 
 def compute_challenge(pubkey_n: bytes, nonce: bytes, epoch: int = 0) -> bytes:

@@ -10,10 +10,11 @@ authenticator refresh of paper section 2.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 from repro.common.errors import ProtocolError
+from repro.common.hotpath import HOTPATH
 from repro.crypto.digests import DIGEST_SIZE, md5_digest
 from repro.pbft.wire import Decoder, Encoder
 
@@ -21,8 +22,56 @@ from repro.pbft.wire import Decoder, Encoder
 NO_SEQ = 0
 
 
+class WireMemo:
+    """Memoized canonical bytes for a frozen message.
+
+    Messages are immutable, so their canonical encoding and wire size are
+    fixed at construction — yet the seed implementation re-encoded on
+    every authentication and re-counted bytes on every send.  ``wire``
+    and ``wire_size`` compute once and memoize in the instance
+    ``__dict__`` (the same mechanism ``functools.cached_property`` uses on
+    frozen dataclasses).  ``encode()``/``body_size()`` stay memo-free so
+    differential tests can always compare a fresh encoding against the
+    cached one, and so the global :data:`~repro.common.hotpath.HOTPATH`
+    switch can reproduce seed behaviour exactly.
+    """
+
+    __slots__ = ()
+
+    @property
+    def wire(self) -> bytes:
+        """Canonical encoding, computed at most once per object."""
+        if not HOTPATH.enabled:
+            return self.encode()
+        memo = self.__dict__
+        cached = memo.get("_wire")
+        if cached is None:
+            cached = memo["_wire"] = self.encode()
+        return cached
+
+    @property
+    def wire_size(self) -> int:
+        """Accounted wire size, computed at most once per object.
+
+        Derived from ``body_size()``, *not* ``len(self.wire)``: the two
+        intentionally differ for messages whose simulated wire cost covers
+        material the in-memory encoding elides (``AuthenticatorRefresh``
+        charges public-key-encrypted blocks per key entry).
+        """
+        if not HOTPATH.enabled:
+            return self.body_size()
+        memo = self.__dict__
+        cached = memo.get("_wire_size")
+        if cached is None:
+            cached = memo["_wire_size"] = self.body_size()
+        return cached
+
+    def auth_bytes(self) -> bytes:
+        return self.wire
+
+
 @dataclass(frozen=True)
-class Request:
+class Request(WireMemo):
     """A client operation submitted for total ordering.
 
     ``req_id`` is the client-local timestamp: monotonically increasing per
@@ -64,17 +113,14 @@ class Request:
 
     @cached_property
     def digest(self) -> bytes:
-        return md5_digest(self.encode())
+        return md5_digest(self.wire)
 
     def body_size(self) -> int:
         return 1 + 4 + 8 + (4 + len(self.op)) + 1 + 1
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class PrePrepare:
+class PrePrepare(WireMemo):
     """Primary's sequence-number assignment for a batch of requests.
 
     ``request_digests`` identifies the batch; ``inline_requests`` carries
@@ -132,10 +178,21 @@ class PrePrepare:
             sender=sender,
         )
 
+    @property
+    def header_wire(self) -> bytes:
+        """Memoized header encoding (the authenticated portion)."""
+        if not HOTPATH.enabled:
+            return self.encode_header()
+        memo = self.__dict__
+        cached = memo.get("_header_wire")
+        if cached is None:
+            cached = memo["_header_wire"] = self.encode_header()
+        return cached
+
     @cached_property
     def batch_digest(self) -> bytes:
         """Digest identifying (view, seq, batch, nondet) for prepare/commit."""
-        return md5_digest(self.encode_header())
+        return md5_digest(self.header_wire)
 
     def body_size(self) -> int:
         size = 1 + 2 + 8 + 8 + (4 + len(self.nondet))
@@ -145,11 +202,11 @@ class PrePrepare:
 
     def auth_bytes(self) -> bytes:
         # Inline bodies are covered transitively by their digests.
-        return self.encode_header()
+        return self.header_wire
 
 
 @dataclass(frozen=True)
-class Prepare:
+class Prepare(WireMemo):
     """A backup's agreement to the primary's sequence assignment."""
 
     TAG = 3
@@ -184,12 +241,9 @@ class Prepare:
     def body_size(self) -> int:
         return 1 + 2 + 8 + 8 + DIGEST_SIZE
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class Commit:
+class Commit(WireMemo):
     """Second-round vote guaranteeing total order across views."""
 
     TAG = 4
@@ -224,12 +278,9 @@ class Commit:
     def body_size(self) -> int:
         return 1 + 2 + 8 + 8 + DIGEST_SIZE
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class Reply:
+class Reply(WireMemo):
     """A replica's reply, sent directly to the client.
 
     With the reply-digest optimization only the designated replica sends
@@ -305,12 +356,9 @@ class Reply:
     def body_size(self) -> int:
         return 1 + 2 + 8 + 8 + 4 + 1 + 1 + (4 + len(self.result))
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class CheckpointMsg:
+class CheckpointMsg(WireMemo):
     """Proof-of-state message broadcast every K executions."""
 
     TAG = 6
@@ -337,9 +385,6 @@ class CheckpointMsg:
 
     def body_size(self) -> int:
         return 1 + 2 + 8 + DIGEST_SIZE
-
-    def auth_bytes(self) -> bytes:
-        return self.encode()
 
 
 @dataclass(frozen=True)
@@ -395,7 +440,7 @@ class PreparedProof:
 
 
 @dataclass(frozen=True)
-class ViewChangeMsg:
+class ViewChangeMsg(WireMemo):
     """A replica's vote to depose the primary and move to ``new_view``."""
 
     TAG = 7
@@ -445,7 +490,7 @@ class ViewChangeMsg:
 
     @cached_property
     def digest(self) -> bytes:
-        return md5_digest(self.encode())
+        return md5_digest(self.wire)
 
     def body_size(self) -> int:
         return (
@@ -454,12 +499,9 @@ class ViewChangeMsg:
             + 4 + sum(p.size() for p in self.prepared)
         )
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class NewViewMsg:
+class NewViewMsg(WireMemo):
     """The new primary's installation message.
 
     ``view_changes`` is the full V set — the 2f+1 VIEW-CHANGE messages the
@@ -521,12 +563,9 @@ class NewViewMsg:
             + 4 + sum(p.size() for p in self.pre_prepares)
         )
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class StatusMsg:
+class StatusMsg(WireMemo):
     """Periodic/recovery gossip of a replica's progress.
 
     Peers respond with whatever the sender is missing (committed batches,
@@ -568,12 +607,9 @@ class StatusMsg:
     def body_size(self) -> int:
         return 1 + 2 + 8 + 8 + 8 + 1
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class BatchRetransmit:
+class BatchRetransmit(WireMemo):
     """A committed batch replayed to a lagging/recovering replica.
 
     Carries the original pre-prepare (with full request bodies) plus the
@@ -614,12 +650,9 @@ class BatchRetransmit:
             + 4 + sum(4 + r.body_size() for r in self.requests)
         )
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class FetchDigestsMsg:
+class FetchDigestsMsg(WireMemo):
     """State transfer: ask a peer for Merkle nodes of its stable checkpoint."""
 
     TAG = 11
@@ -645,12 +678,9 @@ class FetchDigestsMsg:
     def body_size(self) -> int:
         return 1 + 2 + 8 + 4 + 4 * len(self.node_indices)
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class DigestsMsg:
+class DigestsMsg(WireMemo):
     """State transfer: Merkle node digests from a stable checkpoint."""
 
     TAG = 12
@@ -676,12 +706,9 @@ class DigestsMsg:
     def body_size(self) -> int:
         return 1 + 2 + 8 + 4 + len(self.entries) * (4 + DIGEST_SIZE)
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class FetchPagesMsg:
+class FetchPagesMsg(WireMemo):
     """State transfer: ask for the data of specific differing pages."""
 
     TAG = 13
@@ -707,12 +734,9 @@ class FetchPagesMsg:
     def body_size(self) -> int:
         return 1 + 2 + 8 + 4 + 4 * len(self.page_indices)
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class PagesMsg:
+class PagesMsg(WireMemo):
     """State transfer: page payloads for a stable checkpoint."""
 
     TAG = 14
@@ -766,12 +790,9 @@ class PagesMsg:
             + 4 + sum(4 + 4 + len(data) for _, data in self.client_replies)
         )
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 @dataclass(frozen=True)
-class AuthenticatorRefresh:
+class AuthenticatorRefresh(WireMemo):
     """A client's blind periodic rebroadcast of its session keys.
 
     Paper section 2.3: "the blind retransmission of the authenticators from
@@ -804,9 +825,6 @@ class AuthenticatorRefresh:
         # for the small simulated Rabin moduli).
         return 1 + 4 + 4 + len(self.keys) * (2 + 64)
 
-    def auth_bytes(self) -> bytes:
-        return self.encode()
-
 
 # BUSY reply reason codes (admission pipeline, see DESIGN.md overload
 # section): the request was shed from a full queue, rejected because the
@@ -817,7 +835,7 @@ BUSY_OVERSIZED = 2
 
 
 @dataclass(frozen=True)
-class BusyReply:
+class BusyReply(WireMemo):
     """Explicit backpressure: the replica refused to queue a request.
 
     Sent instead of silently dropping when the admission pipeline sheds
@@ -869,9 +887,6 @@ class BusyReply:
 
     def body_size(self) -> int:
         return 1 + 2 + 8 + 8 + 4 + 1 + 8 + 4
-
-    def auth_bytes(self) -> bytes:
-        return self.encode()
 
 
 _TAG_TO_CLASS = {

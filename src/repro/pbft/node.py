@@ -17,16 +17,13 @@ and checked, so corruption genuinely fails.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.errors import ConfigError
-from repro.crypto.authenticators import (
-    Authenticator,
-    make_authenticator,
-    verify_authenticator,
-)
-from repro.crypto.mac import MacKey, compute_mac, verify_mac
+from repro.common.hotpath import HOTPATH
+from repro.crypto.authenticators import Authenticator, MacCache
+from repro.crypto.mac import MacKey
 from repro.crypto.rabin import (
     RabinKeyPair,
     RabinPublicKey,
@@ -47,19 +44,47 @@ AUTH_VECTOR = 2  # authenticator: one MAC per replica
 AUTH_SIG = 3
 
 
+def _msg_wire_size(msg) -> int:
+    """Accounted body size, memoized on the message when it supports it."""
+    try:
+        return msg.wire_size
+    except AttributeError:
+        return msg.body_size()
+
+
 @dataclass
 class Envelope:
-    """A message plus its authentication trailer."""
+    """A message plus its authentication trailer.
+
+    Envelopes are logically immutable once sent (the same object flows by
+    reference to every destination), so ``size`` is computed once and
+    memoized — broadcasts and receive-side byte accounting reuse it.
+    """
 
     msg: object
     auth_kind: int
     auth: object  # bytes tag | Authenticator | RabinSignature | None
     sender_kind: str  # "replica" | "client"
     sender_id: int
+    _size: Optional[int] = field(default=None, init=False, repr=False, compare=False)
+    # Receive-side cost memo: every receiver of a broadcast charges the
+    # same bytes/verify cost, so the first receiver's computation is
+    # reused — but only while the cost model object matches (multi-config
+    # deployments keep their own numbers).
+    _recv_cost: int = field(default=0, init=False, repr=False, compare=False)
+    _recv_cost_model: object = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def size(self) -> int:
-        base = self.msg.body_size() + 4  # 4-byte trailer header
+        if not HOTPATH.enabled:
+            return self._compute_size()
+        size = self._size
+        if size is None:
+            size = self._size = self._compute_size()
+        return size
+
+    def _compute_size(self) -> int:
+        base = _msg_wire_size(self.msg) + 4  # 4-byte trailer header
         if self.auth_kind == AUTH_MAC:
             return base + 4
         if self.auth_kind == AUTH_VECTOR:
@@ -91,6 +116,9 @@ class KeyDirectory:
             for j in range(i + 1, config.n):
                 self.replica_session[frozenset((i, j))] = MacKey.generate(rng)
         self._rng = rng
+        # One MAC memo per deployment: every node shares it, so the tag a
+        # sender computed is already cached when the receiver verifies.
+        self.mac_cache = MacCache()
 
     def new_client_keypair(self, client_id: int) -> RabinKeyPair:
         pair = rabin_generate(self._rng, self.config.signature_key_bits)
@@ -146,6 +174,13 @@ class Node:
         self.socket.on_receive(self._on_packet)
         # Session keys for MAC mode, keyed by (peer kind, peer id).
         self.session_keys: dict[tuple[str, int], MacKey] = {}
+        # Replica-group key map memo for broadcasts; invalidated whenever
+        # session keys change (install/drop) or the group grows.
+        self._group_keys: Optional[dict[int, MacKey]] = None
+        self._group_keys_n = 0
+        # (n, excluded id) -> [(rid, address)] for full-group broadcasts;
+        # replica addresses are a pure function of the id.
+        self._dests_memo: dict[tuple[int, int | None], list] = {}
         self.auth_failures = 0
         self.messages_handled = 0
         # Fault injection: a muted node receives and processes messages but
@@ -159,10 +194,12 @@ class Node:
 
     def install_session_key(self, peer_kind: str, peer_id: int, key: MacKey) -> None:
         self.session_keys[(peer_kind, peer_id)] = key
+        self._group_keys = None
 
     def drop_session_keys(self, peer_kind: str | None = None) -> None:
         """Forget session keys (restart); replica-replica keys re-derive
         from static configuration, client keys do not (section 2.3)."""
+        self._group_keys = None
         if peer_kind is None:
             self.session_keys.clear()
             return
@@ -196,7 +233,11 @@ class Node:
             return
         self.host.charge_cpu(self._marshal_cost(msg) + self.costs.crypto.mac_ns)
         key = self._session_key_for(peer_kind, peer_id)
-        tag = compute_mac(key, msg.auth_bytes()) if (self.real_crypto and key) else b"\0\0\0\0"
+        tag = (
+            self.keys.mac_cache.tag(key, msg.auth_bytes())
+            if (self.real_crypto and key)
+            else b"\0\0\0\0"
+        )
         env = Envelope(msg, AUTH_MAC, tag, self.kind, self.node_id)
         self.socket.send(dst, env, env.size, kind or type(msg).__name__)
 
@@ -228,29 +269,35 @@ class Node:
         if self.muted:
             self.messages_muted += 1
             return
-        rids = only if only is not None else list(range(self.config.n))
-        dests = [(rid, replica_address(rid)) for rid in rids if rid != exclude]
+        if only is None and HOTPATH.enabled:
+            memo_key = (self.config.n, exclude)
+            dests = self._dests_memo.get(memo_key)
+            if dests is None:
+                dests = self._dests_memo[memo_key] = [
+                    (rid, replica_address(rid))
+                    for rid in range(self.config.n)
+                    if rid != exclude
+                ]
+        else:
+            rids = only if only is not None else list(range(self.config.n))
+            dests = [(rid, replica_address(rid)) for rid in rids if rid != exclude]
         if not dests:
             return
         per_copy = self._marshal_cost(msg)
+        kind = kind or type(msg).__name__
         if self.config.use_macs:
-            all_keys = {
-                rid: self._session_key_for("replica", rid)
-                for rid in range(self.config.n)
-                if rid != (self.node_id if self.kind == "replica" else -1)
-            }
-            known = {rid: key for rid, key in all_keys.items() if key is not None}
+            known = self._replica_group_keys()
             self.host.charge_cpu(
                 per_copy * len(dests) + self.costs.crypto.authenticator_cost(len(known))
             )
             auth = (
-                make_authenticator(known, msg.auth_bytes())
+                self.keys.mac_cache.authenticator(known, msg.auth_bytes())
                 if self.real_crypto
                 else Authenticator({rid: b"\0\0\0\0" for rid in known})
             )
             env = Envelope(msg, AUTH_VECTOR, auth, self.kind, self.node_id)
             for _rid, addr in dests:
-                self.socket.send(addr, env, env.size, kind or type(msg).__name__)
+                self.socket.send(addr, env, env.size, kind)
         else:
             self.host.charge_cpu(per_copy * len(dests) + self.costs.crypto.sign_ns)
             sig = (
@@ -260,10 +307,32 @@ class Node:
             )
             env = Envelope(msg, AUTH_SIG, sig, self.kind, self.node_id)
             for _rid, addr in dests:
-                self.socket.send(addr, env, env.size, kind or type(msg).__name__)
+                self.socket.send(addr, env, env.size, kind)
+
+    def _replica_group_keys(self) -> dict[int, MacKey]:
+        """Session keys we hold for every replica in the group, memoized.
+
+        The seed rebuilt this dict on every broadcast; its contents only
+        change when session keys are installed or dropped, so those paths
+        invalidate the memo instead.
+        """
+        known = self._group_keys
+        if known is not None and self._group_keys_n == self.config.n and HOTPATH.enabled:
+            return known
+        exclude_self = self.node_id if self.kind == "replica" else -1
+        known = {}
+        for rid in range(self.config.n):
+            if rid == exclude_self:
+                continue
+            key = self._session_key_for("replica", rid)
+            if key is not None:
+                known[rid] = key
+        self._group_keys = known
+        self._group_keys_n = self.config.n
+        return known
 
     def _marshal_cost(self, msg) -> int:
-        return self.costs.msg_send_ns + self.costs.bytes_cost(msg.body_size())
+        return self.costs.msg_send_ns + self.costs.bytes_cost(_msg_wire_size(msg))
 
     def _session_key_for(self, peer_kind: str, peer_id: int) -> Optional[MacKey]:
         key = self.session_keys.get((peer_kind, peer_id))
@@ -286,11 +355,17 @@ class Node:
         env = packet.payload
         if not isinstance(env, Envelope):
             return
-        cost = (
-            self.costs.msg_recv_ns
-            + self.costs.bytes_cost(env.msg.body_size())
-            + self._verify_cost(env)
-        )
+        if HOTPATH.enabled and env._recv_cost_model is self.costs:
+            cost = env._recv_cost
+        else:
+            cost = (
+                self.costs.msg_recv_ns
+                + self.costs.bytes_cost(_msg_wire_size(env.msg))
+                + self._verify_cost(env)
+            )
+            if HOTPATH.enabled:
+                env._recv_cost = cost
+                env._recv_cost_model = self.costs
         self.host.execute(cost, lambda: self._verified_dispatch(env))
 
     def _verify_cost(self, env: Envelope) -> int:
@@ -309,10 +384,17 @@ class Node:
         self.dispatch(env)
 
     def verify_envelope(self, env: Envelope) -> bool:
-        """Check the envelope's authentication trailer against our keys."""
+        """Check the envelope's authentication trailer against our keys.
+
+        ``auth_bytes()`` is only materialized on the branches that hash it
+        — with fake crypto (the harness default) no verification receives
+        bytes at all.  Baseline mode re-creates the seed's unconditional
+        marshalling so cache-off measurements stay faithful.
+        """
         if env.auth_kind == AUTH_NONE:
             return True
-        data = env.msg.auth_bytes()
+        if not HOTPATH.enabled:
+            env.msg.auth_bytes()
         if env.auth_kind == AUTH_SIG:
             public = (
                 self.keys.replica_public(env.sender_id)
@@ -323,7 +405,7 @@ class Node:
                 return False
             if not self.real_crypto:
                 return True
-            return rabin_verify(public, data, env.auth)
+            return rabin_verify(public, env.msg.auth_bytes(), env.auth)
         key = self._session_key_for(env.sender_kind, env.sender_id)
         if key is None:
             # No session key for this peer: exactly the restarted-replica
@@ -331,9 +413,11 @@ class Node:
             return False
         if not self.real_crypto:
             return True
+        mac_cache = self.keys.mac_cache
+        data = env.msg.auth_bytes()
         if env.auth_kind == AUTH_MAC:
-            return verify_mac(key, data, env.auth)
-        return verify_authenticator(key, self.node_id, data, env.auth)
+            return mac_cache.verify(key, data, env.auth)
+        return mac_cache.verify_authenticator(key, self.node_id, data, env.auth)
 
     # -- subclass hooks ---------------------------------------------------------
 

@@ -207,7 +207,7 @@ class RecoveryMixin:
         self.stalled_batches = {}
         self.waiting_requests = set()
         if stable is not None:
-            self.state.restore(stable.pages)
+            self.state.restore(stable.pages, stable.tree_nodes)
             self.reqstore.last_executed_req = dict(stable.meta.get("client_marks", {}))
             # Stable-checkpoint replies are final regardless of how they
             # were flagged when the checkpoint was taken.
@@ -420,10 +420,41 @@ class RecoveryMixin:
             )
         self.transfer.start()
 
+    def transfer_is_stale(self) -> bool:
+        """Drop an in-flight transfer whose target we have executed past.
+
+        A view change can roll this replica back to its stable checkpoint
+        and replay the log forward while a state transfer is still
+        fetching pages.  Once ``last_exec`` reaches the transfer target
+        the fetched checkpoint is *older* than the live state: installing
+        its pages would rewind the pages while leaving ``last_exec`` and
+        the per-client watermarks at their newer values, so re-executions
+        after the next rollback are suppressed as duplicates and the
+        replica forks from the quorum permanently.  The state the
+        transfer was fetching is already materialized — abandon it.
+        """
+        if self.transfer is None or self.transfer.target_seq > self.last_exec:
+            return False
+        task = self.transfer
+        self.transfer = None
+        self.stats["state_transfers_abandoned"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.host.name, "state-transfer-abandoned", cat="pbft.transfer",
+                args={"target_seq": task.target_seq, "last_exec": self.last_exec},
+            )
+        return True
+
     def finish_state_transfer(
         self, task: StateTransferTask, client_marks, client_replies=()
     ) -> None:
         """Install the fetched checkpoint and resume from it."""
+        if task.target_seq <= self.last_exec:
+            # Reachable only via the no-diff walk (page installs are
+            # guarded at dispatch): nothing was mutated, just drop it.
+            self.transfer = None
+            self.stats["state_transfers_abandoned"] += 1
+            return
         root = self.state.refresh_tree()
         if root != task.target_root:
             # Wrong or stale data from the peer: retry with another source.
@@ -494,7 +525,7 @@ class RecoveryMixin:
         )
         marks = tuple(checkpoint.meta.get("client_marks", {}).items())
         replies = tuple(
-            (client, reply.encode())
+            (client, reply.wire)
             for client, reply in checkpoint.meta.get("client_replies", {}).items()
         )
         self.send_to_replica(

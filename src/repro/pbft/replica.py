@@ -18,6 +18,7 @@ from collections import defaultdict
 from typing import Optional
 
 from repro.common.errors import ConfigError
+from repro.common.hotpath import HOTPATH
 from repro.crypto.digests import DIGEST_SIZE
 from repro.net.fabric import Address, Host
 from repro.pbft.admission import (
@@ -264,7 +265,7 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         lagging = any(not slot.executed for slot in self.log.slots.values())
         if lagging or self.wedged or self.waiting_requests:
             self._send_status(recovering=False)
-        if self.transfer is not None:
+        if self.transfer is not None and not self.transfer_is_stale():
             self.transfer.retry()
 
     @property
@@ -329,11 +330,15 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         # point of the box is to shed a garbage flood's verification cost.
         env = packet.payload
         if isinstance(env, Envelope) and not self.crashed:
-            key = (env.sender_kind, env.sender_id)
-            if self.admission.penalty.muted(key, self.host.sim.now):
-                self.host.charge_cpu(self.costs.msg_recv_ns)
-                self.stats["penalty_box_drops"] += 1
-                return
+            penalty = self.admission.penalty
+            # With the box empty (the steady state) there is nothing to
+            # look up; the hot path skips building the key tuple.
+            if not (HOTPATH.enabled and not penalty.entries):
+                key = (env.sender_kind, env.sender_id)
+                if penalty.muted(key, self.host.sim.now):
+                    self.host.charge_cpu(self.costs.msg_recv_ns)
+                    self.stats["penalty_box_drops"] += 1
+                    return
         super()._on_packet(packet)
 
     def on_auth_failure(self, env: Envelope) -> None:
@@ -1053,11 +1058,11 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
     # -- state transfer plumbing (tasks live in recovery.py) --------------------------------
 
     def on_digests(self, msg: DigestsMsg, env: Envelope = None) -> None:
-        if self.transfer is not None:
+        if self.transfer is not None and not self.transfer_is_stale():
             self.transfer.on_digests(msg)
 
     def on_pages(self, msg: PagesMsg, env: Envelope = None) -> None:
-        if self.transfer is not None:
+        if self.transfer is not None and not self.transfer_is_stale():
             self.transfer.on_pages(msg)
 
     # -- session keys (section 2.3) ----------------------------------------------------------
@@ -1081,7 +1086,7 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         stable_seq = self.checkpoints.stable_seq
         self.stats["rollbacks"] += 1
         if stable is not None:
-            self.state.restore(stable.pages)
+            self.state.restore(stable.pages, stable.tree_nodes)
             self.reqstore.last_executed_req = dict(
                 stable.meta.get("client_marks", {})
             )

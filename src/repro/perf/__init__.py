@@ -1,0 +1,21 @@
+"""Wall-clock performance harness for the simulator's hot path."""
+
+from repro.perf.bench import (
+    REGRESSION_TOLERANCE,
+    bench_normal_case,
+    bench_sql_evoting,
+    compare_to_baseline,
+    format_bench,
+    run_hotpath_bench,
+    write_bench_json,
+)
+
+__all__ = [
+    "REGRESSION_TOLERANCE",
+    "bench_normal_case",
+    "bench_sql_evoting",
+    "compare_to_baseline",
+    "format_bench",
+    "run_hotpath_bench",
+    "write_bench_json",
+]

@@ -1,0 +1,344 @@
+"""Wall-clock benchmarks of the simulator itself.
+
+Everything else in the harness measures the *modeled* system — simulated
+TPS, simulated latency.  This module measures the *simulator*: how many
+simulated client operations the host CPU grinds through per wall-clock
+second.  That number bounds every sweep in the repo (Table 1 is ~20 runs,
+the fault campaign hundreds), so it is the reproduction's real capacity
+limit — ROADMAP's "as fast as the hardware allows".
+
+Each scenario is run twice in one process: once with the hot-path caches
+disabled (:mod:`repro.common.hotpath` off reproduces the seed
+implementation's behaviour — fresh encodes per send, one HMAC key
+schedule per MAC, per-leaf Merkle refreshes) and once with them enabled.
+Because the caches are pure memos, both runs must produce *identical
+simulated results*; the harness asserts this, making every benchmark run
+a differential test.  The before/after ratio is therefore an honest
+apples-to-apples measure of the caches on the same host, and — unlike
+absolute ops/sec — transfers across machines, which is what the CI
+perf-smoke compares against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import tempfile
+import time
+
+from repro.common.hotpath import hotpath_caches
+from repro.harness.measure import Measurement, run_null_workload, run_sql_workload
+from repro.pbft.config import PbftConfig
+
+# CI tolerance: the smoke job fails if the measured cache speedup falls
+# more than this fraction below the committed baseline's, or (opt-in) if
+# absolute ops/sec does.
+REGRESSION_TOLERANCE = 0.20
+
+SCHEMA_VERSION = 1
+
+
+def _scenario_result(measurement: Measurement, wall_s: float) -> dict:
+    return {
+        "wall_s": round(wall_s, 4),
+        "completed": measurement.completed,
+        "sim_ops_per_wall_s": round(measurement.completed / wall_s, 2) if wall_s else 0.0,
+        "sim_tps": round(measurement.tps, 2),
+        "sim_p50_latency_us": round(measurement.p50_latency_ns / 1000, 1),
+        "sim_p99_latency_us": round(measurement.p99_latency_ns / 1000, 1),
+    }
+
+
+def _check_identical(name: str, before: dict, after: dict) -> None:
+    """The caches must not change simulated results — bit for bit."""
+    keys = ("completed", "sim_tps", "sim_p50_latency_us", "sim_p99_latency_us")
+    for key in keys:
+        if before[key] != after[key]:
+            raise AssertionError(
+                f"{name}: hot-path caches changed simulated results — "
+                f"{key}: {before[key]} (caches off) vs {after[key]} (on)"
+            )
+
+
+def _run(runner, optimized: bool, **kwargs) -> tuple[dict, Measurement]:
+    """One timed run with the GC parked outside the measured window.
+
+    A collection landing inside one mode's window but not the other's
+    would skew the ratio; collecting up front and disabling the GC for
+    the (seconds-long, allocation-bounded) run removes that noise source.
+    """
+    with hotpath_caches(optimized):
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            measurement = runner(**kwargs)
+            wall = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return _scenario_result(measurement, wall), measurement
+
+
+def _run_pair(
+    scenario: str, runner, *, repeats: int, cluster_hook=None, **kwargs
+) -> tuple[dict, dict]:
+    """Interleave caches-off / caches-on runs; keep the best wall per mode.
+
+    Interleaving (off, on, off, on, ...) cancels slow host drift —
+    thermal throttling or a co-tenant load ramp hits both modes equally
+    instead of whichever mode happened to run last.  Best-of-N is the
+    standard estimator for "how fast does this code run absent external
+    interference": wall-clock noise on a shared host is strictly
+    additive, so the minimum is the least-contaminated sample.  Every
+    rep's simulated results are asserted identical across both modes and
+    all repeats, so each extra rep is also an extra differential test.
+    """
+    best: dict[bool, dict] = {}
+    for _ in range(max(1, repeats)):
+        for optimized in (False, True):
+            kw = dict(kwargs)
+            if optimized and cluster_hook is not None:
+                kw["cluster_hook"] = cluster_hook
+            result, _ = _run(runner, optimized, **kw)
+            prev = best.get(optimized)
+            if prev is None:
+                best[optimized] = result
+            else:
+                _check_identical(scenario, prev, result)
+                if result["wall_s"] < prev["wall_s"]:
+                    best[optimized] = result
+    _check_identical(scenario, best[False], best[True])
+    return best[False], best[True]
+
+
+def _phase_breakdown(runner, **kwargs) -> dict:
+    """One short traced run for the per-phase latency split (repro.obs).
+
+    Traced separately so tracer overhead never pollutes the wall-clock
+    numbers; the split itself is simulated data, so it is deterministic
+    and cache-independent.
+    """
+    fd, path = tempfile.mkstemp(suffix=".trace.json")
+    os.close(fd)
+    try:
+        measurement = runner(trace_path=path, **kwargs)
+    finally:
+        os.unlink(path)
+    return {
+        phase: round(ns / 1000, 1)
+        for phase, ns in measurement.phase_latency_ns.items()
+    }
+
+
+def bench_normal_case(
+    *,
+    payload_size: int = 1024,
+    warmup_s: float = 0.1,
+    measure_s: float = 0.4,
+    seed: int = 3,
+    real_crypto: bool = True,
+    include_phases: bool = True,
+    repeats: int = 3,
+) -> dict:
+    """The paper's normal-case loop (null ops, MACs, real crypto on).
+
+    ``real_crypto=True`` exercises the full hot path — HMAC tags are
+    actually computed and checked — so the MAC cache's effect is visible,
+    exactly as it would be in a native implementation.
+    """
+    mac_stats = {}
+
+    def capture(cluster):
+        mac_stats["cache"] = cluster.keys.mac_cache
+
+    config = PbftConfig()
+    kwargs = dict(
+        config=config,
+        name="hotpath-null",
+        payload_size=payload_size,
+        warmup_s=warmup_s,
+        measure_s=measure_s,
+        seed=seed,
+        real_crypto=real_crypto,
+    )
+    before, after = _run_pair(
+        "normal-case", run_null_workload, repeats=repeats, cluster_hook=capture, **kwargs
+    )
+    result = {
+        "workload": "null-op closed loop, n=4, MACs, real crypto"
+        if real_crypto
+        else "null-op closed loop, n=4, MACs, fake crypto",
+        "before": before,
+        "after": after,
+        "speedup": round(
+            after["sim_ops_per_wall_s"] / before["sim_ops_per_wall_s"], 3
+        ),
+        "mac_cache": mac_stats["cache"].stats(),
+    }
+    if include_phases:
+        with hotpath_caches(True):
+            result["phase_latency_us"] = _phase_breakdown(
+                run_null_workload, **kwargs
+            )
+    return result
+
+
+def bench_sql_evoting(
+    *,
+    warmup_s: float = 0.2,
+    measure_s: float = 0.6,
+    seed: int = 3,
+    real_crypto: bool = True,
+    include_phases: bool = True,
+    repeats: int = 2,
+) -> dict:
+    """The e-voting SQL workload (section 4.2): one ballot INSERT per op."""
+    mac_stats = {}
+
+    def capture(cluster):
+        mac_stats["cache"] = cluster.keys.mac_cache
+
+    config = PbftConfig()
+    kwargs = dict(
+        config=config,
+        name="hotpath-sql",
+        warmup_s=warmup_s,
+        measure_s=measure_s,
+        seed=seed,
+        real_crypto=real_crypto,
+    )
+    before, after = _run_pair(
+        "sql-evoting", run_sql_workload, repeats=repeats, cluster_hook=capture, **kwargs
+    )
+    result = {
+        "workload": "e-voting ballot INSERT (ACID), n=4, MACs",
+        "before": before,
+        "after": after,
+        "speedup": round(
+            after["sim_ops_per_wall_s"] / before["sim_ops_per_wall_s"], 3
+        ),
+        "mac_cache": mac_stats["cache"].stats(),
+    }
+    if include_phases:
+        with hotpath_caches(True):
+            result["phase_latency_us"] = _phase_breakdown(run_sql_workload, **kwargs)
+    return result
+
+
+def run_hotpath_bench(
+    *, smoke: bool = False, seed: int = 3, include_phases: bool = True
+) -> dict:
+    """Run both scenarios and assemble the ``BENCH_hotpath.json`` payload.
+
+    ``smoke`` shortens the measured windows and repeat counts for CI; the
+    speedup *ratio* is window-length-insensitive (both runs shrink
+    together), which is why the smoke comparison stays meaningful.
+    """
+    scale = 0.5 if smoke else 1.0
+    scenarios = {
+        "null_normal_case": bench_normal_case(
+            warmup_s=0.1 * scale,
+            measure_s=0.4 * scale,
+            seed=seed,
+            include_phases=include_phases,
+            repeats=2 if smoke else 3,
+        ),
+        "sql_evoting": bench_sql_evoting(
+            warmup_s=0.2 * scale,
+            measure_s=0.6 * scale,
+            seed=seed,
+            include_phases=include_phases,
+            repeats=1 if smoke else 2,
+        ),
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "what": "wall-clock simulator throughput, hot-path caches off vs on",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "smoke": smoke,
+        "scenarios": scenarios,
+    }
+
+
+def compare_to_baseline(
+    current: dict,
+    baseline: dict,
+    tolerance: float = REGRESSION_TOLERANCE,
+    check_absolute: bool = False,
+) -> list[str]:
+    """Regression check against a committed baseline; returns violations.
+
+    The primary check is the cache *speedup ratio*, which is
+    machine-independent.  ``check_absolute`` additionally compares raw
+    sim-ops/sec — only meaningful when baseline and current ran on
+    comparable hardware, so it is opt-in.
+    """
+    problems: list[str] = []
+    for name, base in baseline.get("scenarios", {}).items():
+        cur = current.get("scenarios", {}).get(name)
+        if cur is None:
+            problems.append(f"{name}: scenario missing from current run")
+            continue
+        floor = base["speedup"] * (1 - tolerance)
+        if cur["speedup"] < floor:
+            problems.append(
+                f"{name}: cache speedup regressed — {cur['speedup']:.3f}x vs "
+                f"baseline {base['speedup']:.3f}x (floor {floor:.3f}x)"
+            )
+        if check_absolute:
+            base_ops = base["after"]["sim_ops_per_wall_s"]
+            cur_ops = cur["after"]["sim_ops_per_wall_s"]
+            if cur_ops < base_ops * (1 - tolerance):
+                problems.append(
+                    f"{name}: sim-ops/sec regressed — {cur_ops:.0f} vs "
+                    f"baseline {base_ops:.0f}"
+                )
+    return problems
+
+
+def format_bench(results: dict) -> str:
+    """Human-readable summary of a :func:`run_hotpath_bench` payload."""
+    lines = [
+        "Hot-path wall-clock bench (sim-ops/sec = simulated client ops "
+        "completed per wall-clock second)",
+        "",
+    ]
+    for name, sc in results["scenarios"].items():
+        before, after = sc["before"], sc["after"]
+        lines.append(f"{name}: {sc['workload']}")
+        lines.append(
+            f"  caches off: {before['sim_ops_per_wall_s']:>9.1f} ops/s "
+            f"({before['completed']} ops in {before['wall_s']:.2f}s wall)"
+        )
+        lines.append(
+            f"  caches on:  {after['sim_ops_per_wall_s']:>9.1f} ops/s "
+            f"({after['completed']} ops in {after['wall_s']:.2f}s wall)"
+        )
+        lines.append(f"  speedup:    {sc['speedup']:.2f}x")
+        mac = sc.get("mac_cache")
+        if mac:
+            total = mac["hits"] + mac["misses"]
+            rate = (100.0 * mac["hits"] / total) if total else 0.0
+            lines.append(
+                f"  mac cache:  {mac['hits']} hits / {mac['misses']} misses "
+                f"({rate:.0f}% hit rate)"
+            )
+        phases = sc.get("phase_latency_us")
+        if phases:
+            split = ", ".join(f"{k}={v:.0f}us" for k, v in phases.items())
+            lines.append(f"  sim phases: {split}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_bench_json(results: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -6,6 +6,7 @@ import heapq
 from typing import Callable, Optional
 
 from repro.common.errors import ConfigError
+from repro.common.hotpath import HOTPATH
 
 
 class Timer:
@@ -108,6 +109,28 @@ class Simulator:
             self._max_queue_len = len(self._queue)
         return timer
 
+    def schedule_anonymous(self, when: int, callback: Callable[[], None]) -> None:
+        """Schedule a fire-and-forget event with no cancellation handle.
+
+        The hot path (packet delivery, CPU-queue completions) schedules an
+        event per datagram and never cancels it, so the :class:`Timer`
+        handle is pure overhead there; this queues the bare callable under
+        the same ``(when, seq)`` ordering key, making the event sequence
+        identical to :meth:`schedule_at`'s.  With the hot-path caches off
+        it falls back to a full Timer, reproducing the seed's allocations.
+        """
+        if not HOTPATH.enabled:
+            self.schedule_at(when, callback)
+            return
+        if when < self._now:
+            raise ConfigError(
+                f"cannot schedule at t={when} which is before now={self._now}"
+            )
+        heapq.heappush(self._queue, (when, self._seq, callback))
+        self._seq += 1
+        if len(self._queue) > self._max_queue_len:
+            self._max_queue_len = len(self._queue)
+
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the event queue drains (or ``max_events`` callbacks ran)."""
         budget = max_events if max_events is not None else float("inf")
@@ -131,11 +154,16 @@ class Simulator:
         self.run_until(self._now + duration)
 
     def _pop_and_run(self) -> None:
-        when, _seq, timer = heapq.heappop(self._queue)
+        when, _seq, event = heapq.heappop(self._queue)
         self._now = when
-        if timer.cancelled:
-            self._events_cancelled += 1
-            return
-        timer.fired = True
-        self._events_run += 1
-        timer.callback()
+        if event.__class__ is Timer:
+            if event.cancelled:
+                self._events_cancelled += 1
+                return
+            event.fired = True
+            self._events_run += 1
+            event.callback()
+        else:
+            # A bare callable from schedule_anonymous: nothing to cancel.
+            self._events_run += 1
+            event()

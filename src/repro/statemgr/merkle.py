@@ -28,11 +28,36 @@ class MerkleTree:
         self.capacity = capacity
         self.leaf_base = capacity
         self._nodes: list[bytes] = [b""] * (2 * capacity)
-        for i in range(capacity):
-            self._nodes[self.leaf_base + i] = _EMPTY_LEAF
-        for i in range(capacity - 1, 0, -1):
-            self._nodes[i] = digest_parts((self._nodes[2 * i], self._nodes[2 * i + 1]))
+        self._fill_uniform(_EMPTY_LEAF)
         self.digests_computed = 0  # instrumentation for efficiency tests
+
+    def _fill_uniform(self, leaf_digest: bytes) -> None:
+        """Fill every leaf with ``leaf_digest``.
+
+        All leaves being equal makes every internal level uniform too, so
+        the whole tree needs only one digest per level — O(log n) hashing
+        instead of the O(n) a node-by-node build would cost.
+        """
+        nodes = self._nodes
+        digest = leaf_digest
+        lo = self.leaf_base
+        hi = 2 * self.capacity
+        while True:
+            for i in range(lo, hi):
+                nodes[i] = digest
+            if lo == 1:
+                return
+            digest = digest_parts((digest, digest))
+            hi = lo
+            lo //= 2
+
+    @classmethod
+    def uniform(cls, num_leaves: int, leaf_digest: bytes) -> "MerkleTree":
+        """A tree with every leaf set to ``leaf_digest`` (fast bulk init)."""
+        tree = cls(num_leaves)
+        if leaf_digest != _EMPTY_LEAF:
+            tree._fill_uniform(leaf_digest)
+        return tree
 
     def update_leaf(self, index: int, digest: bytes) -> None:
         """Set leaf ``index`` and re-hash its path to the root."""
@@ -49,6 +74,42 @@ class MerkleTree:
             )
             self.digests_computed += 1
             node //= 2
+
+    def update_leaves(self, items) -> None:
+        """Batch form of :meth:`update_leaf` for ``(index, digest)`` pairs.
+
+        Writes every changed leaf first, then re-hashes the affected
+        internal nodes level by level so a node shared by several dirty
+        leaves is digested once instead of once per leaf.  Produces a tree
+        byte-identical to applying :meth:`update_leaf` per pair (property
+        tested), at a cost that approaches one digest per *distinct*
+        internal node on dense batches.
+        """
+        nodes = self._nodes
+        leaf_base = self.leaf_base
+        num_leaves = self.num_leaves
+        level: set[int] = set()
+        for index, digest in items:
+            if not 0 <= index < num_leaves:
+                raise StateError(
+                    f"leaf index {index} out of range 0..{num_leaves - 1}"
+                )
+            node = leaf_base + index
+            if nodes[node] != digest:
+                nodes[node] = digest
+                level.add(node >> 1)
+        # All leaves live on one level, so their parents do too: each pass
+        # digests one whole level of distinct ancestors.  A single-leaf
+        # tree has no internal nodes (the leaf *is* the root): node 0.
+        level.discard(0)
+        while level:
+            next_level: set[int] = set()
+            for node in level:
+                nodes[node] = digest_parts((nodes[2 * node], nodes[2 * node + 1]))
+                self.digests_computed += 1
+                if node > 1:
+                    next_level.add(node >> 1)
+            level = next_level
 
     def leaf(self, index: int) -> bytes:
         if not 0 <= index < self.num_leaves:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.common.errors import StateError
+from repro.common.hotpath import HOTPATH
 from repro.crypto.digests import md5_digest
 from repro.statemgr.merkle import MerkleTree
 
@@ -30,10 +31,9 @@ class PagedState:
         self.size = num_pages * page_size
         zero_page = bytes(page_size)
         self._pages: list[bytes] = [zero_page] * num_pages
-        self._tree = MerkleTree(num_pages)
-        zero_digest = md5_digest(zero_page)
-        for i in range(num_pages):
-            self._tree.update_leaf(i, zero_digest)
+        # Every page starts zeroed, so the tree is uniform: built with one
+        # digest per level instead of one per page.
+        self._tree = MerkleTree.uniform(num_pages, md5_digest(zero_page))
         self._notified: set[int] = set()
         self._dirty: set[int] = set()
         self.writes = 0
@@ -53,6 +53,13 @@ class PagedState:
 
     def read(self, offset: int, length: int) -> bytes:
         """Read bytes; always allowed."""
+        if HOTPATH.enabled and length > 0 and offset >= 0:
+            # Fast path: a read contained in one page is a single slice.
+            page_size = self.page_size
+            first, in_page = divmod(offset, page_size)
+            end = in_page + length
+            if end <= page_size and first < self.num_pages:
+                return self._pages[first][in_page:end]
         self._check_range(offset, length)
         if length == 0:
             return b""
@@ -69,6 +76,24 @@ class PagedState:
 
     def write(self, offset: int, data: bytes) -> None:
         """Write bytes; every touched page must have been notified."""
+        if HOTPATH.enabled and data.__class__ is bytes and data and offset >= 0:
+            # Fast path: a write contained in one notified page (the common
+            # case — application writes are far smaller than a page) is a
+            # single slice-splice with none of the multi-page bookkeeping.
+            # The notified-set membership check doubles as the bounds check:
+            # modify() only ever admits in-range pages.
+            page_size = self.page_size
+            first, in_page = divmod(offset, page_size)
+            end = in_page + len(data)
+            if end <= page_size and first in self._notified:
+                self.writes += 1
+                old = self._pages[first]
+                if len(data) == page_size:
+                    self._pages[first] = data
+                else:
+                    self._pages[first] = old[:in_page] + data + old[end:]
+                self._dirty.add(first)
+                return
         self._check_range(offset, len(data))
         if not data:
             return
@@ -82,6 +107,8 @@ class PagedState:
                 "would corrupt PBFT state synchronization (section 3.2)"
             )
         self.writes += 1
+        if not isinstance(data, bytes):
+            data = bytes(data)
         pos = offset
         remaining = memoryview(data)
         while len(remaining) > 0:
@@ -97,10 +124,22 @@ class PagedState:
     # -- library-side operations ----------------------------------------------
 
     def refresh_tree(self) -> bytes:
-        """Re-digest dirty pages into the Merkle tree; return the root."""
-        for page_index in sorted(self._dirty):
-            self._tree.update_leaf(page_index, md5_digest(self._pages[page_index]))
-        self._dirty.clear()
+        """Re-digest dirty pages into the Merkle tree; return the root.
+
+        Only pages written since the last refresh are re-digested, and the
+        batched tree update re-hashes each affected internal node once —
+        a checkpoint costs O(dirty · log n) digests, not O(n).
+        """
+        if self._dirty:
+            pages = self._pages
+            if HOTPATH.enabled:
+                self._tree.update_leaves(
+                    (i, md5_digest(pages[i])) for i in sorted(self._dirty)
+                )
+            else:
+                for page_index in sorted(self._dirty):
+                    self._tree.update_leaf(page_index, md5_digest(pages[page_index]))
+            self._dirty.clear()
         return self._tree.root
 
     def end_of_execution(self) -> None:
@@ -143,13 +182,23 @@ class PagedState:
         self.refresh_tree()
         return list(self._pages)
 
-    def restore(self, pages: list[bytes]) -> None:
-        """Roll the whole region back to a snapshot."""
+    def restore(self, pages: list[bytes], tree_nodes: list[bytes] | None = None) -> None:
+        """Roll the whole region back to a snapshot.
+
+        When the caller holds the matching Merkle snapshot (checkpoints
+        store both), the tree is installed directly instead of re-digesting
+        every page.  ``tree_nodes`` must be the snapshot taken from the
+        same page set; checkpoint construction guarantees the pairing.
+        """
         if len(pages) != self.num_pages:
             raise StateError("snapshot page count mismatch")
         self._pages = list(pages)
-        self._dirty = set(range(self.num_pages))
         self._notified.clear()
+        if tree_nodes is not None and HOTPATH.enabled:
+            self._tree = MerkleTree.from_snapshot(self.num_pages, tree_nodes)
+            self._dirty.clear()
+            return
+        self._dirty = set(range(self.num_pages))
         self.refresh_tree()
 
     def _check_range(self, offset: int, length: int) -> None:

@@ -70,3 +70,49 @@ def test_snapshot_roundtrip_preserves_everything(updates):
     assert restored.root == tree.root
     for leaf in range(32):
         assert restored.leaf(leaf) == tree.leaf(leaf)
+
+
+@given(updates=leaf_updates)
+@settings(max_examples=60)
+def test_batched_update_leaves_equals_per_leaf_updates(updates):
+    batched = MerkleTree(32)
+    per_leaf = MerkleTree(32)
+    # Apply in chunks of 7 so batches overlap ancestor paths.
+    chunk: list[tuple[int, bytes]] = []
+    for leaf, data in updates:
+        digest = md5_digest(data)
+        per_leaf.update_leaf(leaf, digest)
+        chunk.append((leaf, digest))
+        if len(chunk) == 7:
+            batched.update_leaves(chunk)
+            chunk = []
+    if chunk:
+        batched.update_leaves(chunk)
+    assert batched.root == per_leaf.root
+    for leaf in range(32):
+        assert batched.leaf(leaf) == per_leaf.leaf(leaf)
+    assert batched.snapshot_nodes() == per_leaf.snapshot_nodes()
+
+
+@given(updates=leaf_updates)
+@settings(max_examples=40)
+def test_batched_update_shares_ancestor_digests(updates):
+    # The whole point of the batch: never *more* internal digests than
+    # the per-leaf path, while producing the identical tree.
+    batched = MerkleTree(32)
+    per_leaf = MerkleTree(32)
+    digests = [(leaf, md5_digest(data)) for leaf, data in updates]
+    for leaf, digest in digests:
+        per_leaf.update_leaf(leaf, digest)
+    batched.update_leaves(digests)
+    assert batched.root == per_leaf.root
+    assert batched.digests_computed <= per_leaf.digests_computed
+
+
+@given(updates=leaf_updates)
+@settings(max_examples=30)
+def test_snapshot_after_batched_updates_restores(updates):
+    tree = MerkleTree(32)
+    tree.update_leaves((leaf, md5_digest(data)) for leaf, data in updates)
+    restored = MerkleTree.from_snapshot(32, tree.snapshot_nodes())
+    assert restored.root == tree.root

@@ -62,3 +62,51 @@ def test_restore_is_exact(ops, extra):
     state.restore(snapshot)
     assert state.read(0, SIZE) == content
     assert state.refresh_tree() == root
+
+
+@given(ops=writes)
+@settings(max_examples=60)
+def test_hotpath_fast_paths_equal_slow_paths(ops):
+    """The gated read/write fast paths are invisible to the contract.
+
+    Same op sequence with caches off (seed code path: multi-page
+    memoryview splice, per-leaf tree refresh) and on (single-page
+    slice fast path, batched tree refresh) must yield identical
+    content, identical roots, and identical write counts.
+    """
+    from repro.common.hotpath import hotpath_caches
+
+    def build(enabled):
+        with hotpath_caches(enabled):
+            state = PagedState(NUM_PAGES, PAGE_SIZE)
+            for offset, data in ops:
+                data = data[: SIZE - offset]
+                state.modify(offset, len(data))
+                state.write(offset, data)
+            return state.read(0, SIZE), state.refresh_tree(), state.writes
+
+    assert build(False) == build(True)
+
+
+@given(ops=writes)
+@settings(max_examples=40)
+def test_restore_with_tree_snapshot_equals_redigest(ops):
+    from repro.common.hotpath import hotpath_caches
+
+    state = PagedState(NUM_PAGES, PAGE_SIZE)
+    for offset, data in ops:
+        data = data[: SIZE - offset]
+        state.modify(offset, len(data))
+        state.write(offset, data)
+    pages = state.snapshot_pages()
+    nodes = state.tree.snapshot_nodes()
+    root = state.root
+
+    with_nodes = PagedState(NUM_PAGES, PAGE_SIZE)
+    with hotpath_caches(True):
+        with_nodes.restore(pages, nodes)
+    redigested = PagedState(NUM_PAGES, PAGE_SIZE)
+    with hotpath_caches(False):
+        redigested.restore(pages, nodes)  # off path ignores nodes, re-digests
+    assert with_nodes.root == redigested.root == root
+    assert with_nodes.read(0, SIZE) == redigested.read(0, SIZE)

@@ -1,11 +1,19 @@
-"""Property tests: protocol messages survive encode/decode."""
+"""Property tests: protocol messages survive encode/decode, and the
+hot-path wire memos always equal a fresh encoding."""
 
 from hypothesis import given, settings, strategies as st
 
+from repro.common.hotpath import hotpath_caches
 from repro.pbft.messages import (
+    AuthenticatorRefresh,
+    BatchRetransmit,
     BusyReply,
     CheckpointMsg,
     Commit,
+    DigestsMsg,
+    FetchDigestsMsg,
+    FetchPagesMsg,
+    NewViewMsg,
     PagesMsg,
     PrePrepare,
     Prepare,
@@ -135,6 +143,125 @@ def test_viewchange_roundtrip(msg):
 @settings(max_examples=60)
 def test_pages_roundtrip(msg):
     assert decode_message(msg.encode()) == msg
+
+
+def sample_messages():
+    """One deterministic instance of every wire message type (all 16 tags).
+
+    Shared with the golden-vector regression test
+    (tests/unit/pbft/test_wire_golden.py): any change to these samples or
+    to an encoder must be reflected there on purpose.
+    """
+    d = bytes(range(16))
+    req = Request(client=7, req_id=42, op=b"op-bytes", readonly=False, big=False)
+    pp = PrePrepare(
+        view=1,
+        seq=9,
+        request_digests=(req.digest,),
+        nondet=b"nd",
+        inline_requests=(req,),
+        sender=0,
+    )
+    vc = ViewChangeMsg(
+        new_view=2,
+        stable_seq=100,
+        stable_root=d,
+        checkpoint_proof=((0, d), (1, d)),
+        prepared=(
+            PreparedProof(
+                seq=101,
+                view=1,
+                batch_digest=d,
+                request_digests=(d,),
+                nondet=b"n",
+                noop=False,
+            ),
+        ),
+        sender=3,
+    )
+    return [
+        req,
+        pp,
+        Prepare(view=1, seq=9, batch_digest=d, sender=1),
+        Commit(view=1, seq=9, batch_digest=d, sender=2),
+        Reply(
+            view=1, req_id=42, client=7, sender=0,
+            result=b"result", tentative=True, digest_only=False,
+        ),
+        CheckpointMsg(seq=100, root=d, sender=1),
+        vc,
+        NewViewMsg(
+            view=2,
+            view_changes=(vc,),
+            pre_prepares=(PreparedProof(seq=101, view=1, batch_digest=d, noop=True),),
+            stable_seq=100,
+            sender=2,
+        ),
+        StatusMsg(view=2, last_exec_seq=101, stable_seq=100, sender=3, recovering=True),
+        BatchRetransmit(pre_prepare=pp, commit_proof=(0, 1, 2), requests=(req,), sender=1),
+        FetchDigestsMsg(checkpoint_seq=100, node_indices=(0, 3, 7), sender=2),
+        DigestsMsg(checkpoint_seq=100, entries=((3, d),), sender=0),
+        FetchPagesMsg(checkpoint_seq=100, page_indices=(1, 2), sender=3),
+        PagesMsg(
+            checkpoint_seq=100,
+            root=d,
+            pages=((1, b"pagedata"),),
+            sender=0,
+            client_marks=((7, 42),),
+            client_replies=((7, b"reply"),),
+        ),
+        AuthenticatorRefresh(client=7, keys=((0, bytes(16)), (1, d))),
+        BusyReply(
+            view=1, req_id=43, client=7, sender=2,
+            reason=1, retry_after_ns=5000, queue_depth=9,
+        ),
+    ]
+
+
+def test_sample_catalog_covers_every_tag():
+    tags = {type(m).TAG for m in sample_messages()}
+    assert tags == set(range(1, 17))
+
+
+def test_memoized_wire_equals_fresh_encode_for_every_type():
+    for msg in sample_messages():
+        with hotpath_caches(False):
+            fresh_wire = msg.encode()
+            fresh_size = msg.body_size()
+            # Caches off: the properties delegate straight to encode().
+            assert msg.wire == fresh_wire
+            assert msg.wire_size == fresh_size
+        with hotpath_caches(True):
+            assert msg.wire == fresh_wire
+            assert msg.wire is msg.wire  # memoized: literally the same object
+            assert msg.wire_size == fresh_size
+            assert decode_message(msg.wire) == msg
+
+
+def test_wire_memo_populated_on_first_access_survives_toggle():
+    # A memo filled while caches were on must still read back correct
+    # bytes (fresh re-encode) once they are off — the off path never
+    # consults the memo.
+    for msg in sample_messages():
+        with hotpath_caches(True):
+            cached = msg.wire
+        with hotpath_caches(False):
+            assert msg.wire == cached
+
+
+@given(msg=requests)
+@settings(max_examples=100)
+def test_request_digest_identical_across_cache_modes(msg):
+    with hotpath_caches(False):
+        fresh = Request(
+            client=msg.client, req_id=msg.req_id, op=msg.op,
+            readonly=msg.readonly, big=msg.big,
+        )
+        off_digest = fresh.digest
+        off_wire = fresh.encode()
+    with hotpath_caches(True):
+        assert msg.wire == off_wire
+        assert msg.digest == off_digest
 
 
 @given(msg=requests)

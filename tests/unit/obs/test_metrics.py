@@ -128,3 +128,35 @@ def test_snapshot_is_json_friendly():
     assert snap["lat"]["count"] == 1
     assert snap["lat"]["buckets"] == {10: 1, 100: 0}
     json.dumps({str(k): v for k, v in snap["lat"]["buckets"].items()})
+
+
+def test_stats_view_memo_reads_and_writes_same_counter():
+    from repro.common.hotpath import hotpath_caches
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    view = registry.view("r0.")
+    with hotpath_caches(True):
+        view["ops"] += 1          # registers r0.ops and memoizes it
+        view["ops"] += 2          # memo hit
+        assert view["ops"] == 3
+    # The memo writes the same Counter object the registry holds.
+    assert registry.counter("r0.ops").value == 3
+    with hotpath_caches(False):
+        view["ops"] += 1          # seed path, same counter
+    assert registry.counter("r0.ops").value == 4
+
+
+def test_stats_view_delete_evicts_memo():
+    from repro.common.hotpath import hotpath_caches
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    view = registry.view("r0.")
+    with hotpath_caches(True):
+        view["x"] = 7
+        del view["x"]
+        assert view["x"] == 0      # absent again, not a stale memo read
+        assert "x" not in view
+        view["x"] = 1              # re-registering works after eviction
+        assert registry.counter("r0.x").value == 1

@@ -155,6 +155,11 @@ def test_latency_recorded_on_completion(rig):
     feed_reply(client, sender=1)
     assert client.latencies_ns == done
     assert done[0] >= 5_000_000
+    # The same observation must land in the shared repro.obs histogram —
+    # downstream percentile math reads it from there, not from the list.
+    hist = client.obs.registry.histogram("client.latency_ns")
+    assert hist.count == 1
+    assert hist.min == hist.max == done[0]
 
 
 def test_view_guess_tracks_replies(rig):

@@ -1,0 +1,74 @@
+"""The perf harness: differential guard, baseline comparison, formatting."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    REGRESSION_TOLERANCE,
+    _check_identical,
+    bench_normal_case,
+    compare_to_baseline,
+    format_bench,
+    write_bench_json,
+)
+
+
+def _scenario(speedup: float, ops: float = 1000.0) -> dict:
+    return {
+        "workload": "w",
+        "before": {"sim_ops_per_wall_s": ops, "completed": 10, "wall_s": 1.0},
+        "after": {"sim_ops_per_wall_s": ops * speedup, "completed": 10, "wall_s": 1.0},
+        "speedup": speedup,
+    }
+
+
+def test_check_identical_accepts_equal_and_rejects_drift():
+    a = {"completed": 5, "sim_tps": 1.0, "sim_p50_latency_us": 2.0, "sim_p99_latency_us": 3.0}
+    _check_identical("s", a, dict(a))
+    with pytest.raises(AssertionError, match="changed simulated results"):
+        _check_identical("s", a, {**a, "sim_p99_latency_us": 4.0})
+
+
+def test_compare_to_baseline_flags_ratio_regression_only():
+    baseline = {"scenarios": {"null": _scenario(1.6)}}
+    ok = {"scenarios": {"null": _scenario(1.6 * (1 - REGRESSION_TOLERANCE) + 0.01)}}
+    assert compare_to_baseline(ok, baseline) == []
+    bad = {"scenarios": {"null": _scenario(1.6 * (1 - REGRESSION_TOLERANCE) - 0.05)}}
+    problems = compare_to_baseline(bad, baseline)
+    assert len(problems) == 1 and "speedup regressed" in problems[0]
+
+
+def test_compare_to_baseline_absolute_is_opt_in():
+    baseline = {"scenarios": {"null": _scenario(1.6, ops=1000.0)}}
+    slower_host = {"scenarios": {"null": _scenario(1.6, ops=100.0)}}
+    # Same ratio on a 10x slower host: fine by default, flagged opt-in.
+    assert compare_to_baseline(slower_host, baseline) == []
+    problems = compare_to_baseline(slower_host, baseline, check_absolute=True)
+    assert any("sim-ops/sec regressed" in p for p in problems)
+
+
+def test_compare_to_baseline_missing_scenario():
+    baseline = {"scenarios": {"null": _scenario(1.5)}}
+    assert compare_to_baseline({"scenarios": {}}, baseline) == [
+        "null: scenario missing from current run"
+    ]
+
+
+def test_bench_normal_case_tiny_end_to_end(tmp_path):
+    # A miniature run of the real harness: both modes execute, simulated
+    # results are asserted identical internally, and the payload is
+    # JSON-serializable with the documented shape.
+    result = bench_normal_case(
+        warmup_s=0.01, measure_s=0.04, repeats=1, include_phases=False
+    )
+    assert result["before"]["completed"] == result["after"]["completed"] > 0
+    assert result["speedup"] > 0
+    total = result["mac_cache"]["hits"] + result["mac_cache"]["misses"]
+    assert total > 0
+    payload = {"schema": 1, "scenarios": {"null_normal_case": result}}
+    out = tmp_path / "bench.json"
+    write_bench_json(payload, str(out))
+    reread = json.loads(out.read_text())
+    assert reread["scenarios"]["null_normal_case"]["speedup"] == result["speedup"]
+    assert "null_normal_case" in format_bench(reread)
