@@ -1,22 +1,29 @@
 #!/usr/bin/env python3
-"""Hot-path wall-clock bench: how fast does the simulator itself run?
+"""SQL engine wall-clock bench: what does the cost-based hot path buy?
 
-Runs the normal-case null-op loop and the e-voting SQL workload twice
-each — hot-path caches off (the seed implementation's behaviour) and on —
-and reports simulated-operations-per-wall-clock-second for both, plus the
-speedup, the MAC cache hit rate, and the per-phase simulated latency
-split from repro.obs tracing.  Both runs of a scenario must produce
-identical simulated results (the caches are pure memos); the harness
-asserts this, so every bench run is also a differential test.
+Runs three scenarios twice each — planner and caches off (the seed's
+parse-and-scan engine) and on — and reports wall-clock throughput for
+both plus the speedup:
 
-Run:  python examples/hotpath_bench.py [--smoke] [--out BENCH_hotpath.json]
+  sql_evoting_fig5      the paper's Figure 5 ballot-INSERT workload,
+                        replicated (n=4, MACs, ACID)
+  analytics_replicated  order INSERTs + two-table join/aggregate rollups
+                        under replication
+  engine_micro          unreplicated query mix: point/range/conjunct
+                        lookups, hash join, hash aggregation, ranged DML
+
+Every scenario is also a differential test: the replicated ones assert
+identical simulated metrics and identical replica state digests across
+both modes, the micro one asserts a digest over all query results.
+
+Run:  python examples/sql_bench.py [--smoke] [--out BENCH_sql.json]
 
 Default mode writes the results to --out (the committed baseline).
---smoke shortens the windows, compares the measured cache speedup against
-the committed baseline with a 20% tolerance, and exits non-zero on
-regression — the CI perf-smoke job.  Absolute ops/sec varies with the
-host, so the smoke comparison uses the machine-independent speedup ratio;
-pass --absolute to also compare raw ops/sec (same-machine runs only).
+--smoke shortens the windows, compares the measured speedups against the
+committed baseline with a 20% tolerance, and exits non-zero on
+regression — the CI perf-smoke job.  The comparison uses the
+machine-independent speedup ratio; pass --absolute to also compare raw
+ops/sec (same-machine runs only).
 """
 
 import argparse
@@ -29,7 +36,7 @@ from repro.perf import (
     REGRESSION_TOLERANCE,
     compare_to_baseline,
     format_bench,
-    run_hotpath_bench,
+    run_sql_bench,
     write_bench_json,
 )
 
@@ -45,11 +52,11 @@ def main() -> int:
         "--seed", type=int, default=3, help="RNG seed (default 3)"
     )
     parser.add_argument(
-        "--out", default="BENCH_hotpath.json", metavar="FILE",
-        help="write results here (default BENCH_hotpath.json)",
+        "--out", default="BENCH_sql.json", metavar="FILE",
+        help="write results here (default BENCH_sql.json)",
     )
     parser.add_argument(
-        "--baseline", default="BENCH_hotpath.json", metavar="FILE",
+        "--baseline", default="BENCH_sql.json", metavar="FILE",
         help="committed baseline to compare against in --smoke mode",
     )
     parser.add_argument(
@@ -58,19 +65,13 @@ def main() -> int:
     )
     parser.add_argument(
         "--absolute", action="store_true",
-        help="also compare absolute sim-ops/sec against the baseline "
+        help="also compare absolute ops/sec against the baseline "
         "(only meaningful on the machine that produced it)",
-    )
-    parser.add_argument(
-        "--no-phases", action="store_true",
-        help="skip the traced per-phase breakdown run",
     )
     args = parser.parse_args()
 
     start = time.time()
-    results = run_hotpath_bench(
-        smoke=args.smoke, seed=args.seed, include_phases=not args.no_phases
-    )
+    results = run_sql_bench(smoke=args.smoke, seed=args.seed)
     wall = time.time() - start
     print(format_bench(results))
     print(f"(total bench wall time {wall:.1f}s)")

@@ -109,6 +109,7 @@ class SqlApplication(Application):
         self._request_counter = 0
         self._tracer = None
         self._track = ""
+        self._metrics: tuple | None = None  # engine counters, see attach_obs
         self.disk = DiskModel(
             charge=self._charge,
             sync_ns=self.costs.fsync_ns,
@@ -138,12 +139,37 @@ class SqlApplication(Application):
             self.state.end_of_execution()
 
     def attach_obs(self, obs, track: str) -> None:
-        """Put per-statement and per-fsync timing on the replica's track."""
+        """Put per-statement and per-fsync timing on the replica's track,
+        and register the engine's planner/cache counters."""
         self._tracer = obs.tracer
         self._track = track
         if self.db is not None:
             self.db.on_statement = self._on_statement
         self.disk.observer = self._on_disk_op
+        registry = getattr(obs, "registry", None)
+        if registry is not None:
+            self._metrics = tuple(
+                registry.counter(f"{track}.sql.{name}")
+                for name in (
+                    "rows_scanned",
+                    "index_lookups",
+                    "plan_cache_hits",
+                    "plan_cache_misses",
+                    "buffer_pool_hits",
+                    "buffer_pool_misses",
+                )
+            )
+
+    def _engine_counters(self) -> tuple[int, ...]:
+        db = self.db
+        return (
+            db.executor.rows_scanned,
+            db.executor.index_lookups,
+            db.plan_cache_hits,
+            db.plan_cache_misses,
+            db.pager.cache_hits,
+            db.pager.cache_misses,
+        )
 
     def _on_statement(self, stmt_kind: str, stats) -> None:
         tracer = self._tracer
@@ -196,12 +222,20 @@ class SqlApplication(Application):
             + md5_digest(op)
         )
         self.env.set_from_nondet(nondet_ts, seed)
+        before = self._engine_counters() if self._metrics is not None else None
         try:
-            result = self.db.execute(sql, params)
-        except SqlError as exc:
-            # Errors are part of the deterministic reply, not a crash.
-            message = str(exc).encode()
-            return Encoder().u8(3).blob(message).finish()
+            try:
+                result = self.db.execute(sql, params)
+            except SqlError as exc:
+                # Errors are part of the deterministic reply, not a crash.
+                message = str(exc).encode()
+                return Encoder().u8(3).blob(message).finish()
+        finally:
+            if before is not None:
+                after = self._engine_counters()
+                for counter, was, now in zip(self._metrics, before, after):
+                    if now > was:
+                        counter.inc(now - was)
         self._accumulated_ns += self._statement_cost_ns(self.db.last_stats)
         if isinstance(result, ResultSet):
             return encode_rows_reply(result)

@@ -176,6 +176,93 @@ def run_null_workload(
     return measurement
 
 
+def run_analytics_workload(
+    config: PbftConfig,
+    name: str = "sql-analytics",
+    acid: bool = True,
+    warmup_s: float = 0.3,
+    measure_s: float = 1.0,
+    seed: int = 3,
+    real_crypto: bool = False,
+    select_every: int = 4,
+    cluster_hook: Optional[Callable[[Cluster], None]] = None,
+    trace_path: Optional[str] = None,
+) -> Measurement:
+    """Multi-table analytics under replication: a stream of order INSERTs
+    interleaved with join + GROUP BY aggregate SELECTs over the growing
+    fact table.  Every ``select_every``-th operation of each client is a
+    two-table equi-join rollup; the rest append rows.
+
+    The query shapes are deliberately *metric-parity* shapes (equi hash
+    joins, hash aggregation, full scans) so the planner changes wall-clock
+    cost but not the simulated ``rows_scanned`` the cost model charges —
+    simulated TPS/latency stay bit-identical with the planner off or on,
+    which is what makes the differential benchmark assertion possible.
+    """
+    from repro.apps.sqlapp import SqlApplication, encode_sql_op
+
+    schema = (
+        "CREATE TABLE regions (id INTEGER PRIMARY KEY, name TEXT NOT NULL);"
+        "CREATE TABLE products (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+        "price INTEGER NOT NULL);"
+        "CREATE TABLE orders (id INTEGER PRIMARY KEY, region_id INTEGER NOT NULL, "
+        "product_id INTEGER NOT NULL, amount INTEGER NOT NULL, status TEXT NOT NULL);"
+        "INSERT INTO regions (name) VALUES ('north');"
+        "INSERT INTO regions (name) VALUES ('south');"
+        "INSERT INTO regions (name) VALUES ('east');"
+        "INSERT INTO regions (name) VALUES ('west');"
+        "INSERT INTO products (name, price) VALUES ('widget', 5);"
+        "INSERT INTO products (name, price) VALUES ('gadget', 12);"
+        "INSERT INTO products (name, price) VALUES ('sprocket', 7);"
+        "INSERT INTO products (name, price) VALUES ('gizmo', 3);"
+    )
+    factory = lambda: SqlApplication(schema_sql=schema, acid=acid)
+    obs = Observability(tracing=True) if trace_path is not None else None
+    cluster = build_cluster(
+        config, seed=seed, real_crypto=real_crypto, app_factory=factory, obs=obs
+    )
+    if cluster_hook is not None:
+        cluster_hook(cluster)
+    if config.dynamic_clients:
+        _join_all(cluster)
+
+    rollups = (
+        "SELECT r.name, COUNT(*), SUM(o.amount) FROM orders o "
+        "JOIN regions r ON o.region_id = r.id GROUP BY r.name ORDER BY r.name",
+        "SELECT p.name, COUNT(*), SUM(o.amount * p.price) FROM orders o "
+        "JOIN products p ON o.product_id = p.id GROUP BY p.name ORDER BY p.name",
+    )
+
+    def make_op(index: int, seq: int) -> tuple[bytes, bool]:
+        if seq % select_every == 0:
+            return encode_sql_op(rollups[(index + seq) % len(rollups)]), False
+        return (
+            encode_sql_op(
+                "INSERT INTO orders (region_id, product_id, amount, status) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    1 + (index + seq) % 4,
+                    1 + (index * 3 + seq) % 4,
+                    1 + seq % 9,
+                    "open" if seq % 3 else "shipped",
+                ),
+            ),
+            False,
+        )
+
+    _start_closed_loop(cluster, make_op)
+    completed, latencies, window_start = _measure_window(cluster, warmup_s, measure_s)
+    measurement = Measurement.from_cluster(name, cluster, completed, latencies, measure_s)
+    # Replicas must agree on the database contents, bit for bit.
+    roots = {r.state.refresh_tree() for r in cluster.replicas if not r.crashed}
+    if len(roots) != 1:
+        raise AssertionError(f"{name}: replica state roots diverged: {len(roots)}")
+    measurement.extras["state_root"] = roots.pop().hex()
+    _finish_traced_run(cluster, measurement, trace_path, window_start)
+    cluster.stop_clients()
+    return measurement
+
+
 def run_sql_workload(
     config: PbftConfig,
     name: str = "sql-insert",
@@ -225,6 +312,9 @@ def run_sql_workload(
     # Sanity: replicas must agree on the row count they inserted.
     counts = {r.stats["requests_executed"] for r in cluster.replicas if not r.crashed}
     measurement.extras["replica_exec_counts"] = sorted(counts)
+    roots = {r.state.refresh_tree() for r in cluster.replicas if not r.crashed}
+    if len(roots) == 1:
+        measurement.extras["state_root"] = roots.pop().hex()
     _finish_traced_run(cluster, measurement, trace_path, window_start)
     cluster.stop_clients()
     return measurement

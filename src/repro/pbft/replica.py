@@ -905,6 +905,13 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
                 self._send_reply(reply, req)
         self.exec_journal[pp.seq] = (pp, [r for r in requests if r is not None])
         self.state.end_of_execution()
+        # Execution is strictly in-order, so this batch is exactly the slot
+        # any wedge was blocking on.  Clearing here (the single funnel for
+        # every execution path) keeps the flag from outliving its cause when
+        # progress comes via batch replay rather than _execute_ready — a
+        # stale wedge permanently disables the view-change timer and can
+        # deadlock the group when this replica's vote is later needed.
+        self._clear_wedge()
         self.last_exec = pp.seq
         if slot is not None:
             slot.executed = True

@@ -207,6 +207,13 @@ class Delete:
 
 
 @dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN <statement>``: describe the plan instead of running it."""
+
+    statement: object
+
+
+@dataclass(frozen=True)
 class Begin:
     pass
 

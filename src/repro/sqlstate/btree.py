@@ -117,10 +117,26 @@ class BTree:
         pager.put(page_no, _Leaf(entries=[], next_leaf=0).serialize(pager.page_size))
         return tree
 
+    def _node(self, page_no: int):
+        """Parse a page, going through the pager's parsed-node cache.
+
+        Profiling shows re-parsing pages on every access dominates the
+        engine's cost; the cache is gated on the hot-path switch so the
+        naive parse-every-time behavior is still reachable.  Write paths
+        must call ``pager.forget_node`` *before* mutating a node in place
+        (an exception between mutate and store must not leave a stale
+        parse cached) and re-register only after a successful store.
+        """
+        node = self.pager.cached_node(page_no)
+        if node is None:
+            node = _parse(self.pager.get(page_no))
+            self.pager.register_node(page_no, node)
+        return node
+
     # -- lookup ------------------------------------------------------------------
 
     def get(self, key: bytes) -> Optional[bytes]:
-        leaf = _parse(self.pager.get(self._find_leaf(key)))
+        leaf = self._node(self._find_leaf(key))
         index = self._bisect(leaf.entries, key)
         if index < len(leaf.entries) and leaf.entries[index][0] == key:
             return leaf.entries[index][1]
@@ -129,7 +145,7 @@ class BTree:
     def _find_leaf(self, key: bytes) -> int:
         page_no = self.root_page
         while True:
-            node = _parse(self.pager.get(page_no))
+            node = self._node(page_no)
             if isinstance(node, _Leaf):
                 return page_no
             page_no = self._child_for(node, key)
@@ -170,14 +186,16 @@ class BTree:
     def _insert_into(
         self, page_no: int, key: bytes, value: bytes, replace: bool
     ) -> Optional[tuple[bytes, int]]:
-        node = _parse(self.pager.get(page_no))
+        node = self._node(page_no)
         if isinstance(node, _Leaf):
             index = self._bisect(node.entries, key)
             if index < len(node.entries) and node.entries[index][0] == key:
                 if not replace:
                     raise SqlError("duplicate key")
+                self.pager.forget_node(page_no)
                 node.entries[index] = (key, value)
             else:
+                self.pager.forget_node(page_no)
                 node.entries.insert(index, (key, value))
             return self._store_leaf(page_no, node)
         child = self._child_for(node, key)
@@ -188,6 +206,7 @@ class BTree:
         index = 0
         while index < len(node.entries) and node.entries[index][0] < sep:
             index += 1
+        self.pager.forget_node(page_no)
         node.entries.insert(index, (sep, right_page))
         return self._store_interior(page_no, node)
 
@@ -195,6 +214,7 @@ class BTree:
         raw = node.serialize(self.pager.page_size)
         if raw is not None:
             self.pager.put(page_no, raw)
+            self.pager.register_node(page_no, node)
             return None
         # Overflow: split entries in half, link the new right leaf in.
         mid = len(node.entries) // 2
@@ -208,6 +228,8 @@ class BTree:
             raise SqlError("entry too large to split across pages")
         self.pager.put(right_page, right_raw)
         self.pager.put(page_no, left_raw)
+        self.pager.register_node(right_page, right)
+        self.pager.register_node(page_no, left)
         return (right.entries[0][0], right_page)
 
     def _store_interior(
@@ -216,6 +238,7 @@ class BTree:
         raw = node.serialize(self.pager.page_size)
         if raw is not None:
             self.pager.put(page_no, raw)
+            self.pager.register_node(page_no, node)
             return None
         mid = len(node.entries) // 2
         sep, right_child0 = node.entries[mid]
@@ -224,6 +247,8 @@ class BTree:
         right_page = self.pager.allocate()
         self.pager.put(right_page, right.serialize(self.pager.page_size))
         self.pager.put(page_no, left.serialize(self.pager.page_size))
+        self.pager.register_node(right_page, right)
+        self.pager.register_node(page_no, left)
         return (sep, right_page)
 
     def _grow_root(self, split: tuple[bytes, int]) -> None:
@@ -237,13 +262,15 @@ class BTree:
 
     def delete(self, key: bytes) -> bool:
         page_no = self._find_leaf(key)
-        node = _parse(self.pager.get(page_no))
+        node = self._node(page_no)
         index = self._bisect(node.entries, key)
         if index >= len(node.entries) or node.entries[index][0] != key:
             return False
+        self.pager.forget_node(page_no)
         del node.entries[index]
         raw = node.serialize(self.pager.page_size)
         self.pager.put(page_no, raw)
+        self.pager.register_node(page_no, node)
         return True
 
     # -- iteration -------------------------------------------------------------------
@@ -255,10 +282,10 @@ class BTree:
             index = 0
         else:
             page_no = self._find_leaf(start_key)
-            node = _parse(self.pager.get(page_no))
+            node = self._node(page_no)
             index = self._bisect(node.entries, start_key)
         while page_no:
-            node = _parse(self.pager.get(page_no))
+            node = self._node(page_no)
             for position in range(index, len(node.entries)):
                 yield node.entries[position]
             page_no = node.next_leaf
@@ -270,10 +297,28 @@ class BTree:
                 return
             yield key, value
 
+    def scan_range(
+        self, low: Optional[bytes], high: Optional[bytes]
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield entries with ``low <= key``, stopping once keys pass
+        ``high`` (prefix-inclusive: a key extending ``high`` still
+        matches, which is how index entries carry a rowid suffix).
+
+        Both bounds are *inclusive* at the encoded-key level by design:
+        the numeric key encoding is monotone but not injective (large
+        integers collapse onto floats), so strict bounds must be
+        enforced by the caller re-checking decoded values, never by
+        skipping encoded keys.
+        """
+        for key, value in self.scan(start_key=low):
+            if high is not None and key > high and not key.startswith(high):
+                return
+            yield key, value
+
     def _leftmost_leaf(self) -> int:
         page_no = self.root_page
         while True:
-            node = _parse(self.pager.get(page_no))
+            node = self._node(page_no)
             if isinstance(node, _Leaf):
                 return page_no
             page_no = node.child0
@@ -282,7 +327,7 @@ class BTree:
         """The maximum key (used for rowid assignment)."""
         page_no = self.root_page
         while True:
-            node = _parse(self.pager.get(page_no))
+            node = self._node(page_no)
             if isinstance(node, _Interior):
                 page_no = node.entries[-1][1] if node.entries else node.child0
                 continue

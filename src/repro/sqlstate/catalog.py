@@ -48,6 +48,14 @@ class Index:
     unique: bool = False
 
 
+@dataclass
+class TableStats:
+    """Cheap planner statistics: an estimated (not authoritative) row
+    count, seeded by one tree scan and maintained incrementally."""
+
+    row_count: int
+
+
 class Catalog:
     """The schema, mirrored between memory and the schema b-tree."""
 
@@ -59,6 +67,7 @@ class Catalog:
         self.schema_tree = BTree(pager, pager.schema_root)
         self.tables: dict[str, Table] = {}
         self.indexes: dict[str, Index] = {}
+        self._stats: dict[str, TableStats] = {}
         self._loaded_version = -1
         self.reload()
 
@@ -68,6 +77,7 @@ class Catalog:
         """Rebuild the in-memory schema from the schema tree."""
         self.tables = {}
         self.indexes = {}
+        self._stats = {}
         for _key, value in self.schema_tree.scan():
             row = decode_record(value)
             kind = row[0]
@@ -252,12 +262,36 @@ class Catalog:
                 return
             raise SqlError(f"no such table {name}")
         del self.tables[name.lower()]
+        self._stats.pop(name.lower(), None)
         self.schema_tree.delete(encode_key(["table", name.lower()]))
         for index in list(table.indexes):
             self.indexes.pop(index.name.lower(), None)
             self.schema_tree.delete(encode_key(["index", index.name.lower()]))
         self.pager.bump_schema_version()
         self._loaded_version = self.pager.schema_version
+
+    # -- statistics ------------------------------------------------------------------------
+
+    def stats(self, table: Table) -> TableStats:
+        """Planner statistics for ``table``, counted lazily on first use.
+
+        Estimates may go stale relative to uncommitted work or drift
+        from concurrent plans being memoized; that is fine — statistics
+        only steer cost choices, never correctness (plans always
+        re-check the full predicate).
+        """
+        key = table.name.lower()
+        entry = self._stats.get(key)
+        if entry is None:
+            entry = TableStats(row_count=BTree(self.pager, table.root_page).count())
+            self._stats[key] = entry
+        return entry
+
+    def note_rows(self, table: Table, delta: int) -> None:
+        """Incremental row-count maintenance from the executor's DML."""
+        entry = self._stats.get(table.name.lower())
+        if entry is not None:
+            entry.row_count = max(0, entry.row_count + delta)
 
     # -- lookup ----------------------------------------------------------------------------
 

@@ -9,10 +9,12 @@ into simulated CPU/disk time.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.common.errors import SqlError
+from repro.common.hotpath import HOTPATH
 from repro.sqlstate import ast
 from repro.sqlstate.catalog import Catalog
 from repro.sqlstate.executor import Executor
@@ -53,6 +55,9 @@ class StatementStats:
     statements: int = 0
 
 
+_PLAN_CACHE_CAP = 256
+
+
 class Database:
     """An embedded relational database over a VFS file pair."""
 
@@ -82,6 +87,13 @@ class Database:
         self.explicit_transaction = False
         self.last_stats = StatementStats()
         self.total_statements = 0
+        # Statement cache: SQL text → parsed AST.  The AST is pure syntax
+        # (schema-independent), so it never goes stale; access-path plans
+        # hang off its nodes in the executor's memo, which *does*
+        # revalidate against the live catalog.  Bounded LRU.
+        self._plan_cache: OrderedDict[str, object] = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         # Observability hook: called after every statement (success or
         # error) with the statement's AST type name and its instrumentation
         # deltas.  The PBFT application layer uses it to put per-statement
@@ -125,8 +137,23 @@ class Database:
         autocommit transaction — the paper's vote-insertion workload runs
         this way.
         """
+        return self._run(self._prepare(sql), tuple(params))
+
+    def _prepare(self, sql: str):
+        """Parse, going through the statement cache on the hot path."""
+        if not HOTPATH.enabled:
+            return parse(sql)
+        stmt = self._plan_cache.get(sql)
+        if stmt is not None:
+            self._plan_cache.move_to_end(sql)
+            self.plan_cache_hits += 1
+            return stmt
+        self.plan_cache_misses += 1
         stmt = parse(sql)
-        return self._run(stmt, tuple(params))
+        self._plan_cache[sql] = stmt
+        if len(self._plan_cache) > _PLAN_CACHE_CAP:
+            self._plan_cache.popitem(last=False)
+        return stmt
 
     def executescript(self, sql: str) -> None:
         """Run a semicolon-separated batch (schema setup)."""
@@ -155,6 +182,11 @@ class Database:
         if isinstance(stmt, ast.Rollback):
             self.rollback()
             return None
+        if isinstance(stmt, ast.Explain):
+            from repro.sqlstate.planner import explain_statement
+
+            lines = explain_statement(stmt.statement, self.catalog)
+            return ResultSet(columns=["detail"], rows=[(line,) for line in lines])
         if isinstance(stmt, ast.Select):
             columns, rows = self.executor.select(stmt, params)
             return ResultSet(columns=columns, rows=rows)
@@ -213,7 +245,9 @@ class Database:
         index_tree = BTree(self.pager, index.root_page)
         for key, raw in table_tree.scan():
             rowid = decode_rowid(key)
-            row = decode_record(raw)
+            # Rows stored before an ALTER TABLE ADD COLUMN are shorter
+            # than the schema; index keys must see the padded defaults.
+            row = self.executor._pad_row(table, decode_record(raw))
             index_tree.insert(
                 self.executor._index_key(index, table, row, rowid),
                 encode_rowid(rowid),

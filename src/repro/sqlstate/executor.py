@@ -6,7 +6,8 @@ from functools import cmp_to_key
 from typing import Iterator, Optional
 
 from repro.common.errors import SqlConstraintError, SqlError
-from repro.sqlstate import ast
+from repro.common.hotpath import HOTPATH
+from repro.sqlstate import ast, planner
 from repro.sqlstate.btree import BTree
 from repro.sqlstate.catalog import Catalog, Index, Table
 from repro.sqlstate.functions import (
@@ -101,10 +102,19 @@ class Executor:
         # Per-statement memo for non-correlated subqueries: each runs once
         # no matter how many candidate rows consult it.
         self._subquery_cache: dict[int, object] = {}
+        # Access-path/join plans memoized per AST node.  Entries hold a
+        # strong reference to the node (id() alone could be reused after
+        # GC) and are revalidated against the live catalog objects.
+        self._plan_memo: dict = {}
 
     def begin_statement(self) -> None:
-        """Reset per-statement state (subquery memoization)."""
-        self._subquery_cache.clear()
+        """Reset per-statement state (subquery memoization).
+
+        A *fresh* dict, not ``clear()``: the engine's plan cache shares
+        AST nodes across executions, so ``id(select)`` keys recur — any
+        aliasing of a previous execution's dict must not leak its rows.
+        """
+        self._subquery_cache = {}
 
     # ==== expression evaluation =====================================================
 
@@ -318,6 +328,7 @@ class Executor:
                 values[pos] = self.eval(expr, _EMPTY_CTX, params)
             self._insert_row(table, tree, values)
             inserted += 1
+        self.catalog.note_rows(table, inserted)
         return inserted
 
     def _insert_row(self, table: Table, tree: BTree, values: list) -> int:
@@ -453,6 +464,7 @@ class Executor:
                     self._index_key(index, table, row, rowid)
                 )
             self.rows_written += 1
+        self.catalog.note_rows(table, -len(victims))
         return len(victims)
 
     # ==== planning & row sources =====================================================
@@ -463,6 +475,10 @@ class Executor:
         """Rows possibly matching ``where``: an index equality probe when
         one applies, else a full scan.  The WHERE clause is still
         re-checked by the caller."""
+        if HOTPATH.enabled:
+            plan = self._scan_plan(table, alias, where)
+            yield from self._plan_candidates(plan, table, alias, params)
+            return
         tree = BTree(self.pager, table.root_page)
         probe = self._find_index_probe(table, where, params)
         if probe is not None:
@@ -547,6 +563,268 @@ class Executor:
             return None
         return name, value
 
+    # ==== cost-based row sources (hot path) ==========================================
+
+    def _scan_plan(self, table: Table, alias: str, where) -> "planner.ScanPlan":
+        # Validity needs the schema version, not just object identity:
+        # in-memory DDL (CREATE/DROP INDEX) mutates the Table in place, so
+        # a memoized plan could otherwise survive the very DDL that should
+        # change it.
+        key = (id(where), table.name.lower(), alias.lower())
+        entry = self._plan_memo.get(key)
+        if (
+            entry is not None
+            and entry[0] is where
+            and entry[1] is table
+            and entry[3] == self.pager.schema_version
+        ):
+            return entry[2]
+        plan = planner.plan_scan(self.catalog, table, alias, where)
+        if len(self._plan_memo) >= 1024:
+            self._plan_memo.clear()
+        self._plan_memo[key] = (where, table, plan, self.pager.schema_version)
+        return plan
+
+    def _plan_candidates(
+        self, plan: "planner.ScanPlan", table: Table, alias: str, params
+    ) -> Iterator[tuple[int, list, RowContext]]:
+        """Execute an access plan.  Any bound value the plan cannot probe
+        with (NULL, NaN, a non-integer rowid) degrades to the full scan —
+        exactly what the naive path does in those cases, so results *and*
+        counters stay identical."""
+        tree = BTree(self.pager, table.root_page)
+        if plan.method == "rowid-eq":
+            value = self.eval(plan.eq_expr, _EMPTY_CTX, params)
+            if isinstance(value, int):
+                raw = tree.get(encode_rowid(value))
+                if raw is not None:
+                    yield self._make_candidate(table, alias, value, raw)
+                return
+        elif plan.method == "index-eq":
+            index = self.catalog.indexes.get(plan.index.lower())
+            value = self.eval(plan.eq_expr, _EMPTY_CTX, params)
+            usable = (
+                index is not None
+                and value is not SqlNull
+                and not (isinstance(value, float) and value != value)
+            )
+            if usable:
+                self.index_lookups += 1
+                prefix = encode_key([value])
+                for _key, stored in self._index_tree(index).scan_prefix(prefix):
+                    rowid = decode_rowid(stored)
+                    raw = tree.get(encode_rowid(rowid))
+                    if raw is None:
+                        continue  # index ahead of table within this statement
+                    yield self._make_candidate(table, alias, rowid, raw)
+                return
+        elif plan.method == "index-range":
+            index = self.catalog.indexes.get(plan.index.lower())
+            low = high = None
+            usable = index is not None
+            if usable and plan.low is not None:
+                low = self.eval(plan.low, _EMPTY_CTX, params)
+                usable = low is not SqlNull and not (
+                    isinstance(low, float) and low != low
+                )
+            if usable and plan.high is not None:
+                high = self.eval(plan.high, _EMPTY_CTX, params)
+                usable = high is not SqlNull and not (
+                    isinstance(high, float) and high != high
+                )
+            if usable:
+                # Inclusive encoded bounds; strictness is enforced by the
+                # caller's WHERE re-check on decoded values (the numeric
+                # key encoding is monotone but not injective, so skipping
+                # boundary-equal keys could drop true matches).
+                low_key = None if plan.low is None else encode_key([low])
+                high_key = None if plan.high is None else encode_key([high])
+                self.index_lookups += 1
+                rowids = [
+                    decode_rowid(stored)
+                    for _key, stored in self._index_tree(index).scan_range(
+                        low_key, high_key
+                    )
+                ]
+                # Emit in rowid order — the order a full scan would use —
+                # so downstream results are bit-identical to the naive path.
+                rowids.sort()
+                for rowid in rowids:
+                    raw = tree.get(encode_rowid(rowid))
+                    if raw is None:
+                        continue
+                    yield self._make_candidate(table, alias, rowid, raw)
+                return
+        for key, raw in tree.scan():
+            yield self._make_candidate(table, alias, decode_rowid(key), raw)
+
+    def _make_candidate(
+        self, table: Table, alias: str, rowid: int, raw: bytes
+    ) -> tuple[int, list, RowContext]:
+        row = self._pad_row(table, decode_record(raw))
+        ctx = RowContext()
+        ctx.bind_table(alias, table, rowid, row)
+        self.rows_scanned += 1
+        return rowid, row, ctx
+
+    def _join_plan(self, join: ast.Join) -> "planner.JoinStepPlan":
+        key = (id(join), "join")
+        entry = self._plan_memo.get(key)
+        if (
+            entry is not None
+            and entry[0] is join
+            and entry[1] == self.pager.schema_version
+        ):
+            return entry[2]
+        plan = planner.plan_join_step(
+            self.catalog, join, planner.estimate_source_rows(self.catalog, join.left)
+        )
+        if len(self._plan_memo) >= 1024:
+            self._plan_memo.clear()
+        self._plan_memo[key] = (join, self.pager.schema_version, plan)
+        return plan
+
+    def _join_left_iter(self, join: ast.Join, params) -> Iterator[RowContext]:
+        if isinstance(join.left, ast.TableRef):
+            return self._source_rows(join.left, None, params)
+        return self._join_rows(join.left, params)
+
+    def _merged_ctx(
+        self, left_ctx: RowContext, right_alias: str, right_table: Table,
+        rowid, row,
+    ) -> RowContext:
+        ctx = RowContext()
+        ctx.qualified.update(left_ctx.qualified)
+        for name, keys in left_ctx.names.items():
+            ctx.names[name] = list(keys)
+        if row is None:
+            ctx.bind_nulls(right_alias, right_table)
+        else:
+            ctx.bind_table(right_alias, right_table, rowid, row)
+        return ctx
+
+    def _hash_join(
+        self, join: ast.Join, plan: "planner.JoinStepPlan", params
+    ) -> Iterator[RowContext]:
+        """Equi-join via a build/probe hash table.
+
+        The build side is scanned exactly once in rowid order (the same
+        ``rows_scanned`` as the naive materialization) and each bucket
+        keeps that order, so the emitted rows — after the full ON clause
+        is re-evaluated per candidate — are identical to the naive
+        nested loop's output, in the same order.
+        """
+        right_table = self.catalog.table(join.right.name)
+        right_alias = join.right.alias or join.right.name
+        position = (
+            None if plan.right_is_rowid
+            else right_table.column_index(plan.right_column)
+        )
+        right_rows: list[tuple[int, list]] = []
+        buckets: dict[object, list[tuple[int, list]]] = {}
+        nan_on_build = False
+        for rowid, row, _ctx in self._candidates(
+            right_table, right_alias, None, params
+        ):
+            right_rows.append((rowid, row))
+            value = rowid if position is None else row[position]
+            if isinstance(value, float) and value != value:
+                # A stored NaN compares equal to every number in this
+                # engine; hashing cannot honor that, so latch the whole
+                # join back to the nested loop.
+                nan_on_build = True
+            elif value is not SqlNull:
+                buckets.setdefault(_hashable(value), []).append((rowid, row))
+        for left_ctx in self._join_left_iter(join, params):
+            if nan_on_build:
+                candidates: list = right_rows
+            else:
+                probe = self.eval(plan.left_expr, left_ctx, params)
+                if isinstance(probe, float) and probe != probe:
+                    candidates = right_rows  # NaN probe: consult everything
+                elif probe is SqlNull:
+                    candidates = []
+                else:
+                    candidates = buckets.get(_hashable(probe), [])
+            matched = False
+            for rowid, row in candidates:
+                ctx = self._merged_ctx(left_ctx, right_alias, right_table, rowid, row)
+                verdict = self.eval(join.on, ctx, params)
+                if verdict is SqlNull or not is_truthy(verdict):
+                    continue
+                matched = True
+                yield ctx
+            if join.kind == "LEFT" and not matched:
+                yield self._merged_ctx(left_ctx, right_alias, right_table, None, None)
+
+    def _index_join(
+        self, join: ast.Join, plan: "planner.JoinStepPlan", params
+    ) -> Iterator[RowContext]:
+        """Index nested-loop: probe the right side per left row instead of
+        materializing it.  Candidates come out of the index in rowid order
+        and the full ON clause is re-checked, so results match the naive
+        loop exactly (the probe is a superset filter, never a decider)."""
+        right_table = self.catalog.table(join.right.name)
+        right_alias = join.right.alias or join.right.name
+        tree = BTree(self.pager, right_table.root_page)
+        index = (
+            None if plan.right_is_rowid
+            else self.catalog.indexes.get(plan.index.lower())
+        )
+        if index is None and not plan.right_is_rowid:
+            # The index vanished under a memoized plan; degrade to hash
+            # semantics-free materialization (the nested loop).
+            yield from self._nested_join(join, params)
+            return
+        for left_ctx in self._join_left_iter(join, params):
+            probe = self.eval(plan.left_expr, left_ctx, params)
+            candidates: list[tuple[int, list]] = []
+            if isinstance(probe, float) and probe != probe:
+                # NaN: equal to every number under compare(); scan all.
+                candidates = [
+                    (rowid, row)
+                    for rowid, row, _ctx in self._candidates(
+                        right_table, right_alias, None, params
+                    )
+                ]
+            elif probe is SqlNull:
+                candidates = []
+            elif plan.right_is_rowid:
+                rowid_probe = None
+                if isinstance(probe, int):
+                    rowid_probe = probe
+                elif isinstance(probe, float) and probe.is_integer():
+                    rowid_probe = int(probe)
+                if rowid_probe is not None:
+                    raw = tree.get(encode_rowid(rowid_probe))
+                    if raw is not None:
+                        row = self._pad_row(right_table, decode_record(raw))
+                        self.rows_scanned += 1
+                        candidates = [(rowid_probe, row)]
+            elif isinstance(probe, (int, float, str, bytes)):
+                self.index_lookups += 1
+                for _key, stored in self._index_tree(index).scan_prefix(
+                    encode_key([probe])
+                ):
+                    rowid = decode_rowid(stored)
+                    raw = tree.get(encode_rowid(rowid))
+                    if raw is None:
+                        continue
+                    candidates.append(
+                        (rowid, self._pad_row(right_table, decode_record(raw)))
+                    )
+                    self.rows_scanned += 1
+            matched = False
+            for rowid, row in candidates:
+                ctx = self._merged_ctx(left_ctx, right_alias, right_table, rowid, row)
+                verdict = self.eval(join.on, ctx, params)
+                if verdict is SqlNull or not is_truthy(verdict):
+                    continue
+                matched = True
+                yield ctx
+            if join.kind == "LEFT" and not matched:
+                yield self._merged_ctx(left_ctx, right_alias, right_table, None, None)
+
     def _source_rows(self, source, where, params) -> Iterator[RowContext]:
         if source is None:
             yield RowContext()
@@ -564,6 +842,17 @@ class Executor:
         raise SqlError(f"unsupported FROM clause {type(source).__name__}")
 
     def _join_rows(self, join: ast.Join, params) -> Iterator[RowContext]:
+        if HOTPATH.enabled:
+            plan = self._join_plan(join)
+            if plan.strategy == "hash":
+                yield from self._hash_join(join, plan, params)
+                return
+            if plan.strategy == "index":
+                yield from self._index_join(join, plan, params)
+                return
+        yield from self._nested_join(join, params)
+
+    def _nested_join(self, join: ast.Join, params) -> Iterator[RowContext]:
         right_table = self.catalog.table(join.right.name)
         right_alias = join.right.alias or join.right.name
         if isinstance(join.left, ast.TableRef):
@@ -912,6 +1201,8 @@ def _collect_aggregates(expr, out: list) -> None:
 def _normalize_param(value):
     if value is None:
         return SqlNull
+    if isinstance(value, float) and value != value:
+        return SqlNull  # NaN binds as NULL, matching storage affinity
     if isinstance(value, (int, float, str, bytes)):
         return value
     if isinstance(value, bool):

@@ -1,11 +1,23 @@
-"""Page cache and transaction control over a VFS file."""
+"""Page cache and transaction control over a VFS file.
+
+Clean page images live in a process-wide bounded LRU :class:`BufferPool`
+shared by every open pager (one per database / replica state region),
+replacing the unbounded per-pager dict this module started with.  Dirty
+pages never enter the pool — each pager pins them privately until flush,
+so eviction can never lose a write.  The pager also hosts a small cache
+of *parsed* b-tree nodes (see :mod:`repro.sqlstate.btree`), invalidated
+here on every write/rollback/crash so the two caches cannot diverge.
+"""
 
 from __future__ import annotations
 
+import itertools
 import struct
+from collections import OrderedDict
 from typing import Optional
 
 from repro.common.errors import SqlError
+from repro.common.hotpath import HOTPATH
 from repro.sqlstate.journal import RollbackJournal
 from repro.sqlstate.vfs import VfsFile
 
@@ -14,6 +26,57 @@ _HEADER = struct.Struct(">8sIIIII")
 # magic, page_size, page_count, freelist_head, schema_root, schema_version
 HEADER_PAGE = 0
 _FREELIST_NEXT = struct.Struct(">I")
+
+_NODE_CACHE_CAP = 4096
+
+# Owner tokens must never be reused (an id() could be, after GC, which
+# would let a new pager read a dead pager's pool entries).
+_OWNER_IDS = itertools.count(1)
+
+
+class BufferPool:
+    """Bounded, shared LRU cache of clean page images.
+
+    Keys are ``(owner, page_no)`` so pagers never see each other's pages;
+    capacity is counted in pages across all owners.
+    """
+
+    def __init__(self, capacity_pages: int = 4096) -> None:
+        self.capacity = capacity_pages
+        self._pages: OrderedDict[tuple[int, int], bytes] = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def get(self, owner: int, page_no: int) -> Optional[bytes]:
+        key = (owner, page_no)
+        data = self._pages.get(key)
+        if data is not None:
+            self._pages.move_to_end(key)
+        return data
+
+    def put(self, owner: int, page_no: int, data: bytes) -> None:
+        key = (owner, page_no)
+        self._pages[key] = data
+        self._pages.move_to_end(key)
+        while len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.evictions += 1
+
+    def discard(self, owner: int, page_no: int) -> None:
+        self._pages.pop((owner, page_no), None)
+
+    def drop_owner(self, owner: int) -> None:
+        for key in [k for k in self._pages if k[0] == owner]:
+            del self._pages[key]
+
+
+_SHARED_POOL = BufferPool()
+
+
+def shared_pool() -> BufferPool:
+    return _SHARED_POOL
 
 
 class Pager:
@@ -30,6 +93,7 @@ class Pager:
         file: VfsFile,
         page_size: int = 4096,
         journal_file: Optional[VfsFile] = None,
+        pool: Optional[BufferPool] = None,
     ) -> None:
         if page_size < 512:
             raise SqlError("page size must be at least 512 bytes")
@@ -38,8 +102,10 @@ class Pager:
         self.journal = (
             RollbackJournal(journal_file, page_size) if journal_file is not None else None
         )
-        self._cache: dict[int, bytes] = {}
-        self._dirty: set[int] = set()
+        self.pool = pool if pool is not None else _SHARED_POOL
+        self._owner = next(_OWNER_IDS)
+        self._dirty: dict[int, bytes] = {}  # pinned until flush
+        self._nodes: dict[int, object] = {}  # parsed b-tree nodes, by page
         self.in_transaction = False
         self.page_count = 0
         self.freelist_head = 0
@@ -48,6 +114,8 @@ class Pager:
         self.commits = 0
         self.rollbacks = 0
         self.pages_written = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._open()
 
     # -- open / recover ----------------------------------------------------------
@@ -108,8 +176,8 @@ class Pager:
 
     def _write_header_to_cache(self) -> None:
         self._journal_original(HEADER_PAGE)
-        self._cache[HEADER_PAGE] = self._header_bytes()
-        self._dirty.add(HEADER_PAGE)
+        self._dirty[HEADER_PAGE] = self._header_bytes()
+        self.pool.discard(self._owner, HEADER_PAGE)
 
     def set_schema_root(self, page_no: int) -> None:
         self.schema_root = page_no
@@ -124,13 +192,19 @@ class Pager:
     def get(self, page_no: int) -> bytes:
         if page_no >= self.page_count or page_no < 0:
             raise SqlError(f"page {page_no} out of range (count {self.page_count})")
-        cached = self._cache.get(page_no)
-        if cached is not None:
-            return cached
+        data = self._dirty.get(page_no)
+        if data is not None:
+            self.cache_hits += 1
+            return data
+        data = self.pool.get(self._owner, page_no)
+        if data is not None:
+            self.cache_hits += 1
+            return data
+        self.cache_misses += 1
         raw = self.file.read(page_no * self.page_size, self.page_size)
         if len(raw) < self.page_size:
             raw = raw + bytes(self.page_size - len(raw))
-        self._cache[page_no] = raw
+        self.pool.put(self._owner, page_no, raw)
         return raw
 
     def put(self, page_no: int, data: bytes) -> None:
@@ -139,8 +213,9 @@ class Pager:
         if page_no >= self.page_count or page_no < 0:
             raise SqlError(f"page {page_no} out of range")
         self._journal_original(page_no)
-        self._cache[page_no] = data
-        self._dirty.add(page_no)
+        self._dirty[page_no] = data
+        self.pool.discard(self._owner, page_no)
+        self._nodes.pop(page_no, None)
 
     def _journal_original(self, page_no: int) -> None:
         if self.journal is None or not self.in_transaction:
@@ -149,13 +224,34 @@ class Pager:
             return
         if page_no >= self._pages_at_begin:
             return  # page did not exist when the transaction began
-        original = self._cache.get(page_no)
-        if original is None or page_no in self._dirty:
+        # Dirty pages diverge from the file image; the pool only ever
+        # holds flushed (= on-file) bytes, so it is a valid source.
+        original = None
+        if page_no not in self._dirty:
+            original = self.pool.get(self._owner, page_no)
+        if original is None:
             raw = self.file.read(page_no * self.page_size, self.page_size)
             if len(raw) < self.page_size:
                 raw += bytes(self.page_size - len(raw))
             original = raw
         self.journal.record(page_no, original)
+
+    # -- parsed-node cache ----------------------------------------------------------
+
+    def cached_node(self, page_no: int):
+        if not HOTPATH.enabled:
+            return None
+        return self._nodes.get(page_no)
+
+    def register_node(self, page_no: int, node: object) -> None:
+        if not HOTPATH.enabled:
+            return
+        if len(self._nodes) >= _NODE_CACHE_CAP:
+            self._nodes.clear()
+        self._nodes[page_no] = node
+
+    def forget_node(self, page_no: int) -> None:
+        self._nodes.pop(page_no, None)
 
     # -- allocation -------------------------------------------------------------------
 
@@ -169,8 +265,7 @@ class Pager:
             return page_no
         page_no = self.page_count
         self.page_count += 1
-        self._cache[page_no] = bytes(self.page_size)
-        self._dirty.add(page_no)
+        self._dirty[page_no] = bytes(self.page_size)
         self._write_header_to_cache()
         return page_no
 
@@ -209,10 +304,20 @@ class Pager:
             raise SqlError(
                 "cannot roll back without a journal (No-ACID mode)"
             )
+        journaled = [page_no for page_no, _original in self.journal.entries()]
         for page_no, original in self.journal.entries():
             self.file.write(page_no * self.page_size, original)
         self.journal.invalidate()
-        self._cache.clear()
+        # Journal-aware invalidation: only pages the transaction touched
+        # can be stale.  Journaled pages revert on disk; dirty pages were
+        # pinned outside the pool (this includes every page allocated
+        # after begin()); everything else in the pool still matches the
+        # file image and stays warm.
+        for page_no in journaled:
+            self.pool.discard(self._owner, page_no)
+            self._nodes.pop(page_no, None)
+        for page_no in self._dirty:
+            self._nodes.pop(page_no, None)
         self._dirty.clear()
         # Restore header fields from the rolled-back file image.
         raw = self.file.read(0, _HEADER.size)
@@ -226,12 +331,15 @@ class Pager:
 
     def _flush_all(self) -> None:
         for page_no in sorted(self._dirty):
-            self.file.write(page_no * self.page_size, self._cache[page_no])
+            data = self._dirty[page_no]
+            self.file.write(page_no * self.page_size, data)
+            self.pool.put(self._owner, page_no, data)
             self.pages_written += 1
         self._dirty.clear()
 
     def crash(self) -> None:
         """Simulation hook: lose all volatile state (cache, open txn)."""
-        self._cache.clear()
+        self.pool.drop_owner(self._owner)
         self._dirty.clear()
+        self._nodes.clear()
         self.in_transaction = False

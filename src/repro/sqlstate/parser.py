@@ -99,6 +99,9 @@ class _Parser:
 
     def statement(self):
         token = self.peek()
+        if token.is_kw("EXPLAIN"):
+            self.next()
+            return ast.Explain(statement=self.statement())
         if token.is_kw("SELECT"):
             return self.select()
         if token.is_kw("INSERT"):

@@ -14,7 +14,7 @@ KEYWORDS = {
     "IN", "LIKE", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "JOIN",
     "INNER", "LEFT", "CROSS", "BETWEEN", "DISTINCT", "CASE", "WHEN",
     "THEN", "ELSE", "END", "INTEGER", "TEXT", "REAL", "BLOB", "HAVING",
-    "ALTER", "ADD", "COLUMN",
+    "ALTER", "ADD", "COLUMN", "EXPLAIN",
 }
 # EXISTS is already a keyword (used by IF NOT EXISTS).
 

@@ -113,6 +113,10 @@ def apply_affinity(value: SqlValue, affinity: str) -> SqlValue:
     """Coerce ``value`` per column affinity on insert/update."""
     if value is SqlNull or isinstance(value, bytes):
         return value
+    if isinstance(value, float) and value != value:
+        # SQLite stores NaN as NULL.  This also keeps NaN out of index
+        # keys, where its incomparability would break ordered scans.
+        return SqlNull
     if affinity == AFF_INTEGER or affinity == AFF_NUMERIC:
         if isinstance(value, bool):
             return int(value)

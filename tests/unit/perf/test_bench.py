@@ -72,3 +72,31 @@ def test_bench_normal_case_tiny_end_to_end(tmp_path):
     reread = json.loads(out.read_text())
     assert reread["scenarios"]["null_normal_case"]["speedup"] == result["speedup"]
     assert "null_normal_case" in format_bench(reread)
+
+
+def test_engine_micro_bench_is_differential():
+    from repro.perf.sqlbench import bench_engine_micro
+
+    result = bench_engine_micro(rows=40, iters=4, repeats=1)
+    assert result["before"]["completed"] == result["after"]["completed"]
+    assert result["digest"]
+    assert result["speedup"] > 0
+    # The planner must actually narrow work on this query mix.
+    assert result["rows_scanned"]["planned"] < result["rows_scanned"]["naive"]
+    assert result["plan_cache"]["hits"] > 0
+
+
+def test_sql_bench_payload_shape_matches_baseline_comparator():
+    from repro.perf.bench import compare_to_baseline
+
+    scenario = {
+        "workload": "w",
+        "before": {"sim_ops_per_wall_s": 100.0, "completed": 10, "wall_s": 1.0},
+        "after": {"sim_ops_per_wall_s": 250.0, "completed": 10, "wall_s": 0.4},
+        "speedup": 2.5,
+    }
+    payload = {"scenarios": {"engine_micro": scenario}}
+    assert compare_to_baseline(payload, payload) == []
+    worse = {"scenarios": {"engine_micro": {**scenario, "speedup": 1.2}}}
+    problems = compare_to_baseline(worse, payload)
+    assert len(problems) == 1 and "speedup regressed" in problems[0]

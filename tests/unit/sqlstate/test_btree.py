@@ -144,3 +144,42 @@ def test_persistence_across_pager_reopen():
     reopened = BTree(Pager(file, page_size=512), root)
     assert reopened.get(key(123)) == b"123"
     assert reopened.count() == 200
+
+
+class TestScanRange:
+    def test_bounds_are_inclusive_at_the_encoded_level(self):
+        tree, _ = make_tree()
+        for i in range(100):
+            tree.insert(key(i), str(i).encode())
+        got = [k for k, _ in tree.scan_range(key(10), key(20))]
+        assert got == [key(i) for i in range(10, 21)]
+
+    def test_open_ended_high_scans_to_the_end(self):
+        tree, _ = make_tree()
+        for i in range(50):
+            tree.insert(key(i), b"v")
+        got = [k for k, _ in tree.scan_range(key(45), None)]
+        assert got == [key(i) for i in range(45, 50)]
+
+    def test_high_bound_is_prefix_inclusive(self):
+        # Index keys carry a rowid suffix after the column prefix; a scan
+        # bounded by the bare prefix must still yield those longer keys.
+        tree, _ = make_tree()
+        tree.insert(b"aa\x01", b"1")
+        tree.insert(b"ab\x01", b"2")
+        tree.insert(b"ac\x01", b"3")
+        got = [k for k, _ in tree.scan_range(b"aa", b"ab")]
+        assert got == [b"aa\x01", b"ab\x01"]
+
+    def test_survives_splits(self):
+        tree, _ = make_tree(page_size=512)
+        for i in range(500):
+            tree.insert(key(i), str(i).encode() * 4)
+        got = [k for k, _ in tree.scan_range(key(123), key(456))]
+        assert got == [key(i) for i in range(123, 457)]
+
+    def test_empty_window(self):
+        tree, _ = make_tree()
+        for i in range(10):
+            tree.insert(key(i * 10), b"v")
+        assert list(tree.scan_range(key(11), key(19))) == []

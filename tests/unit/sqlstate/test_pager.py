@@ -183,3 +183,96 @@ def test_commit_without_begin_rejected():
     pager = make_pager()
     with pytest.raises(SqlError):
         pager.commit()
+
+
+class TestBufferPool:
+    def make_pooled_pager(self, pool, journal=True):
+        from repro.sqlstate.pager import Pager
+
+        journal_file = MemoryVfsFile() if journal else None
+        return Pager(
+            MemoryVfsFile(), page_size=512, journal_file=journal_file, pool=pool
+        )
+
+    def test_capacity_is_enforced(self):
+        from repro.sqlstate.pager import BufferPool
+
+        pool = BufferPool(capacity_pages=4)
+        pager = self.make_pooled_pager(pool)
+        pager.begin()
+        pages = [pager.allocate() for _ in range(10)]
+        for i, page_no in enumerate(pages):
+            pager.put(page_no, page_of(i + 1))
+        pager.commit()
+        assert len(pool) <= 4
+        assert pool.evictions > 0
+        # Evicted pages re-read correctly from the file.
+        for i, page_no in enumerate(pages):
+            assert pager.get(page_no) == page_of(i + 1)
+
+    def test_dirty_pages_are_pinned_outside_the_pool(self):
+        from repro.sqlstate.pager import BufferPool
+
+        pool = BufferPool(capacity_pages=2)
+        pager = self.make_pooled_pager(pool)
+        pager.begin()
+        target = pager.allocate()
+        fillers = [pager.allocate() for _ in range(6)]
+        pager.put(target, page_of(42))
+        pager.commit()
+        pager.begin()
+        pager.put(target, page_of(43))  # dirty: must survive pool pressure
+        for page_no in fillers:  # churn the tiny pool
+            pager.get(page_no)
+        assert pager.get(target) == page_of(43)
+        pager.commit()
+        assert pager.get(target) == page_of(43)
+
+    def test_rollback_discards_only_touched_pages(self):
+        from repro.sqlstate.pager import BufferPool
+
+        pool = BufferPool(capacity_pages=64)
+        pager = self.make_pooled_pager(pool)
+        pager.begin()
+        touched = pager.allocate()
+        untouched = pager.allocate()
+        pager.put(touched, page_of(1))
+        pager.put(untouched, page_of(2))
+        pager.commit()
+        pager.get(untouched)  # warm the pool
+        pager.begin()
+        pager.put(touched, page_of(9))
+        pager.rollback()
+        assert pager.get(touched) == page_of(1)
+        hits = pager.cache_hits
+        assert pager.get(untouched) == page_of(2)
+        assert pager.cache_hits == hits + 1  # stayed warm across rollback
+
+    def test_crash_drops_this_pagers_entries(self):
+        from repro.sqlstate.pager import BufferPool
+
+        pool = BufferPool(capacity_pages=64)
+        pager = self.make_pooled_pager(pool)
+        pager.begin()
+        page_no = pager.allocate()
+        pager.put(page_no, page_of(5))
+        pager.commit()
+        assert len(pool) > 0
+        pager.crash()
+        assert len(pool) == 0
+        assert pager.get(page_no) == page_of(5)  # re-read from the file
+
+    def test_two_pagers_sharing_a_pool_never_alias(self):
+        from repro.sqlstate.pager import BufferPool
+
+        pool = BufferPool(capacity_pages=64)
+        a = self.make_pooled_pager(pool)
+        b = self.make_pooled_pager(pool)
+        for pager, byte in ((a, 0x0A), (b, 0x0B)):
+            pager.begin()
+            page_no = pager.allocate()
+            assert page_no == 1
+            pager.put(page_no, page_of(byte))
+            pager.commit()
+        assert a.get(1) == page_of(0x0A)
+        assert b.get(1) == page_of(0x0B)
