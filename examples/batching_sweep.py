@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Batching sweep: throughput/latency over (max_batch, congestion_window).
+
+Measures the full grid with a 24-client closed-loop population and
+reports the knee — the cheapest configuration within 5% of the best
+throughput.  The committed result backs the default
+``congestion_window = 1`` in :class:`repro.pbft.config.PbftConfig`:
+with batching on, a window of 1 maximizes request pooling and wins the
+grid; wider windows only pay off when batching is disabled.
+
+Run:  python examples/batching_sweep.py [--smoke] [--out BENCH_batching.json]
+
+--smoke runs a reduced grid with short windows and exits non-zero if the
+measured knee's window differs from the committed default — the guard
+that keeps the default honest if batching behavior changes.
+"""
+
+import argparse
+import json
+import platform
+import sys
+
+from repro.harness.batching import format_batching, run_batching_sweep
+from repro.pbft.config import PbftConfig
+
+
+def to_json(sweep, smoke: bool) -> dict:
+    knee = sweep.knee()
+    best = sweep.best()
+    return {
+        "schema": 1,
+        "what": "throughput/latency over (max_batch, congestion_window)",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "smoke": smoke,
+        "num_clients": sweep.num_clients,
+        "payload_size": sweep.payload_size,
+        "points": [p.as_json() for p in sweep.points],
+        "best": best.as_json(),
+        "knee": knee.as_json(),
+        "default_congestion_window": PbftConfig().congestion_window,
+        "wall_s": round(sweep.wall_s, 1),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced grid with short windows; verify the knee still "
+        "matches the committed congestion_window default",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, help="RNG seed (default 3)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_batching.json", metavar="FILE",
+        help="write results here (default BENCH_batching.json)",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        grid = dict(
+            max_batches=(1, 16, 64), windows=(1, 2, 8),
+            warmup_s=0.1, measure_s=0.3,
+        )
+    else:
+        grid = dict(warmup_s=0.2, measure_s=0.5)
+    sweep = run_batching_sweep(seed=args.seed, **grid)
+
+    print(format_batching(sweep))
+    print(f"(total sweep wall time {sweep.wall_s:.1f}s)")
+
+    out = args.out
+    if args.smoke and out == "BENCH_batching.json":
+        out = "BENCH_batching_smoke.json"  # never clobber the baseline
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(to_json(sweep, smoke=args.smoke), fh, indent=2)
+    print(f"wrote {out}")
+
+    knee = sweep.knee()
+    default = PbftConfig().congestion_window
+    if knee.congestion_window != default:
+        print(
+            f"KNEE MOVED: measured knee congestion_window="
+            f"{knee.congestion_window} but the default is {default} — "
+            "re-run the full sweep and revisit the default",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"knee check OK: congestion_window={default} is still the knee")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

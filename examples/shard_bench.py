@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Sharded-deployment bench: kv goodput scaling plus a mixed SQL workload.
+
+Builds 1-, 2-, and 4-shard deployments (each shard an independent 4-replica
+PBFT group on one shared simulated fabric), drives closed-loop routers at
+constant per-shard offered load, and reports goodput per shard count.  The
+committed gate is 4-shard goodput >= 2.5x 1-shard.  A second workload runs
+two shards each owning one SQL table, mixing single-shard INSERTs with
+cross-shard transfer transactions committed through deterministic 2PC.
+
+Run:  python examples/shard_bench.py [--smoke] [--out BENCH_shard.json]
+
+Default mode writes the results to --out (the committed baseline).
+--smoke shortens the windows, enforces the 2.5x scaling floor, and
+compares the measured 4-shard scaling ratio against the committed
+baseline with a tolerance — the CI gate.  Ratios are simulated-time and
+deterministic, so the comparison is machine-independent.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from repro.harness.shardbench import format_shard_bench, run_shard_bench
+
+SCALING_FLOOR = 2.5
+RATIO_TOLERANCE = 0.20
+
+
+def to_json(result, smoke: bool) -> dict:
+    return {
+        "schema": 1,
+        "what": "sharded PBFT: kv goodput scaling + mixed single-/cross-shard SQL",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "smoke": smoke,
+        "scaling": {
+            "points": [p.as_json() for p in result.points],
+            "speedup_2x": round(result.speedup(2), 3),
+            "speedup_4x": round(result.speedup(4), 3),
+            "floor_4x": SCALING_FLOOR,
+        },
+        "sql_mixed": result.sql,
+        "wall_s": round(result.wall_s, 1),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short windows; enforce the scaling floor and compare the "
+        "4-shard ratio against --baseline instead of overwriting it",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, help="RNG seed (default 3)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_shard.json", metavar="FILE",
+        help="write results here (default BENCH_shard.json)",
+    )
+    parser.add_argument(
+        "--baseline", default="BENCH_shard.json", metavar="FILE",
+        help="committed baseline to compare against in --smoke mode",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=RATIO_TOLERANCE,
+        help="allowed fractional drop of the 4-shard scaling ratio vs "
+        "the baseline (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    result = run_shard_bench(smoke=args.smoke, seed=args.seed)
+    print(format_shard_bench(result))
+    print(f"(total bench wall time {result.wall_s:.1f}s)")
+
+    speedup_4x = result.speedup(4)
+    if speedup_4x < SCALING_FLOOR:
+        print(
+            f"FAIL: 4-shard goodput is only {speedup_4x:.2f}x 1-shard "
+            f"(floor {SCALING_FLOOR}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"scaling gate OK: 4 shards = {speedup_4x:.2f}x (floor {SCALING_FLOOR}x)")
+
+    if args.smoke:
+        if os.path.abspath(args.out) != os.path.abspath(args.baseline):
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(to_json(result, smoke=True), fh, indent=2)
+            print(f"wrote {args.out}")
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; nothing to compare",
+                  file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        floor = baseline["scaling"]["speedup_4x"] * (1 - args.tolerance)
+        if speedup_4x < floor:
+            print(
+                f"REGRESSION: 4-shard scaling {speedup_4x:.2f}x below "
+                f"baseline-derived floor {floor:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"perf-smoke OK: scaling ratio within tolerance (floor {floor:.2f}x)")
+        return 0
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(to_json(result, smoke=False), fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,20 @@ def encode_get(key: bytes) -> bytes:
     return Encoder().u8(_OP_GET).blob(key).finish()
 
 
+def keys_of_op(op: bytes) -> tuple[bytes, ...]:
+    """The keys a kv operation touches — the sharding layer's routing and
+    locking unit (see :mod:`repro.shard`).  Unknown opcodes touch nothing."""
+    dec = Decoder(op)
+    kind = dec.u8()
+    if kind in (_OP_PUT, _OP_GET):
+        return (dec.blob(),)
+    return ()
+
+
+def op_is_readonly(op: bytes) -> bool:
+    return op[:1] == bytes((_OP_GET,))
+
+
 class KvApplication(Application):
     """Fixed-slot hash table over the state region.
 

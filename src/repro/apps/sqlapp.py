@@ -54,6 +54,49 @@ def decode_sql_op(op: bytes) -> tuple[str, tuple]:
     return sql, params
 
 
+_TABLE_INTRODUCERS = frozenset({"from", "into", "update", "join", "table"})
+_STOP_WORDS = frozenset(
+    {"select", "where", "set", "values", "on", "as", "order", "group",
+     "limit", "inner", "left", "outer", "cross", "if", "not", "exists"}
+)
+
+
+def tables_of_sql(sql: str) -> tuple[str, ...]:
+    """The table names a statement references, in first-mention order.
+
+    This is the sharding layer's routing unit for SQL (tables, not rows:
+    SQL tables are few and heavy, so :mod:`repro.shard` places and locks
+    whole tables).  A word-level scan over the statement — after FROM /
+    INTO / UPDATE / JOIN / TABLE, identifiers (comma-separated lists
+    included) are tables — is exact for the dialect the embedded engine
+    accepts, which has no subqueries in FROM and no quoted table names.
+    """
+    words = sql.replace(",", " , ").replace("(", " ( ").replace(";", " ").split()
+    tables: list[str] = []
+    # "idle" -> introducer seen: "table" -> name taken: "alias" (a comma
+    # returns to "table" so comma-separated FROM lists keep collecting).
+    state = "idle"
+    for word in words:
+        lowered = word.lower()
+        if lowered in _TABLE_INTRODUCERS:
+            state = "table"
+            continue
+        if state == "table":
+            if lowered in _STOP_WORDS or not (word[0].isalpha() or word[0] == "_"):
+                state = "idle"
+                continue
+            if lowered not in tables:
+                tables.append(lowered)
+            state = "alias"
+        elif state == "alias":
+            if lowered == ",":
+                state = "table"
+            elif lowered in _STOP_WORDS or not (word[0].isalpha() or word[0] == "_"):
+                state = "idle"
+            # any other identifier is an alias: stay, a comma may follow
+    return tuple(tables)
+
+
 def encode_rows_reply(result: ResultSet) -> bytes:
     enc = Encoder().u8(1).u32(len(result.rows))
     for row in result.rows:

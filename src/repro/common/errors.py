@@ -34,6 +34,10 @@ class SqlError(ReproError):
     """The embedded SQL engine rejected a statement or transaction."""
 
 
+class ShardError(ReproError):
+    """The sharding layer rejected a request (unknown table, bad routing)."""
+
+
 class SqlSyntaxError(SqlError):
     """The SQL text could not be tokenized or parsed."""
 

@@ -208,7 +208,9 @@ class FaultInjector:
         index = self._rogues
         self._rogues += 1
         client_id = make_client_id(900 + index)
-        host = cluster.fabric.add_host(f"byzhost{index}")
+        host = cluster.fabric.add_host(
+            f"{cluster.config.group_prefix}byzhost{index}"
+        )
         cluster.keys.new_client_keypair(client_id)
         client = PbftClient(
             client_id=client_id,
@@ -290,7 +292,10 @@ class FaultInjector:
                            rogue.node_id)
             for rid in range(cluster.config.n):
                 rogue.host.charge_cpu(cluster.config.costs.msg_send_ns)
-                rogue.socket.send(replica_address(rid), env, env.size, "Request")
+                rogue.socket.send(
+                    replica_address(rid, cluster.config.group_prefix),
+                    env, env.size, "Request",
+                )
             state["timer"] = cluster.sim.schedule(fault.interval_ns, tick)
 
         self._open_client_fault_window(fault.duration_ns)

@@ -1,6 +1,7 @@
 """Protocol invariants checked after every fault-campaign run.
 
-Four checks, matching the paper's safety and liveness claims:
+Six checks, matching the paper's safety and liveness claims (plus the
+sharding layer's atomicity contract):
 
 * **agreement** — replicas never diverge: state roots match at every
   shared stable checkpoint and execution journals agree on every shared
@@ -11,7 +12,12 @@ Four checks, matching the paper's safety and liveness claims:
 * **monotone checkpoint stability** — a replica's stable checkpoint
   sequence never moves backwards, crash/restart included;
 * **client liveness** — once every fault has healed and the drain window
-  has passed, no invoked operation is left incomplete.
+  has passed, no invoked operation is left incomplete;
+* **flood liveness** — honest clients keep completing work *during*
+  Byzantine-client disturbances, not merely after they heal;
+* **cross-shard atomicity** (#6, sharded topologies only) — no
+  transaction commits on one shard and aborts on another, regardless of
+  partitions, coordinator crashes, and recovery races.
 
 Checks return :class:`Violation` lists rather than raising, so a
 campaign can keep sweeping and report everything it found.
@@ -169,3 +175,60 @@ def check_liveness(
         )
         for client_id, req_id in missing
     ]
+
+
+def check_cross_shard_atomicity(groups: list[Cluster]) -> list[Violation]:
+    """Invariant #6: a transaction's outcome is the same at every shard.
+
+    Each shard's :class:`~repro.shard.txapp.ShardTxApplication` records
+    every transaction it applied (1 = committed, 0 = aborted) in
+    replicated state.  Two things must hold after the campaign's
+    reconciliation sweep:
+
+    * within one shard, no two live replicas recorded *different*
+      outcomes for the same transaction (a replica that lags and has no
+      record yet is fine — the agreement invariant covers state
+      convergence);
+    * across shards, every transaction's recorded outcomes agree — the
+      "committed on one shard, aborted on another" bug this invariant
+      exists to catch.
+    """
+    violations: list[Violation] = []
+    per_shard: dict[int, dict[bytes, int]] = {}
+    for shard, group in enumerate(groups):
+        merged: dict[bytes, int] = {}
+        for replica in group.replicas:
+            if replica.crashed:
+                continue
+            outcomes = getattr(replica.app, "outcomes", None)
+            if outcomes is None:
+                continue
+            for txid, outcome in outcomes().items():
+                if txid in merged and merged[txid] != outcome:
+                    violations.append(
+                        Violation(
+                            "cross-shard-atomicity",
+                            f"shard {shard}: replicas disagree on txn "
+                            f"{txid.hex()[:8]} "
+                            f"({merged[txid]} vs {outcome})",
+                        )
+                    )
+                merged[txid] = outcome
+        per_shard[shard] = merged
+    by_txid: dict[bytes, dict[int, int]] = {}
+    for shard, merged in per_shard.items():
+        for txid, outcome in merged.items():
+            by_txid.setdefault(txid, {})[shard] = outcome
+    for txid, shard_outcomes in sorted(by_txid.items()):
+        if len(set(shard_outcomes.values())) > 1:
+            detail = ", ".join(
+                f"shard{shard}={'commit' if oc else 'abort'}"
+                for shard, oc in sorted(shard_outcomes.items())
+            )
+            violations.append(
+                Violation(
+                    "cross-shard-atomicity",
+                    f"txn {txid.hex()[:8]} has mixed outcomes: {detail}",
+                )
+            )
+    return violations

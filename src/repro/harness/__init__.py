@@ -31,6 +31,12 @@ from repro.harness.experiments import (
     run_packet_loss_experiment,
     run_fault_campaign,
 )
+from repro.harness.batching import (
+    BatchingPoint,
+    BatchingSweep,
+    format_batching,
+    run_batching_sweep,
+)
 from repro.harness.overload import (
     OverloadPoint,
     OverloadSweep,
@@ -45,6 +51,15 @@ from repro.harness.reporting import (
     format_acid,
     format_campaign,
     format_overload,
+)
+from repro.harness.shardbench import (
+    ShardBenchResult,
+    ShardPoint,
+    format_shard_bench,
+    run_shard_bench,
+    run_shard_scaling_point,
+    run_shard_sql_mix,
+    shard_bench_config,
 )
 from repro.harness.wan import run_wan_sweep, format_wan, PROFILES
 from repro.harness.analysis import summarize, messages_per_request
@@ -64,6 +79,17 @@ __all__ = [
     "run_recovery_experiment",
     "run_packet_loss_experiment",
     "run_fault_campaign",
+    "BatchingPoint",
+    "BatchingSweep",
+    "format_batching",
+    "run_batching_sweep",
+    "ShardBenchResult",
+    "ShardPoint",
+    "format_shard_bench",
+    "run_shard_bench",
+    "run_shard_scaling_point",
+    "run_shard_sql_mix",
+    "shard_bench_config",
     "OverloadPoint",
     "OverloadSweep",
     "estimate_capacity",

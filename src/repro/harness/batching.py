@@ -1,0 +1,137 @@
+"""Batching sweep: throughput/latency over (max_batch, congestion_window).
+
+The paper's batching optimization (section 2.1) pools requests that
+arrive while the congestion window is full and ships them in one
+pre-prepare.  Two knobs interact:
+
+* ``max_batch`` — how many requests one pre-prepare may carry;
+* ``congestion_window`` — how many sequence numbers may be assigned but
+  not yet executed before the primary postpones further pre-prepares.
+
+A window of 1 serializes the pipeline (one batch in flight; everything
+else pools, which maximizes batch fill but leaves the replicas idle
+between batches); very large windows stop pooling and degenerate into
+one pre-prepare per request.  The sweep measures the whole grid with a
+closed-loop client population and reports the knee.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.harness.measure import Measurement, run_null_workload
+from repro.pbft.config import PbftConfig
+
+
+@dataclass
+class BatchingPoint:
+    """One (max_batch, congestion_window) measurement."""
+
+    max_batch: int
+    congestion_window: int
+    tps: float
+    p50_latency_ns: int
+    p99_latency_ns: int
+
+    def as_json(self) -> dict:
+        return {
+            "max_batch": self.max_batch,
+            "congestion_window": self.congestion_window,
+            "sim_tps": round(self.tps, 1),
+            "sim_p50_latency_us": round(self.p50_latency_ns / 1000, 1),
+            "sim_p99_latency_us": round(self.p99_latency_ns / 1000, 1),
+        }
+
+
+@dataclass
+class BatchingSweep:
+    """The full grid plus the knee recommendation."""
+
+    points: list[BatchingPoint]
+    num_clients: int
+    payload_size: int
+    wall_s: float = 0.0
+
+    def best(self) -> BatchingPoint:
+        return max(self.points, key=lambda p: p.tps)
+
+    def knee(self, tolerance: float = 0.05) -> BatchingPoint:
+        """The smallest window (then smallest batch) within ``tolerance``
+        of the best throughput — the cheapest configuration that buys
+        almost all of the win."""
+        floor = self.best().tps * (1 - tolerance)
+        eligible = [p for p in self.points if p.tps >= floor]
+        return min(
+            eligible, key=lambda p: (p.congestion_window, p.max_batch)
+        )
+
+
+def run_batching_sweep(
+    max_batches: tuple[int, ...] = (1, 8, 16, 32, 64),
+    windows: tuple[int, ...] = (1, 2, 4, 8),
+    num_clients: int = 24,
+    payload_size: int = 1024,
+    warmup_s: float = 0.2,
+    measure_s: float = 0.5,
+    seed: int = 3,
+) -> BatchingSweep:
+    """Measure the whole (max_batch, congestion_window) grid."""
+    start = time.time()
+    points: list[BatchingPoint] = []
+    for max_batch in max_batches:
+        for window in windows:
+            config = PbftConfig().with_options(
+                num_clients=num_clients,
+                max_batch=max_batch,
+                congestion_window=window,
+            )
+            m = run_null_workload(
+                config,
+                name=f"batch{max_batch}-cwnd{window}",
+                payload_size=payload_size,
+                warmup_s=warmup_s,
+                measure_s=measure_s,
+                seed=seed,
+            )
+            points.append(
+                BatchingPoint(
+                    max_batch=max_batch,
+                    congestion_window=window,
+                    tps=m.tps,
+                    p50_latency_ns=m.p50_latency_ns,
+                    p99_latency_ns=m.p99_latency_ns,
+                )
+            )
+    return BatchingSweep(
+        points=points,
+        num_clients=num_clients,
+        payload_size=payload_size,
+        wall_s=time.time() - start,
+    )
+
+
+def format_batching(sweep: BatchingSweep) -> str:
+    header = (
+        f"{'max_batch':>9s} {'cwnd':>5s} {'Goodput':>10s} {'p50':>9s} {'p99':>9s}"
+    )
+    lines = [
+        f"batching sweep ({sweep.num_clients} clients, "
+        f"{sweep.payload_size}B payload)",
+        header,
+        "-" * len(header),
+    ]
+    for point in sweep.points:
+        lines.append(
+            f"{point.max_batch:9d} {point.congestion_window:5d} "
+            f"{point.tps:10.0f} {point.p50_latency_ns / 1000:8.1f}u "
+            f"{point.p99_latency_ns / 1000:8.1f}u"
+        )
+    knee = sweep.knee()
+    best = sweep.best()
+    lines.append(
+        f"best {best.tps:.0f} op/s at (batch={best.max_batch}, "
+        f"cwnd={best.congestion_window}); knee at (batch={knee.max_batch}, "
+        f"cwnd={knee.congestion_window}) with {knee.tps:.0f} op/s"
+    )
+    return "\n".join(lines)

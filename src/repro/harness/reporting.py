@@ -135,7 +135,7 @@ def format_campaign(campaign) -> str:
     failed = campaign.failed_runs
     lines.append(
         f"{len(campaign.runs) - len(failed)}/{len(campaign.runs)} runs passed "
-        "all five invariants"
+        "all invariants"
         + ("" if not failed else f"; {len(failed)} FAILED")
     )
     return "\n".join(lines)

@@ -73,7 +73,7 @@ class JoinState:
         for rid in range(self.client.config.n):
             # Self-certifying: the public key rides in the message itself,
             # and address ownership is what the challenge round proves.
-            self.client.send_plain(replica_address(rid), msg)
+            self.client.send_plain(replica_address(rid, self.client.group_prefix), msg)
         self.timer = self.client.host.sim.schedule(
             self.client.config.client_retransmit_ns, self._on_timeout
         )

@@ -80,10 +80,12 @@ class PbftClient(Node):
         self.failed_ops = 0
         self.retransmissions = 0
         self.latencies_ns: list[int] = []
-        self.stats = self.obs.registry.view(f"client{client_id}.")
-        # One latency histogram shared by every client on the registry.
-        self._latency_hist = self.obs.registry.histogram("client.latency_ns")
-        self._track = f"client{client_id}"
+        prefix = config.group_prefix
+        self.stats = self.obs.registry.view(f"{prefix}client{client_id}.")
+        # One latency histogram shared by every client on the registry
+        # (per group in sharded deployments).
+        self._latency_hist = self.obs.registry.histogram(f"{prefix}client.latency_ns")
+        self._track = f"{prefix}client{client_id}"
         self._refresh_timer = None
         if config.use_macs:
             self._start_authenticator_rebroadcast()
@@ -115,7 +117,7 @@ class PbftClient(Node):
             for rid in range(self.config.n):
                 from repro.pbft.node import replica_address
 
-                self.send_signed(replica_address(rid), msg)
+                self.send_signed(replica_address(rid, self.group_prefix), msg)
         self._start_authenticator_rebroadcast()
 
     # -- invoking operations ------------------------------------------------------------
@@ -160,7 +162,7 @@ class PbftClient(Node):
             from repro.pbft.node import replica_address
 
             for rid in range(self.config.n):
-                self.send_signed(replica_address(rid), request)
+                self.send_signed(replica_address(rid, self.group_prefix), request)
         elif request.big or request.readonly or not first:
             # Big and read-only requests are always multicast; ordinary
             # requests are multicast on retransmission so backups start

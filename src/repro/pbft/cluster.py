@@ -88,6 +88,9 @@ def build_cluster(
     nondet_validator_factory=None,
     clock_skew_ns: int = 0,
     obs: Optional[Observability] = None,
+    sim: Optional[Simulator] = None,
+    rng: Optional[RngStreams] = None,
+    fabric: Optional[NetworkFabric] = None,
 ) -> Cluster:
     """Build a full deployment ready to run.
 
@@ -95,24 +98,31 @@ def build_cluster(
     statically registered at every replica with pre-shared session keys —
     PBFT's a-priori-knowledge model.  With it True, replicas get membership
     managers and clients must :func:`repro.membership.join_client` first.
+
+    ``sim``/``rng``/``fabric``/``obs`` may be injected so several groups
+    (each with a distinct ``config.group_prefix``) share one simulated
+    network and metrics registry — the sharded topology of
+    :mod:`repro.shard`.  Each group still gets its own key directory.
     """
     config = config or PbftConfig()
     config.validate()
-    sim = Simulator()
-    rng = RngStreams(seed)
+    sim = sim if sim is not None else Simulator()
+    rng = rng if rng is not None else RngStreams(seed)
     obs = obs if obs is not None else Observability()
     obs.attach_clock(lambda: sim.now)
-    fabric = NetworkFabric(
-        sim, rng, config=net_config, trace_enabled=trace, tracer=obs.tracer
-    )
+    if fabric is None:
+        fabric = NetworkFabric(
+            sim, rng, config=net_config, trace_enabled=trace, tracer=obs.tracer
+        )
     keys = KeyDirectory(config, rng.stream("keys"))
+    prefix = config.group_prefix
 
     skew_rng = rng.stream("clock-skew")
     replicas: list[Replica] = []
     apps: list[Application] = []
     for rid in range(config.n):
         skew = skew_rng.randrange(-clock_skew_ns, clock_skew_ns + 1) if clock_skew_ns else 0
-        host = fabric.add_host(f"replica{rid}", clock_skew_ns=skew)
+        host = fabric.add_host(f"{prefix}replica{rid}", clock_skew_ns=skew)
         app = app_factory() if app_factory else NullApplication()
         apps.append(app)
         replica = Replica(
@@ -137,7 +147,7 @@ def build_cluster(
     hosts = []
     for h in range(client_hosts):
         skew = skew_rng.randrange(-clock_skew_ns, clock_skew_ns + 1) if clock_skew_ns else 0
-        hosts.append(fabric.add_host(f"clienthost{h}", clock_skew_ns=skew))
+        hosts.append(fabric.add_host(f"{prefix}clienthost{h}", clock_skew_ns=skew))
 
     clients: list[PbftClient] = []
     session_rng = rng.stream("client-sessions")

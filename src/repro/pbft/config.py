@@ -54,6 +54,13 @@ class PbftConfig:
     f: int = 1
     num_clients: int = 12
 
+    # -- sharded deployments ---------------------------------------------------
+    # Prefix applied to every host name and metric key owned by this group
+    # ("s0-", "s1-", ...).  Multiple groups can then share one simulator,
+    # network fabric, and metrics registry without host-name or metric-key
+    # collisions; "" (the default) preserves the single-group layout.
+    group_prefix: str = ""
+
     # -- Table 1 toggles -----------------------------------------------------
     use_macs: bool = True
     # Requests with bodies >= this many bytes are "big" (multicast by the
@@ -73,6 +80,12 @@ class PbftConfig:
     # and later leave in a single batched pre-prepare — the pooling *is*
     # the batching optimization ("batched requests capture parallelism
     # from different clients").
+    #
+    # 1 is the measured knee (examples/batching_sweep.py, BENCH_batching
+    # .json): with batching on, a window of 1 maximizes pooling and wins
+    # the whole grid (26.0k op/s vs 23.2k at 2 and 13.0k at 8 with 24
+    # clients); wider windows only help when batching is off (max_batch
+    # = 1), where 2-4 roughly doubles throughput over 1.
     congestion_window: int = 1
     max_batch: int = 64
     tentative_execution: bool = True

@@ -136,8 +136,8 @@ class KeyDirectory:
         return self.replica_session[frozenset((a, b))]
 
 
-def replica_address(rid: int) -> Address:
-    return (f"replica{rid}", REPLICA_PORT)
+def replica_address(rid: int, prefix: str = "") -> Address:
+    return (f"{prefix}replica{rid}", REPLICA_PORT)
 
 
 class Node:
@@ -163,6 +163,7 @@ class Node:
         self.keys = keys
         self.kind = kind
         self.node_id = node_id
+        self.group_prefix = config.group_prefix
         self.real_crypto = real_crypto
         # Shared observability (metrics registry + tracer).  A private
         # registry and disabled tracer are created when none is supplied,
@@ -274,13 +275,17 @@ class Node:
             dests = self._dests_memo.get(memo_key)
             if dests is None:
                 dests = self._dests_memo[memo_key] = [
-                    (rid, replica_address(rid))
+                    (rid, replica_address(rid, self.group_prefix))
                     for rid in range(self.config.n)
                     if rid != exclude
                 ]
         else:
             rids = only if only is not None else list(range(self.config.n))
-            dests = [(rid, replica_address(rid)) for rid in rids if rid != exclude]
+            dests = [
+                (rid, replica_address(rid, self.group_prefix))
+                for rid in rids
+                if rid != exclude
+            ]
         if not dests:
             return
         per_copy = self._marshal_cost(msg)

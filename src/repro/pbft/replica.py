@@ -221,12 +221,14 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         # Typed counters in the shared registry; reads of unset keys are 0
         # and ``+=`` registers the counter, so this drops in for the old
         # defaultdict(int).
-        self.stats = self.obs.registry.view(f"replica{replica_id}.")
+        self.stats = self.obs.registry.view(
+            f"{config.group_prefix}replica{replica_id}."
+        )
         # Overload admission pipeline (see repro.pbft.admission): per-client
         # in-flight caps, queue shedding policy, and the penalty box.
         self.admission = AdmissionControl(config)
         self._depth_gauge = self.obs.registry.gauge(
-            f"replica{replica_id}.pending_depth"
+            f"{config.group_prefix}replica{replica_id}.pending_depth"
         )
 
         app.bind_state(self.state, config.library_pages * config.page_size)
@@ -280,9 +282,9 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
 
     def send_to_replica(self, rid: int, msg) -> None:
         if self.config.use_macs:
-            self.send_mac(replica_address(rid), "replica", rid, msg)
+            self.send_mac(replica_address(rid, self.group_prefix), "replica", rid, msg)
         else:
-            self.send_signed(replica_address(rid), msg)
+            self.send_signed(replica_address(rid, self.group_prefix), msg)
 
     def _state_installed(self) -> None:
         """The state pages were replaced wholesale (transfer, rollback,

@@ -1,0 +1,71 @@
+"""Sharded multi-group PBFT with cross-shard ACID commit.
+
+The scale-out layer (ROADMAP #2, Basil-style): the keyspace / SQL tables
+are partitioned across S independent PBFT groups, single-shard operations
+route directly to the owning group, and cross-shard transactions commit
+atomically through a deterministic two-phase commit whose every protocol
+step is ordered in some group's own PBFT log.  See DESIGN.md §9.
+"""
+
+from repro.shard.campaign import (
+    ShardScenario,
+    key_for_shard,
+    prefix_schedule,
+    run_shard_campaign,
+    run_shard_scenario,
+    shard_campaign_config,
+    shard_scenarios,
+    smoke_scenarios,
+)
+from repro.shard.directory import ShardDirectory
+from repro.shard.router import (
+    KvShardCodec,
+    ShardRouter,
+    SqlShardCodec,
+    TxnResult,
+)
+from repro.shard.topology import ShardedCluster, build_sharded_cluster
+from repro.shard.txapp import (
+    DECISION_ABORT,
+    DECISION_COMMIT,
+    ShardTxApplication,
+    decode_tx_reply,
+    encode_abort,
+    encode_commit,
+    encode_decide,
+    encode_forget,
+    encode_prepare,
+    encode_resolve,
+    encode_status,
+    is_tx_reply,
+)
+
+__all__ = [
+    "ShardDirectory",
+    "ShardScenario",
+    "key_for_shard",
+    "prefix_schedule",
+    "run_shard_campaign",
+    "run_shard_scenario",
+    "shard_campaign_config",
+    "shard_scenarios",
+    "smoke_scenarios",
+    "ShardRouter",
+    "KvShardCodec",
+    "SqlShardCodec",
+    "TxnResult",
+    "ShardedCluster",
+    "build_sharded_cluster",
+    "ShardTxApplication",
+    "DECISION_ABORT",
+    "DECISION_COMMIT",
+    "encode_prepare",
+    "encode_commit",
+    "encode_abort",
+    "encode_decide",
+    "encode_forget",
+    "encode_resolve",
+    "encode_status",
+    "decode_tx_reply",
+    "is_tx_reply",
+]

@@ -1,0 +1,446 @@
+"""Fault campaigns against the sharded topology.
+
+Reuses the machinery of :mod:`repro.faults` wholesale — one
+:class:`~repro.faults.injector.FaultInjector` per group, the same
+run/drain/settle phases, the same deterministic traced re-run on a
+violation — and extends it with the sharding layer's own concerns:
+
+* **prefixed schedules** — host-name based faults (partitions, link
+  disturbances) written against the single-group names ("replica0",
+  "replica*") are translated onto one group's prefixed hosts
+  ("s0-replica0", ...); replica-index faults need no translation because
+  each injector acts on its own group's replica list;
+* **router workload** — closed-loop routers mix single-shard writes with
+  cross-shard transactions on a small set of shared hot keys, so lock
+  collisions, wound-free aborts, and stranded-transaction recovery all
+  fire under faults;
+* **coordinator-crash scenarios** — the router crash hooks
+  (``after_prepare`` / ``after_decide``) strand a transaction mid-2PC,
+  and the run only passes if recovery plus the reconciliation sweep
+  restore atomicity;
+* **invariant #6** — after :meth:`ShardedCluster.reconcile`, no
+  transaction may have committed on one shard and aborted on another
+  (:func:`repro.faults.invariants.check_cross_shard_atomicity`), on top
+  of the five single-group invariants checked per group.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.kvstore import encode_put
+from repro.common.errors import ShardError
+from repro.common.units import MILLISECOND
+from repro.faults.campaign import (
+    CampaignResult,
+    RunResult,
+    _dump_artifacts,
+    campaign_config,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    Violation,
+    check_agreement,
+    check_checkpoint_monotone,
+    check_cross_shard_atomicity,
+    check_flood_liveness,
+    check_liveness,
+    check_no_committed_loss,
+)
+from repro.faults.library import (
+    equivocating_primary,
+    flooding_client,
+    lossy_replica_links,
+    primary_crash_restart,
+    primary_partition,
+)
+from repro.faults.schedule import (
+    FaultSchedule,
+    LinkDisturbance,
+    PartitionFault,
+    Trigger,
+)
+from repro.obs import Observability
+from repro.pbft.config import PbftConfig
+from repro.shard.directory import ShardDirectory
+from repro.shard.topology import ShardedCluster, build_sharded_cluster
+
+PAYLOAD = bytes(96)
+
+# Campaign topology: small and fast, like the single-group campaigns.
+_NUM_SHARDS = 2
+_NUM_ROUTERS = 4
+_ROUTER_HOSTS = 2
+_TXN_EVERY = 4  # every 4th router op is a cross-shard transaction
+_HOT_PAIRS = 3  # distinct hot cross-shard key pairs shared by all routers
+
+# Logical operation ids for the liveness ledger live in their own
+# namespace so they cannot collide with real PBFT client ids.
+_ROUTER_ID_BASE = 1000
+
+
+def shard_campaign_config() -> PbftConfig:
+    """Per-group configuration for shard campaigns (no direct clients)."""
+    return campaign_config().with_options(num_clients=0)
+
+
+def prefix_schedule(schedule: FaultSchedule, prefix: str) -> FaultSchedule:
+    """Translate a single-group schedule onto one group's prefixed hosts.
+
+    Partitions name hosts and link disturbances use host-name patterns,
+    so both get the group prefix ("replica*" -> "s0-replica*").  Faults
+    addressed by replica index (crashes, mute/equivocating primaries,
+    Byzantine clients) pass through untouched — the injector applying
+    the schedule already acts on exactly one group.
+    """
+    faults = []
+    for fault in schedule.faults:
+        if isinstance(fault, PartitionFault):
+            fault = dataclasses.replace(
+                fault,
+                group_a=frozenset(prefix + host for host in fault.group_a),
+                group_b=frozenset(prefix + host for host in fault.group_b),
+            )
+        elif isinstance(fault, LinkDisturbance):
+            fault = dataclasses.replace(
+                fault, src=prefix + fault.src, dst=prefix + fault.dst
+            )
+        faults.append(fault)
+    return dataclasses.replace(schedule, faults=tuple(faults))
+
+
+def key_for_shard(
+    directory: ShardDirectory, shard: int, tag: str, limit: int = 100_000
+) -> bytes:
+    """Deterministically find a key the directory places on ``shard``."""
+    for i in range(limit):
+        key = f"{tag}-{i}".encode()
+        if directory.shard_of_key(key) == shard:
+            return key
+    raise ShardError(f"no key with tag {tag!r} lands on shard {shard}")
+
+
+_NO_FAULTS = FaultSchedule(
+    name="no-faults",
+    description="Empty schedule: the injector only samples checkpoints.",
+    faults=(),
+)
+
+
+def _participant_timeout_schedule() -> FaultSchedule:
+    """Cut shard 1's replicas off from every router host for a while.
+
+    Cross-shard transactions touching shard 1 must abort via the prepare
+    timeout instead of wedging; single-shard traffic to shard 0 keeps
+    flowing, and after the heal everything drains.
+    """
+    return FaultSchedule(
+        name="participant-timeout",
+        description="Partition shard 1 away from the routers: prepares "
+        "time out, transactions abort, shard 0 is unaffected.",
+        faults=(
+            PartitionFault(
+                group_a=frozenset(
+                    f"s1-replica{rid}" for rid in range(4)
+                ),
+                group_b=frozenset(
+                    f"routerhost{h}" for h in range(_ROUTER_HOSTS)
+                ),
+                start=Trigger(at_ns=150 * MILLISECOND),
+                heal_after_ns=500 * MILLISECOND,
+            ),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ShardScenario:
+    """One sharded campaign run: a (translated) schedule plus router hooks."""
+
+    name: str
+    schedule: FaultSchedule
+    target_shard: int = 0
+    crash_router_point: Optional[str] = None  # "after_prepare"/"after_decide"
+
+
+def shard_scenarios() -> list[ShardScenario]:
+    """The default sweep: group-level faults on shard 0 plus 2PC-specific
+    coordinator-crash and participant-timeout scenarios."""
+    p = "s0-"
+    return [
+        ShardScenario("shard-baseline", _NO_FAULTS),
+        ShardScenario("shard0-primary-crash-restart", primary_crash_restart()),
+        ShardScenario(
+            "shard0-primary-partition", prefix_schedule(primary_partition(), p)
+        ),
+        ShardScenario(
+            "shard0-lossy-replica-links",
+            prefix_schedule(lossy_replica_links(), p),
+        ),
+        ShardScenario("shard0-equivocating-primary", equivocating_primary()),
+        ShardScenario("shard0-flooding-client", flooding_client()),
+        ShardScenario(
+            "coordinator-crash-mid-prepare",
+            _NO_FAULTS,
+            crash_router_point="after_prepare",
+        ),
+        ShardScenario(
+            "coordinator-crash-after-decide",
+            _NO_FAULTS,
+            crash_router_point="after_decide",
+        ),
+        ShardScenario("participant-timeout", _participant_timeout_schedule()),
+    ]
+
+
+def smoke_scenarios() -> list[ShardScenario]:
+    """The CI subset: one healthy run plus the two 2PC-critical paths."""
+    wanted = {
+        "shard-baseline",
+        "coordinator-crash-mid-prepare",
+        "participant-timeout",
+    }
+    return [s for s in shard_scenarios() if s.name in wanted]
+
+
+def _start_router_workload(
+    cluster: ShardedCluster,
+    invoked: list[tuple[int, int]],
+    completed: list[tuple[int, int]],
+    completed_at_ns: list[int],
+    issuing: dict[str, bool],
+    inflight: dict[int, tuple[int, int]],
+) -> None:
+    """Closed-loop router workload: singles plus hot-key cross-shard txns.
+
+    The hot pairs are shared by every router, so transactions collide:
+    lock conflicts, wound-free aborts, and recovery of stranded holders
+    all run as part of the normal workload.  A router armed with a
+    ``crash_point`` makes its *first* operation a transaction so the
+    crash hook fires early and the rest of the run exercises recovery.
+    """
+    hot_pairs = [
+        (
+            key_for_shard(cluster.directory, 0, f"hot{j}a"),
+            key_for_shard(cluster.directory, 1, f"hot{j}b"),
+        )
+        for j in range(_HOT_PAIRS)
+    ]
+
+    def start(router) -> None:
+        state = {"n": 0}
+
+        def submit() -> None:
+            if router.crashed or not issuing["on"]:
+                return
+            n = state["n"]
+            state["n"] += 1
+            op_id = (_ROUTER_ID_BASE + router.router_id, n)
+            invoked.append(op_id)
+            inflight[router.router_id] = op_id
+
+            def done(_result) -> None:
+                completed.append(op_id)
+                completed_at_ns.append(cluster.sim.now)
+                inflight.pop(router.router_id, None)
+                submit()
+
+            wants_txn = n % _TXN_EVERY == _TXN_EVERY - 1 or (
+                n == 0 and router.crash_point is not None
+            )
+            if wants_txn:
+                pair = hot_pairs[n % len(hot_pairs)]
+                router.invoke_txn(
+                    [encode_put(key, PAYLOAD) for key in pair], callback=done
+                )
+            else:
+                # A bounded per-router key space: overwrites keep the kv
+                # store's slot usage flat however long the run is.
+                key = f"r{router.router_id}-op{n % 32}".encode()
+                router.invoke(encode_put(key, PAYLOAD), callback=done)
+
+        submit()
+
+    for router in cluster.routers:
+        start(router)
+
+
+def _execute_shard(
+    scenario: ShardScenario,
+    seed: int,
+    config: PbftConfig,
+    run_ns: int,
+    drain_ns: int,
+    settle_ns: int,
+    trace: bool,
+) -> tuple[RunResult, ShardedCluster]:
+    obs = Observability(tracing=trace)
+    cluster = build_sharded_cluster(
+        _NUM_SHARDS,
+        config=config,
+        seed=seed,
+        real_crypto=False,
+        num_routers=_NUM_ROUTERS,
+        router_hosts=_ROUTER_HOSTS,
+        trace=trace,
+        obs=obs,
+    )
+    # One injector per group: the target shard runs the scenario's
+    # schedule, the others run empty schedules so their checkpoint
+    # stability still gets sampled.
+    injectors = [
+        FaultInjector(
+            group,
+            scenario.schedule if shard == scenario.target_shard else _NO_FAULTS,
+        )
+        for shard, group in enumerate(cluster.groups)
+    ]
+    target = injectors[scenario.target_shard]
+
+    completions: list[tuple[int, int, int]] = []
+    for router in cluster.routers:
+        router.completion_log = completions
+    if scenario.crash_router_point is not None:
+        cluster.routers[0].crash_point = scenario.crash_router_point
+
+    invoked: list[tuple[int, int]] = []
+    completed: list[tuple[int, int]] = []
+    completed_at_ns: list[int] = []
+    inflight: dict[int, tuple[int, int]] = {}
+    issuing = {"on": True}
+    _start_router_workload(
+        cluster, invoked, completed, completed_at_ns, issuing, inflight
+    )
+    for injector in injectors:
+        injector.start()
+
+    step = 10 * MILLISECOND
+    deadline = cluster.sim.now + run_ns
+    hard_cap = deadline + drain_ns
+    while cluster.sim.now < deadline or (
+        not target.quiescent and cluster.sim.now < hard_cap
+    ):
+        cluster.run_for(step)
+    if not target.quiescent:
+        target.log.append(
+            f"WARNING: {len(target.pending)} fault(s) never triggered and "
+            f"{target.open_heals} heal(s) still open at the hard cap"
+        )
+
+    # Drain: stop issuing, let in-flight router work finish (crashed
+    # routers are excused — their stranded transactions are the point).
+    issuing["on"] = False
+    drain_deadline = cluster.sim.now + drain_ns
+    while (
+        any(r.busy for r in cluster.routers if not r.crashed)
+        and cluster.sim.now < drain_deadline
+    ):
+        cluster.run_for(step)
+    cluster.run_for(settle_ns)
+
+    # Reconciliation sweep: resolve every leftover prepared transaction
+    # before atomicity is judged, exactly as a recovery daemon would.
+    reconciled = cluster.reconcile()
+    if reconciled:
+        target.log.append(
+            f"{cluster.sim.now / MILLISECOND:9.1f}ms  reconciled "
+            f"{reconciled} stranded transaction(s)"
+        )
+    cluster.run_for(settle_ns)
+
+    for injector in injectors:
+        injector.stop()
+    cluster.stop()
+
+    violations: list[Violation] = []
+    for shard, group in enumerate(cluster.groups):
+        group_completed = [
+            (client_id, req_id)
+            for s, client_id, req_id in completions
+            if s == shard
+        ]
+        violations += check_agreement(group)
+        violations += check_no_committed_loss(group, group_completed)
+        violations += check_checkpoint_monotone(
+            injectors[shard].stability_samples
+        )
+    crashed_ids = {r.router_id for r in cluster.routers if r.crashed}
+    excused = {
+        op for rid, op in inflight.items() if rid in crashed_ids
+    }
+    live_invoked = [op for op in invoked if op not in excused]
+    violations += check_liveness(cluster.groups[0], live_invoked, completed)
+    violations += check_flood_liveness(
+        target.client_fault_windows, completed_at_ns
+    )
+    violations += check_cross_shard_atomicity(cluster.groups)
+
+    result = RunResult(
+        schedule=scenario.name,
+        seed=seed,
+        violations=violations,
+        invoked_ops=len(invoked),
+        completed_ops=len(completed),
+        max_view=max(
+            replica.view for group in cluster.groups for replica in group.replicas
+        ),
+        sim_time_ns=cluster.sim.now,
+        fault_log=list(target.log),
+    )
+    return result, cluster
+
+
+def run_shard_scenario(
+    scenario: ShardScenario,
+    seed: int,
+    config: PbftConfig | None = None,
+    run_ns: int = 1200 * MILLISECOND,
+    drain_ns: int = 3000 * MILLISECOND,
+    settle_ns: int = 400 * MILLISECOND,
+    trace: bool = False,
+    artifact_dir: str | None = None,
+) -> RunResult:
+    """Run one scenario at one seed; dump forensics if an invariant broke."""
+    config = config or shard_campaign_config()
+    result, cluster = _execute_shard(
+        scenario, seed, config, run_ns, drain_ns, settle_ns, trace
+    )
+    if result.violations and artifact_dir is not None:
+        if not trace:
+            traced, cluster = _execute_shard(
+                scenario, seed, config, run_ns, drain_ns, settle_ns, trace=True
+            )
+            traced.artifacts = _dump_artifacts(traced, cluster, artifact_dir)
+            return traced
+        result.artifacts = _dump_artifacts(result, cluster, artifact_dir)
+    return result
+
+
+def run_shard_campaign(
+    scenarios: list[ShardScenario] | None = None,
+    seeds: list[int] | None = None,
+    config: PbftConfig | None = None,
+    run_ns: int = 1200 * MILLISECOND,
+    drain_ns: int = 3000 * MILLISECOND,
+    settle_ns: int = 400 * MILLISECOND,
+    artifact_dir: str | None = None,
+) -> CampaignResult:
+    """Sweep every scenario across every seed on the 2-shard topology."""
+    scenarios = scenarios if scenarios is not None else shard_scenarios()
+    seeds = seeds if seeds is not None else [1, 2]
+    runs = [
+        run_shard_scenario(
+            scenario,
+            seed,
+            config=config,
+            run_ns=run_ns,
+            drain_ns=drain_ns,
+            settle_ns=settle_ns,
+            artifact_dir=artifact_dir,
+        )
+        for scenario in scenarios
+        for seed in seeds
+    ]
+    return CampaignResult(runs=runs)

@@ -1,0 +1,76 @@
+"""The shard directory: a versioned map from keys and tables to groups.
+
+Placement must be a pure function of the directory contents — every
+router and every replica computing a placement must agree, and the fault
+campaign replays runs bit-for-bit — so the directory never consults
+clocks, load, or randomness:
+
+* **keys** hash onto shards (first 4 bytes of the MD5 digest, the same
+  digest the kvstore already computes per key), so any byte string has a
+  well-defined home without per-key state;
+* **tables** are placed by an explicit assignment map (SQL tables are
+  few and heavy; hashing them would make co-location accidents
+  permanent).  Unknown tables are a routing *error*, not a hash
+  fallback — a typo must fail loudly rather than silently creating a
+  one-table shard.
+
+Reassigning a table bumps ``version``; routers compare versions to
+discover that a cached placement went stale (the "re-route after config
+change" path).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ShardError
+from repro.crypto.digests import md5_digest
+
+
+class ShardDirectory:
+    """Deterministic key→shard / table→shard placement for one deployment."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        table_map: dict[str, int] | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ShardError("a deployment needs at least one shard")
+        self.num_shards = num_shards
+        self.version = 0
+        self._tables: dict[str, int] = {}
+        for table, shard in (table_map or {}).items():
+            self._check_shard(shard)
+            self._tables[table.lower()] = shard
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ShardError(
+                f"shard {shard} out of range (deployment has {self.num_shards})"
+            )
+
+    # -- placement -----------------------------------------------------------
+
+    def shard_of_key(self, key: bytes) -> int:
+        """Home shard of a kv key: pure hash placement."""
+        return int.from_bytes(md5_digest(key)[:4], "big") % self.num_shards
+
+    def shard_of_table(self, table: str) -> int:
+        """Home shard of a SQL table; unknown tables are routing errors."""
+        shard = self._tables.get(table.lower())
+        if shard is None:
+            raise ShardError(f"table {table!r} is not in the shard directory")
+        return shard
+
+    def knows_table(self, table: str) -> bool:
+        return table.lower() in self._tables
+
+    def tables(self) -> dict[str, int]:
+        return dict(self._tables)
+
+    # -- reconfiguration -----------------------------------------------------
+
+    def assign_table(self, table: str, shard: int) -> None:
+        """(Re)place a table; bumps ``version`` so cached routes go stale."""
+        self._check_shard(shard)
+        self._tables[table.lower()] = shard
+        self.version += 1

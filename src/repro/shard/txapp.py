@@ -1,0 +1,533 @@
+"""The per-shard transaction wrapper: 2PC participant state, replicated.
+
+:class:`ShardTxApplication` wraps any :class:`~repro.pbft.replica.Application`
+and adds the shard-side half of the cross-shard commit protocol
+(Basil-style: BFT groups as 2PC participants, see DESIGN.md §9).  The
+protocol messages are ordinary operations ordered through the group's own
+PBFT log — PREPARE, COMMIT, ABORT, DECIDE, RESOLVE — so every replica of
+a group processes them in the same order and the transaction tables at
+the replicas of one shard never diverge.
+
+Safety rests on two rules:
+
+* a transaction's **decision** (commit or abort) is recorded exactly once,
+  by whichever DECIDE or RESOLVE op is ordered *first* in the coordinator
+  shard's log — later writers get the recorded decision back, they cannot
+  flip it;
+* an **abort tombstone** outlives the prepared entry, so a late PREPARE
+  retransmission for an aborted transaction is refused instead of
+  re-acquiring locks forever.
+
+All transaction state (prepared entries, lock table, outcomes, decisions)
+lives in pages reserved at the front of the wrapped application's state
+partition, so checkpoints, rollback, and state transfer carry it exactly
+like application data: a replica that catches up via state transfer also
+catches up on locks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.common.errors import StateError
+from repro.common.units import MICROSECOND
+from repro.pbft.replica import Application
+from repro.pbft.wire import Decoder, Encoder
+
+# -- operation opcodes (first byte; 0xFF is the middleware's) -----------------
+TXOP_PREPARE = 0xB1
+TXOP_COMMIT = 0xB2
+TXOP_ABORT = 0xB3
+TXOP_DECIDE = 0xB4
+TXOP_RESOLVE = 0xB5
+TXOP_STATUS = 0xB6
+TXOP_FORGET = 0xB7
+
+_TX_OPS = frozenset(
+    (TXOP_PREPARE, TXOP_COMMIT, TXOP_ABORT, TXOP_DECIDE, TXOP_RESOLVE,
+     TXOP_STATUS, TXOP_FORGET)
+)
+
+# -- shard-layer reply marker --------------------------------------------------
+# Replies from the transaction layer start with this byte so routers can
+# tell them apart from inner-application replies (which start 0x00-0x03).
+REPLY_MAGIC = 0xB0
+
+ST_OK = 0x01
+ST_LOCKED = 0x02
+ST_TOMBSTONE = 0x03
+ST_DECISION = 0x04
+ST_UNKNOWN = 0x05
+ST_ERR = 0x00
+
+DECISION_ABORT = 0
+DECISION_COMMIT = 1
+
+TXID_BYTES = 16
+
+_STATE_MAGIC = 0x54585331  # "TXS1"
+
+
+# -- operation encoding (used by routers and tests) ---------------------------
+
+def encode_prepare(
+    txid: bytes,
+    coordinator: int,
+    participants: Iterable[int],
+    ops: Iterable[bytes],
+    lock_keys: Iterable[bytes],
+) -> bytes:
+    enc = Encoder().u8(TXOP_PREPARE).raw(txid).u16(coordinator)
+    enc.sequence(list(participants), lambda e, s: e.u16(s))
+    enc.sequence(list(ops), lambda e, op: e.blob(op))
+    enc.sequence(list(lock_keys), lambda e, k: e.blob(k))
+    return enc.finish()
+
+
+def encode_commit(txid: bytes) -> bytes:
+    return Encoder().u8(TXOP_COMMIT).raw(txid).finish()
+
+
+def encode_abort(txid: bytes) -> bytes:
+    return Encoder().u8(TXOP_ABORT).raw(txid).finish()
+
+
+def encode_decide(txid: bytes, decision: int) -> bytes:
+    return Encoder().u8(TXOP_DECIDE).raw(txid).u8(decision).finish()
+
+
+def encode_resolve(txid: bytes) -> bytes:
+    return Encoder().u8(TXOP_RESOLVE).raw(txid).finish()
+
+
+def encode_status(txid: bytes) -> bytes:
+    return Encoder().u8(TXOP_STATUS).raw(txid).finish()
+
+
+def encode_forget(txid: bytes) -> bytes:
+    return Encoder().u8(TXOP_FORGET).raw(txid).finish()
+
+
+class TxReply:
+    """A decoded shard-layer reply."""
+
+    __slots__ = ("status", "decision", "holder_txid", "holder_coordinator",
+                 "inner_replies", "message")
+
+    def __init__(self, status: int, decision: int = 0, holder_txid: bytes = b"",
+                 holder_coordinator: int = 0, inner_replies=(), message: str = ""):
+        self.status = status
+        self.decision = decision
+        self.holder_txid = holder_txid
+        self.holder_coordinator = holder_coordinator
+        self.inner_replies = inner_replies
+        self.message = message
+
+
+def is_tx_reply(reply: bytes) -> bool:
+    return bool(reply) and reply[0] == REPLY_MAGIC
+
+
+def decode_tx_reply(reply: bytes) -> TxReply:
+    dec = Decoder(reply)
+    if dec.u8() != REPLY_MAGIC:
+        raise StateError("not a shard-layer reply")
+    status = dec.u8()
+    if status == ST_LOCKED:
+        return TxReply(status, holder_txid=dec.raw(TXID_BYTES),
+                       holder_coordinator=dec.u16())
+    if status == ST_DECISION:
+        return TxReply(status, decision=dec.u8())
+    if status == ST_OK:
+        count = dec.u32()
+        return TxReply(status, inner_replies=tuple(dec.blob() for _ in range(count)))
+    if status == ST_ERR:
+        return TxReply(status, message=dec.blob().decode())
+    return TxReply(status)
+
+
+def _reply(status: int) -> bytes:
+    return bytes((REPLY_MAGIC, status, 0, 0, 0, 0))  # u32 zero inner count
+
+
+def _reply_ok(inner_replies: Iterable[bytes] = ()) -> bytes:
+    enc = Encoder().u8(REPLY_MAGIC).u8(ST_OK)
+    enc.sequence(list(inner_replies), lambda e, r: e.blob(r))
+    return enc.finish()
+
+
+def _reply_locked(holder_txid: bytes, holder_coordinator: int) -> bytes:
+    return (
+        Encoder().u8(REPLY_MAGIC).u8(ST_LOCKED)
+        .raw(holder_txid).u16(holder_coordinator).finish()
+    )
+
+
+def _reply_decision(decision: int) -> bytes:
+    return Encoder().u8(REPLY_MAGIC).u8(ST_DECISION).u8(decision).finish()
+
+
+def _reply_err(message: str) -> bytes:
+    return Encoder().u8(REPLY_MAGIC).u8(ST_ERR).blob(message.encode()).finish()
+
+
+class PreparedTx:
+    """One prepared (locked, undecided) transaction at this shard."""
+
+    __slots__ = ("client_id", "coordinator", "participants", "ops", "keys")
+
+    def __init__(self, client_id: int, coordinator: int,
+                 participants: tuple[int, ...], ops: tuple[bytes, ...],
+                 keys: tuple[bytes, ...]):
+        self.client_id = client_id
+        self.coordinator = coordinator
+        self.participants = participants
+        self.ops = ops
+        self.keys = keys
+
+
+class ShardTxApplication(Application):
+    """Wraps an application with replicated 2PC participant state.
+
+    ``keys_of`` maps any inner operation to the lock keys it touches
+    (kv keys, or ``table:<name>`` units for SQL); plain operations that
+    hit a locked key are refused with a LOCKED reply carrying the holder,
+    which is what lets *other* routers discover and recover stranded
+    transactions.
+    """
+
+    def __init__(
+        self,
+        inner: Application,
+        keys_of: Callable[[bytes], Iterable[bytes]],
+        shard_id: int = 0,
+        tx_pages: int = 8,
+        retain_limit: int = 256,
+    ) -> None:
+        if tx_pages < 1:
+            raise StateError("the transaction table needs at least one page")
+        self.inner = inner
+        self.keys_of = keys_of
+        self.shard_id = shard_id
+        self.tx_pages = tx_pages
+        # Presumed-abort garbage collection keeps the replicated tables
+        # bounded: finished outcomes and abort decisions beyond this many
+        # entries are dropped oldest-first.  Commit decisions are only
+        # dropped by TXOP_FORGET (sent by the router once every
+        # participant acked the outcome) or, as a last resort, past a 4x
+        # hard cap — forgetting an unacked commit is the one eviction
+        # that could cost atomicity, so it gets the widest margin.
+        self.retain_limit = retain_limit
+        self.state = None
+        self.tx_offset = 0
+        self.tx_bytes = 0
+        self._prepared: dict[bytes, PreparedTx] = {}
+        self._locks: dict[bytes, bytes] = {}  # lock key -> holder txid
+        self._outcomes: dict[bytes, int] = {}  # participant-side: applied result
+        self._decisions: dict[bytes, int] = {}  # coordinator-side: the decision
+        self._accumulated_ns = 0
+        self._stats = None
+        self._tracer = None
+        self._track = ""
+
+    # -- Application plumbing -------------------------------------------------
+
+    def bind_state(self, state, app_offset: int) -> None:
+        self.state = state
+        self.tx_offset = app_offset
+        self.tx_bytes = self.tx_pages * state.page_size
+        if app_offset + self.tx_bytes >= state.size:
+            raise StateError("transaction table leaves no room for the application")
+        self.inner.bind_state(state, app_offset + self.tx_bytes)
+        self._load_from_state()
+
+    def attach_obs(self, obs, track: str) -> None:
+        registry = getattr(obs, "registry", None)
+        if registry is not None:
+            self._stats = registry.view(f"{track}.shard.")
+        self._tracer = getattr(obs, "tracer", None)
+        self._track = track
+        self.inner.attach_obs(obs, track)
+
+    def on_state_installed(self) -> None:
+        self._load_from_state()
+        self.inner.on_state_installed()
+
+    def authorize_join(self, idbuf: bytes):
+        return self.inner.authorize_join(idbuf)
+
+    def execute_cost_ns(self, op: bytes, readonly: bool) -> int:
+        if op and op[0] in _TX_OPS:
+            return 3 * MICROSECOND
+        return self.inner.execute_cost_ns(op, readonly)
+
+    def take_accumulated_cost(self) -> int:
+        cost = self._accumulated_ns + self.inner.take_accumulated_cost()
+        self._accumulated_ns = 0
+        return cost
+
+    def _count(self, name: str) -> None:
+        if self._stats is not None:
+            self._stats[name] += 1
+
+    def _mark(self, phase: str, txid: bytes) -> None:
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                self._track, f"tx.{phase}", cat="shard",
+                args={"txid": txid.hex()[:8], "shard": self.shard_id},
+            )
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, op: bytes, client_id: int, nondet_ts: int, readonly: bool) -> bytes:
+        kind = op[0] if op else 0
+        if kind not in _TX_OPS:
+            # A plain single-shard operation: honor transaction locks so
+            # isolation holds between the direct path and the 2PC path.
+            for key in self.keys_of(op):
+                holder = self._locks.get(key)
+                if holder is not None:
+                    self._count("lock_conflicts")
+                    entry = self._prepared[holder]
+                    return _reply_locked(holder, entry.coordinator)
+            return self.inner.execute(op, client_id, nondet_ts, readonly)
+        dec = Decoder(op)
+        dec.u8()
+        txid = dec.raw(TXID_BYTES)
+        if kind == TXOP_PREPARE:
+            return self._on_prepare(dec, txid, client_id)
+        if kind == TXOP_COMMIT:
+            return self._on_commit(txid, nondet_ts)
+        if kind == TXOP_ABORT:
+            return self._on_abort(txid)
+        if kind == TXOP_DECIDE:
+            return self._on_decide(txid, dec.u8())
+        if kind == TXOP_RESOLVE:
+            return self._on_resolve(txid)
+        if kind == TXOP_FORGET:
+            return self._on_forget(txid)
+        return self._on_status(txid)
+
+    def _on_prepare(self, dec: Decoder, txid: bytes, client_id: int) -> bytes:
+        self._count("prepares")
+        outcome = self._outcomes.get(txid)
+        if outcome == DECISION_ABORT:
+            # Tombstone: the transaction was aborted here; a retransmitted
+            # PREPARE must not re-acquire locks.
+            return _reply(ST_TOMBSTONE)
+        if outcome == DECISION_COMMIT or txid in self._prepared:
+            return _reply_ok()  # idempotent re-prepare
+        coordinator = dec.u16()
+        participants = tuple(dec.u16() for _ in range(dec.u32()))
+        ops = tuple(dec.blob() for _ in range(dec.u32()))
+        keys = tuple(dec.blob() for _ in range(dec.u32()))
+        for key in keys:
+            holder = self._locks.get(key)
+            if holder is not None and holder != txid:
+                self._count("lock_conflicts")
+                entry = self._prepared[holder]
+                return _reply_locked(holder, entry.coordinator)
+        self._prepared[txid] = PreparedTx(client_id, coordinator, participants, ops, keys)
+        for key in keys:
+            self._locks[key] = txid
+        self._persist()
+        self._mark("prepare", txid)
+        return _reply_ok()
+
+    def _on_commit(self, txid: bytes, nondet_ts: int) -> bytes:
+        outcome = self._outcomes.get(txid)
+        if outcome == DECISION_COMMIT:
+            return _reply_ok()  # idempotent
+        if outcome == DECISION_ABORT:
+            # The atomicity bug invariant #6 hunts for: refuse loudly.
+            return _reply_err("commit after abort")
+        entry = self._prepared.pop(txid, None)
+        if entry is None:
+            return _reply_err("commit for unprepared transaction")
+        self._count("commits")
+        replies = []
+        for inner_op in entry.ops:
+            self._accumulated_ns += self.inner.execute_cost_ns(inner_op, False)
+            replies.append(
+                self.inner.execute(inner_op, entry.client_id, nondet_ts, False)
+            )
+        self._release_locks(txid, entry)
+        self._outcomes[txid] = DECISION_COMMIT
+        self._gc()
+        self._persist()
+        self._mark("commit", txid)
+        return _reply_ok(replies)
+
+    def _on_abort(self, txid: bytes) -> bytes:
+        outcome = self._outcomes.get(txid)
+        if outcome == DECISION_COMMIT:
+            return _reply_err("abort after commit")
+        if outcome == DECISION_ABORT:
+            return _reply_ok()  # idempotent
+        self._count("aborts")
+        entry = self._prepared.pop(txid, None)
+        if entry is not None:
+            self._release_locks(txid, entry)
+        # Tombstone even when never prepared here: blocks a late PREPARE.
+        self._outcomes[txid] = DECISION_ABORT
+        self._gc()
+        self._persist()
+        self._mark("abort", txid)
+        return _reply_ok()
+
+    def _on_decide(self, txid: bytes, wanted: int) -> bytes:
+        existing = self._decisions.get(txid)
+        if existing is not None:
+            return _reply_decision(existing)  # first writer won
+        self._count("decisions")
+        self._decisions[txid] = wanted
+        self._gc()
+        self._persist()
+        self._mark("decide", txid)
+        return _reply_decision(wanted)
+
+    def _on_resolve(self, txid: bytes) -> bytes:
+        existing = self._decisions.get(txid)
+        if existing is not None:
+            return _reply_decision(existing)
+        # Presumed abort: no decision was ever durably recorded, so none
+        # can have been acted upon — record abort, first writer wins.
+        self._count("resolves")
+        self._decisions[txid] = DECISION_ABORT
+        self._gc()
+        self._persist()
+        self._mark("resolve", txid)
+        return _reply_decision(DECISION_ABORT)
+
+    def _on_forget(self, txid: bytes) -> bytes:
+        """End of transaction: drop the decision record (presumed abort).
+
+        Sent by the router once every participant acknowledged the
+        outcome — from then on nobody can need to RESOLVE this
+        transaction, and a resolve that arrives anyway presumes abort,
+        which no longer matters because no participant still holds
+        prepared state for it.
+        """
+        if self._decisions.pop(txid, None) is not None:
+            self._count("forgets")
+            self._persist()
+            self._mark("forget", txid)
+        return _reply_ok()
+
+    def _on_status(self, txid: bytes) -> bytes:
+        decision = self._decisions.get(txid)
+        if decision is not None:
+            return _reply_decision(decision)
+        outcome = self._outcomes.get(txid)
+        if outcome is not None:
+            return _reply_decision(outcome)
+        return _reply(ST_UNKNOWN)
+
+    def _gc(self) -> None:
+        """Bound the finished-transaction tables (oldest evicted first).
+
+        Dict insertion order is identical at every replica of the group
+        (they execute the same operations in the same order, and the
+        tables persist in insertion order), so eviction is deterministic.
+        Dropping an old outcome only weakens idempotency for extremely
+        late duplicates; dropping an abort decision is free under
+        presumed abort.  Commit decisions outlive both — see
+        ``retain_limit`` in ``__init__``.
+        """
+        while len(self._outcomes) > self.retain_limit:
+            del self._outcomes[next(iter(self._outcomes))]
+        if len(self._decisions) > self.retain_limit:
+            for txid in [
+                t for t, d in self._decisions.items() if d == DECISION_ABORT
+            ]:
+                if len(self._decisions) <= self.retain_limit:
+                    break
+                del self._decisions[txid]
+        while len(self._decisions) > 4 * self.retain_limit:
+            del self._decisions[next(iter(self._decisions))]
+
+    def _release_locks(self, txid: bytes, entry: PreparedTx) -> None:
+        for key in entry.keys:
+            if self._locks.get(key) == txid:
+                del self._locks[key]
+
+    # -- inspection (harness / invariant checks) ------------------------------
+
+    def prepared_txids(self) -> tuple[bytes, ...]:
+        return tuple(sorted(self._prepared))
+
+    def prepared_entry(self, txid: bytes) -> Optional[PreparedTx]:
+        return self._prepared.get(txid)
+
+    def outcomes(self) -> dict[bytes, int]:
+        return dict(self._outcomes)
+
+    def decisions(self) -> dict[bytes, int]:
+        return dict(self._decisions)
+
+    # -- replicated persistence ----------------------------------------------
+
+    def _persist(self) -> None:
+        """Serialize the whole transaction table into the reserved pages.
+
+        Canonical encoding: replicas reach identical bytes for identical
+        logical state, so checkpoint roots agree.
+        """
+        enc = Encoder()
+        enc.u32(len(self._prepared))
+        for txid in sorted(self._prepared):
+            entry = self._prepared[txid]
+            enc.raw(txid).u64(entry.client_id).u16(entry.coordinator)
+            enc.sequence(entry.participants, lambda e, s: e.u16(s))
+            enc.sequence(entry.ops, lambda e, op: e.blob(op))
+            enc.sequence(entry.keys, lambda e, k: e.blob(k))
+        # Outcomes and decisions persist in insertion order, not sorted:
+        # the order is itself replicated state (garbage collection evicts
+        # oldest-first), so a replica that catches up via state transfer
+        # must adopt it, or later evictions would diverge.  The order is
+        # the same at every replica, so the encoding stays canonical.
+        enc.u32(len(self._outcomes))
+        for txid, outcome in self._outcomes.items():
+            enc.raw(txid).u8(outcome)
+        enc.u32(len(self._decisions))
+        for txid, decision in self._decisions.items():
+            enc.raw(txid).u8(decision)
+        payload = enc.finish()
+        if len(payload) + 8 > self.tx_bytes:
+            raise StateError(
+                f"transaction table ({len(payload)} bytes) overflows its "
+                f"{self.tx_bytes}-byte reservation — raise tx_pages"
+            )
+        data = Encoder().u32(_STATE_MAGIC).u32(len(payload)).raw(payload).finish()
+        self.state.modify(self.tx_offset, len(data))
+        self.state.write(self.tx_offset, data)
+
+    def _load_from_state(self) -> None:
+        self._prepared = {}
+        self._locks = {}
+        self._outcomes = {}
+        self._decisions = {}
+        header = Decoder(self.state.read(self.tx_offset, 8))
+        if header.u32() != _STATE_MAGIC:
+            return  # fresh region
+        length = header.u32()
+        dec = Decoder(self.state.read(self.tx_offset + 8, length))
+        for _ in range(dec.u32()):
+            txid = dec.raw(TXID_BYTES)
+            client_id = dec.u64()
+            coordinator = dec.u16()
+            participants = tuple(dec.u16() for _ in range(dec.u32()))
+            ops = tuple(dec.blob() for _ in range(dec.u32()))
+            keys = tuple(dec.blob() for _ in range(dec.u32()))
+            self._prepared[txid] = PreparedTx(
+                client_id, coordinator, participants, ops, keys
+            )
+            for key in keys:
+                self._locks[key] = txid
+        for _ in range(dec.u32()):
+            txid = dec.raw(TXID_BYTES)
+            self._outcomes[txid] = dec.u8()
+        for _ in range(dec.u32()):
+            txid = dec.raw(TXID_BYTES)
+            self._decisions[txid] = dec.u8()

@@ -53,7 +53,7 @@ def test_threshold_keys():
 
 def test_fault_campaign_smoke():
     out = run_example("fault_campaign.py", args=("--smoke",))
-    assert "11/11 runs passed all five invariants" in out
+    assert "11/11 runs passed all invariants" in out
 
 
 @pytest.mark.slow

@@ -1,0 +1,165 @@
+"""Sharded deployment end-to-end: routing, 2PC, recovery, campaign smoke.
+
+Each test builds a real multi-group deployment (every shard a full
+4-replica PBFT group on one simulated fabric) and drives it through
+routers — the same stack the shard bench and fault campaign use.
+"""
+
+from repro.apps.kvstore import encode_get, encode_put
+from repro.apps.sqlapp import SqlApplication, encode_sql_op
+from repro.common.units import MILLISECOND, SECOND
+from repro.faults.invariants import check_cross_shard_atomicity
+from repro.shard import (
+    DECISION_COMMIT,
+    SqlShardCodec,
+    build_sharded_cluster,
+    key_for_shard,
+    run_shard_scenario,
+    shard_campaign_config,
+    smoke_scenarios,
+)
+from repro.shard.campaign import shard_scenarios
+
+
+def _drive(cluster, box_filled, limit_ns=5 * SECOND):
+    deadline = cluster.sim.now + limit_ns
+    while not box_filled() and cluster.sim.now < deadline:
+        cluster.run_for(10 * MILLISECOND)
+
+
+class TestKvSharding:
+    def test_single_shard_put_routes_directly(self):
+        cluster = build_sharded_cluster(
+            2, config=shard_campaign_config(), seed=11, real_crypto=False,
+            num_routers=1, router_hosts=1,
+        )
+        router = cluster.routers[0]
+        key = key_for_shard(cluster.directory, 1, "solo")
+        results = []
+        router.invoke(encode_put(key, b"v1"), callback=results.append)
+        _drive(cluster, lambda: results)
+        assert results and results[0].committed
+        cluster.stop()
+
+    def test_cross_shard_txn_commits_atomically(self):
+        cluster = build_sharded_cluster(
+            2, config=shard_campaign_config(), seed=11, real_crypto=False,
+            num_routers=1, router_hosts=1,
+        )
+        router = cluster.routers[0]
+        k0 = key_for_shard(cluster.directory, 0, "pair")
+        k1 = key_for_shard(cluster.directory, 1, "pair")
+        results = []
+        txid = router.invoke_txn(
+            [encode_put(k0, b"left"), encode_put(k1, b"right")],
+            callback=results.append,
+        )
+        _drive(cluster, lambda: results)
+        assert results and results[0].committed
+
+        # Every replica of both groups recorded the same commit outcome.
+        for shard in range(2):
+            for app in cluster.tx_apps(shard):
+                assert app.outcomes().get(txid) == DECISION_COMMIT
+        assert check_cross_shard_atomicity(cluster.groups) == []
+
+        # The transaction's writes are visible on the direct path.
+        reads = []
+        router.invoke(encode_get(k1), callback=reads.append)
+        _drive(cluster, lambda: reads)
+        assert reads and b"right" in reads[0].replies[0]
+        cluster.stop()
+
+
+class TestSqlSharding:
+    def test_cross_shard_transfer(self):
+        table_map = {"ledger0": 0, "ledger1": 1}
+
+        def schema(shard):
+            return (
+                f"CREATE TABLE ledger{shard} (id INTEGER PRIMARY KEY, "
+                "who TEXT NOT NULL, amount INTEGER NOT NULL);"
+            )
+
+        def lock_keys(op):
+            from repro.apps.sqlapp import decode_sql_op, tables_of_sql
+            sql, _ = decode_sql_op(op)
+            return tuple(f"table:{t}".encode() for t in tables_of_sql(sql))
+
+        cluster = build_sharded_cluster(
+            2, config=shard_campaign_config(), seed=11, real_crypto=False,
+            inner_app_factory=lambda s: SqlApplication(schema_sql=schema(s)),
+            codec_factory=SqlShardCodec, keys_of=lock_keys,
+            table_map=table_map, num_routers=1, router_hosts=1,
+        )
+        router = cluster.routers[0]
+        results = []
+        router.invoke_txn(
+            [
+                encode_sql_op(
+                    "INSERT INTO ledger0 (who, amount) VALUES (?, ?)",
+                    ("alice", -40),
+                ),
+                encode_sql_op(
+                    "INSERT INTO ledger1 (who, amount) VALUES (?, ?)",
+                    ("alice", 40),
+                ),
+            ],
+            callback=results.append,
+        )
+        _drive(cluster, lambda: results)
+        assert results and results[0].committed
+        assert check_cross_shard_atomicity(cluster.groups) == []
+        cluster.stop()
+
+
+class TestRecovery:
+    def test_coordinator_crash_resolved_by_reconciliation(self):
+        # Router 0 crashes right after its PREPAREs land: both shards
+        # hold locks for a transaction whose coordinator will never
+        # decide.  The reconciliation sweep must presume abort, release
+        # the locks everywhere, and leave atomicity intact.
+        cluster = build_sharded_cluster(
+            2, config=shard_campaign_config(), seed=11, real_crypto=False,
+            num_routers=1, router_hosts=1,
+        )
+        router = cluster.routers[0]
+        router.crash_point = "after_prepare"
+        k0 = key_for_shard(cluster.directory, 0, "stranded")
+        k1 = key_for_shard(cluster.directory, 1, "stranded")
+        txid = router.invoke_txn([encode_put(k0, b"x"), encode_put(k1, b"x")])
+        _drive(cluster, lambda: router.crashed)
+        cluster.run_for(200 * MILLISECOND)
+        assert any(
+            txid in app.prepared_txids() for app in cluster.tx_apps(0)
+        )
+
+        reconciled = cluster.reconcile()
+        assert reconciled == 1
+        cluster.run_for(200 * MILLISECOND)
+        for shard in range(2):
+            for app in cluster.tx_apps(shard):
+                assert txid not in app.prepared_txids()
+        assert check_cross_shard_atomicity(cluster.groups) == []
+        cluster.stop()
+
+
+# Shortened phases: every smoke scenario's faults still trigger and heal
+# well inside the window (latest trigger is at 150ms).
+FAST = dict(run_ns=600 * MILLISECOND, drain_ns=2500 * MILLISECOND)
+
+
+class TestCampaignSmoke:
+    def test_smoke_scenarios_pass_all_invariants(self):
+        for scenario in smoke_scenarios():
+            result = run_shard_scenario(scenario, seed=1, **FAST)
+            assert result.ok, (
+                f"{scenario.name}: {[str(v) for v in result.violations]}"
+            )
+            assert result.completed_ops > 0
+
+    def test_scenarios_cover_router_and_replica_faults(self):
+        names = {s.name for s in shard_scenarios()}
+        assert "coordinator-crash-mid-prepare" in names
+        assert "participant-timeout" in names
+        assert any("primary" in n for n in names)

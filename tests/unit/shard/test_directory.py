@@ -1,0 +1,107 @@
+"""Directory and codec tests: placement must be pure, total, and loud."""
+
+import pytest
+
+from repro.apps.kvstore import encode_put
+from repro.apps.sqlapp import encode_sql_op
+from repro.common.errors import ShardError
+from repro.shard.directory import ShardDirectory
+from repro.shard.router import KvShardCodec, SqlShardCodec
+
+
+class TestKeyPlacement:
+    def test_deterministic_and_in_range(self):
+        directory = ShardDirectory(4)
+        for i in range(200):
+            key = f"key-{i}".encode()
+            shard = directory.shard_of_key(key)
+            assert 0 <= shard < 4
+            assert directory.shard_of_key(key) == shard
+
+    def test_single_shard_maps_everything_home(self):
+        directory = ShardDirectory(1)
+        assert all(
+            directory.shard_of_key(f"k{i}".encode()) == 0 for i in range(50)
+        )
+
+    def test_hash_spreads_keys(self):
+        directory = ShardDirectory(4)
+        hit = {directory.shard_of_key(f"key-{i}".encode()) for i in range(256)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_two_directories_agree(self):
+        # Placement is a pure function of (key, num_shards): a router and
+        # a replica computing it independently must agree.
+        a, b = ShardDirectory(8), ShardDirectory(8)
+        for i in range(64):
+            key = f"agree-{i}".encode()
+            assert a.shard_of_key(key) == b.shard_of_key(key)
+
+    def test_zero_shards_refused(self):
+        with pytest.raises(ShardError):
+            ShardDirectory(0)
+
+
+class TestTablePlacement:
+    def test_explicit_assignment(self):
+        directory = ShardDirectory(2, table_map={"users": 0, "orders": 1})
+        assert directory.shard_of_table("users") == 0
+        assert directory.shard_of_table("orders") == 1
+
+    def test_case_insensitive(self):
+        directory = ShardDirectory(2, table_map={"Users": 1})
+        assert directory.shard_of_table("USERS") == 1
+        assert directory.knows_table("users")
+
+    def test_unknown_table_is_an_error_not_a_fallback(self):
+        directory = ShardDirectory(2, table_map={"users": 0})
+        with pytest.raises(ShardError):
+            directory.shard_of_table("userz")
+
+    def test_out_of_range_assignment_refused(self):
+        with pytest.raises(ShardError):
+            ShardDirectory(2, table_map={"users": 2})
+        directory = ShardDirectory(2)
+        with pytest.raises(ShardError):
+            directory.assign_table("users", -1)
+
+    def test_reassignment_bumps_version(self):
+        directory = ShardDirectory(2, table_map={"users": 0})
+        assert directory.version == 0
+        directory.assign_table("users", 1)
+        assert directory.version == 1
+        assert directory.shard_of_table("users") == 1
+
+
+class TestKvShardCodec:
+    def test_routes_by_key_hash(self):
+        directory = ShardDirectory(4)
+        codec = KvShardCodec(directory)
+        op = encode_put(b"some-key", b"v")
+        assert codec.shards_of(op) == (directory.shard_of_key(b"some-key"),)
+        assert codec.keys_of(op) == (b"some-key",)
+
+
+class TestSqlShardCodec:
+    def test_routes_by_table_and_locks_whole_tables(self):
+        directory = ShardDirectory(2, table_map={"ledger0": 0, "ledger1": 1})
+        codec = SqlShardCodec(directory)
+        op = encode_sql_op("INSERT INTO ledger1 (who) VALUES (?)", ("a",))
+        assert codec.shards_of(op) == (1,)
+        assert codec.keys_of(op) == (b"table:ledger1",)
+
+    def test_reroutes_after_directory_version_bump(self):
+        # The memo must go stale the moment a table is reassigned — a
+        # cached route to the old shard would silently split the table.
+        directory = ShardDirectory(2, table_map={"users": 0})
+        codec = SqlShardCodec(directory)
+        op = encode_sql_op("INSERT INTO users (who) VALUES (?)", ("a",))
+        assert codec.shards_of(op) == (0,)
+        directory.assign_table("users", 1)
+        assert codec.shards_of(op) == (1,)
+
+    def test_unknown_table_raises(self):
+        codec = SqlShardCodec(ShardDirectory(2, table_map={"users": 0}))
+        op = encode_sql_op("INSERT INTO ghosts (who) VALUES (?)", ("a",))
+        with pytest.raises(ShardError):
+            codec.shards_of(op)

@@ -1,0 +1,257 @@
+"""ShardTxApplication unit tests: the replicated 2PC participant state.
+
+Drives the wrapper directly (no cluster, no network) — ops arrive in
+whatever order the test dictates, standing in for the group's PBFT log.
+"""
+
+import pytest
+
+from repro.apps.kvstore import encode_put, keys_of_op
+from repro.common.errors import StateError
+from repro.pbft.replica import Application
+from repro.shard.txapp import (
+    DECISION_ABORT,
+    DECISION_COMMIT,
+    ST_DECISION,
+    ST_ERR,
+    ST_LOCKED,
+    ST_OK,
+    ST_TOMBSTONE,
+    ST_UNKNOWN,
+    ShardTxApplication,
+    decode_tx_reply,
+    encode_abort,
+    encode_commit,
+    encode_decide,
+    encode_forget,
+    encode_prepare,
+    encode_resolve,
+    encode_status,
+    is_tx_reply,
+)
+from repro.statemgr.pages import PagedState
+
+
+class RecordingApp(Application):
+    """Inner application that records executions and replies b'ok'."""
+
+    def __init__(self):
+        self.executed = []
+
+    def bind_state(self, state, app_offset):
+        self.state = state
+        self.offset = app_offset
+
+    def execute(self, op, client_id, nondet_ts, readonly):
+        self.executed.append((op, client_id))
+        return b"\x00ok"
+
+
+def txid(n: int) -> bytes:
+    return n.to_bytes(16, "big")
+
+
+def make_app(tx_pages: int = 4, retain_limit: int = 256,
+             state: PagedState = None) -> ShardTxApplication:
+    app = ShardTxApplication(
+        RecordingApp(), keys_of=keys_of_op, shard_id=0,
+        tx_pages=tx_pages, retain_limit=retain_limit,
+    )
+    app.bind_state(state or PagedState(num_pages=16, page_size=512), 0)
+    return app
+
+
+def prepare(app, n, keys=(b"k",), ops=None, coordinator=0,
+            participants=(0, 1), client_id=7):
+    ops = [encode_put(k, b"v") for k in keys] if ops is None else ops
+    op = encode_prepare(txid(n), coordinator, participants, ops, keys)
+    return decode_tx_reply(app.execute(op, client_id, 0, False))
+
+
+def run(app, op, client_id=7):
+    return decode_tx_reply(app.execute(op, client_id, 0, False))
+
+
+class TestPrepareAndLocks:
+    def test_prepare_acquires_locks(self):
+        app = make_app()
+        assert prepare(app, 1, keys=(b"a", b"b")).status == ST_OK
+        assert app.prepared_txids() == (txid(1),)
+        # A plain op on a locked key is refused with the holder named.
+        reply = run(app, encode_put(b"a", b"x"))
+        assert reply.status == ST_LOCKED
+        assert reply.holder_txid == txid(1)
+        assert reply.holder_coordinator == 0
+
+    def test_conflicting_prepare_names_holder(self):
+        app = make_app()
+        prepare(app, 1, keys=(b"k",), coordinator=3)
+        reply = prepare(app, 2, keys=(b"k",))
+        assert reply.status == ST_LOCKED
+        assert reply.holder_txid == txid(1)
+        assert reply.holder_coordinator == 3
+        assert app.prepared_txids() == (txid(1),)
+
+    def test_prepare_is_idempotent(self):
+        app = make_app()
+        assert prepare(app, 1).status == ST_OK
+        assert prepare(app, 1).status == ST_OK
+        assert app.prepared_txids() == (txid(1),)
+
+    def test_unlocked_keys_pass_through(self):
+        app = make_app()
+        prepare(app, 1, keys=(b"a",))
+        reply = app.execute(encode_put(b"other", b"x"), 7, 0, False)
+        assert not is_tx_reply(reply)  # the inner application answered
+        assert app.inner.executed
+
+
+class TestCommitAbort:
+    def test_commit_executes_inner_ops_and_releases_locks(self):
+        app = make_app()
+        prepare(app, 1, keys=(b"a",), client_id=42)
+        reply = run(app, encode_commit(txid(1)))
+        assert reply.status == ST_OK
+        assert reply.inner_replies == (b"\x00ok",)
+        assert app.inner.executed == [(encode_put(b"a", b"v"), 42)]
+        assert not is_tx_reply(app.execute(encode_put(b"a", b"x"), 7, 0, False))
+        assert app.outcomes() == {txid(1): DECISION_COMMIT}
+
+    def test_commit_is_idempotent_but_does_not_reexecute(self):
+        app = make_app()
+        prepare(app, 1)
+        run(app, encode_commit(txid(1)))
+        assert run(app, encode_commit(txid(1))).status == ST_OK
+        assert len(app.inner.executed) == 1
+
+    def test_commit_unprepared_is_an_error(self):
+        app = make_app()
+        assert run(app, encode_commit(txid(9))).status == ST_ERR
+
+    def test_abort_releases_locks_and_tombstones(self):
+        app = make_app()
+        prepare(app, 1, keys=(b"a",))
+        assert run(app, encode_abort(txid(1))).status == ST_OK
+        assert not is_tx_reply(app.execute(encode_put(b"a", b"x"), 7, 0, False))
+        # The tombstone blocks a late PREPARE retransmission forever.
+        assert prepare(app, 1, keys=(b"a",)).status == ST_TOMBSTONE
+        assert not app.inner.executed[:0]  # nothing committed
+
+    def test_outcome_flips_are_refused(self):
+        app = make_app()
+        prepare(app, 1)
+        run(app, encode_commit(txid(1)))
+        assert run(app, encode_abort(txid(1))).status == ST_ERR
+        prepare(app, 2)
+        run(app, encode_abort(txid(2)))
+        assert run(app, encode_commit(txid(2))).status == ST_ERR
+
+
+class TestDecideResolve:
+    def test_first_decide_wins(self):
+        app = make_app()
+        reply = run(app, encode_decide(txid(1), DECISION_COMMIT))
+        assert (reply.status, reply.decision) == (ST_DECISION, DECISION_COMMIT)
+        # A later conflicting DECIDE gets the recorded decision back.
+        reply = run(app, encode_decide(txid(1), DECISION_ABORT))
+        assert reply.decision == DECISION_COMMIT
+
+    def test_resolve_presumes_abort(self):
+        app = make_app()
+        reply = run(app, encode_resolve(txid(1)))
+        assert (reply.status, reply.decision) == (ST_DECISION, DECISION_ABORT)
+        # A DECIDE(commit) arriving after the resolve is too late.
+        assert run(app, encode_decide(txid(1), DECISION_COMMIT)).decision == DECISION_ABORT
+
+    def test_resolve_after_decide_returns_decision(self):
+        app = make_app()
+        run(app, encode_decide(txid(1), DECISION_COMMIT))
+        assert run(app, encode_resolve(txid(1))).decision == DECISION_COMMIT
+
+    def test_status_reports_decision_outcome_or_unknown(self):
+        app = make_app()
+        assert run(app, encode_status(txid(1))).status == ST_UNKNOWN
+        run(app, encode_decide(txid(1), DECISION_COMMIT))
+        assert run(app, encode_status(txid(1))).decision == DECISION_COMMIT
+        prepare(app, 2)
+        run(app, encode_abort(txid(2)))
+        assert run(app, encode_status(txid(2))).decision == DECISION_ABORT
+
+
+class TestForgetAndGc:
+    def test_forget_drops_the_decision(self):
+        app = make_app()
+        run(app, encode_decide(txid(1), DECISION_COMMIT))
+        assert run(app, encode_forget(txid(1))).status == ST_OK
+        assert app.decisions() == {}
+        # Forgetting twice (or an unknown txid) is harmless.
+        assert run(app, encode_forget(txid(1))).status == ST_OK
+        # A resolve after forget presumes abort — safe, because FORGET is
+        # only sent once every participant already acted on the outcome.
+        assert run(app, encode_resolve(txid(1))).decision == DECISION_ABORT
+
+    def test_outcomes_evict_oldest_first(self):
+        app = make_app(retain_limit=4)
+        for n in range(1, 8):
+            prepare(app, n, keys=(f"k{n}".encode(),))
+            run(app, encode_commit(txid(n)))
+        kept = list(app.outcomes())
+        assert len(kept) == 4
+        assert kept == [txid(n) for n in (4, 5, 6, 7)]
+
+    def test_abort_decisions_evict_but_commits_survive(self):
+        app = make_app(retain_limit=4)
+        run(app, encode_decide(txid(100), DECISION_COMMIT))
+        for n in range(1, 9):
+            run(app, encode_resolve(txid(n)))  # 8 abort decisions
+        decisions = app.decisions()
+        assert decisions[txid(100)] == DECISION_COMMIT
+        assert len(decisions) == 4
+
+    def test_commit_decisions_hard_capped(self):
+        app = make_app(retain_limit=2)
+        for n in range(1, 12):
+            run(app, encode_decide(txid(n), DECISION_COMMIT))
+        # Commit decisions only fall to the 4x hard cap, oldest first.
+        decisions = list(app.decisions())
+        assert len(decisions) == 4 * 2
+        assert decisions[0] == txid(4)
+
+
+class TestPersistence:
+    def test_state_roundtrip_preserves_tables_and_order(self):
+        state = PagedState(num_pages=16, page_size=512)
+        app = make_app(state=state)
+        prepare(app, 1, keys=(b"a", b"b"), participants=(0, 2), coordinator=2)
+        for n in (5, 3, 9):  # deliberately non-sorted insertion order
+            prepare(app, n, keys=(f"k{n}".encode(),))
+            run(app, encode_commit(txid(n)))
+        run(app, encode_decide(txid(7), DECISION_COMMIT))
+        run(app, encode_resolve(txid(8)))
+
+        # A replica catching up via state transfer sees the same pages.
+        twin = make_app(state=state)
+        assert twin.prepared_txids() == app.prepared_txids()
+        entry = twin.prepared_entry(txid(1))
+        assert entry.coordinator == 2
+        assert entry.participants == (0, 2)
+        assert entry.keys == (b"a", b"b")
+        # Insertion order is replicated state: GC evicts oldest-first, so
+        # the twin must adopt the order, not re-sort it.
+        assert list(twin.outcomes()) == list(app.outcomes())
+        assert list(twin.decisions()) == list(app.decisions())
+        # Locks were rebuilt too.
+        assert run(twin, encode_put(b"a", b"x")).status == ST_LOCKED
+
+    def test_overflow_raises_instead_of_corrupting(self):
+        app = make_app(tx_pages=1)
+        big = bytes(300)
+        with pytest.raises(StateError):
+            for n in range(1, 10):
+                prepare(app, n, keys=(f"k{n}".encode(),),
+                        ops=[encode_put(f"k{n}".encode(), big)])
+
+    def test_fresh_region_loads_empty(self):
+        app = make_app()
+        assert app.prepared_txids() == ()
+        assert app.outcomes() == {}
