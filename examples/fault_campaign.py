@@ -16,8 +16,12 @@ each RNG seed.  After every run five protocol invariants are checked:
 A failing run is deterministically re-executed with tracing enabled and
 dumps a Chrome trace plus a minimized event log under ``--artifacts``.
 
-Run:  python examples/fault_campaign.py [--smoke] [--seeds N] [--artifacts DIR]
+Run:  python examples/fault_campaign.py [--smoke] [--seeds N] [--workers W]
+          [--artifacts DIR]
       --smoke runs one seed per schedule (the CI-sized sweep).
+      --workers W farms the schedule × seed grid across W processes; each
+      cell carries its seed explicitly, so the report is identical at any
+      worker count.
 Exits non-zero if any invariant was violated.
 """
 
@@ -27,6 +31,41 @@ import time
 
 from repro.common.units import MILLISECOND
 from repro.harness import format_campaign, run_fault_campaign
+
+
+def run_campaign_parallel(seeds, artifact_dir, timings, workers):
+    """The same schedule × seed grid, farmed through the sweep runner."""
+    from repro.faults import builtin_schedules
+    from repro.faults.campaign import CampaignResult, RunResult
+    from repro.harness import SweepCell, run_cells
+
+    params = dict(timings)
+    if artifact_dir is not None:
+        params["artifact_dir"] = artifact_dir
+    cells = [
+        SweepCell(
+            kind="fault-schedule",
+            scenario=schedule.name,
+            params={"schedule": schedule.name, **params},
+            seed=seed,
+        )
+        for schedule in builtin_schedules()
+        for seed in seeds
+    ]
+    results = run_cells(cells, base_seed=seeds[0], workers=workers)
+    return CampaignResult(runs=[
+        RunResult(
+            schedule=r["schedule"],
+            seed=r["seed"],
+            violations=r["violations"],
+            invoked_ops=r["invoked_ops"],
+            completed_ops=r["completed_ops"],
+            max_view=r["max_view"],
+            sim_time_ns=r["sim_time_ns"],
+            artifacts=r["artifacts"],
+        )
+        for r in results
+    ])
 
 
 def main() -> int:
@@ -43,6 +82,11 @@ def main() -> int:
         "--artifacts", default=None, metavar="DIR",
         help="directory for Chrome traces + event logs of failing runs",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="W",
+        help="processes to farm the schedule × seed grid across "
+        "(default 1 = in-process)",
+    )
     args = parser.parse_args()
 
     seeds = [1] if args.smoke else list(range(1, args.seeds + 1))
@@ -56,9 +100,14 @@ def main() -> int:
         else {}
     )
     start = time.time()
-    campaign = run_fault_campaign(
-        seeds=seeds, artifact_dir=args.artifacts, **timings
-    )
+    if args.workers > 1:
+        campaign = run_campaign_parallel(
+            seeds, args.artifacts, timings, args.workers
+        )
+    else:
+        campaign = run_fault_campaign(
+            seeds=seeds, artifact_dir=args.artifacts, **timings
+        )
     wall = time.time() - start
 
     print(format_campaign(campaign))

@@ -72,9 +72,15 @@ def main() -> int:
         help="allowed fractional drop of the 4-shard scaling ratio vs "
         "the baseline (default 0.20)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="W",
+        help="processes to farm the bench cells across (default 1); "
+        "results are identical at any worker count",
+    )
     args = parser.parse_args()
 
-    result = run_shard_bench(smoke=args.smoke, seed=args.seed)
+    result = run_shard_bench(smoke=args.smoke, seed=args.seed,
+                             workers=args.workers)
     print(format_shard_bench(result))
     print(f"(total bench wall time {result.wall_s:.1f}s)")
 

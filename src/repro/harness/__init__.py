@@ -49,8 +49,25 @@ from repro.harness.reporting import (
     format_fig4,
     format_fig5,
     format_acid,
+    format_aggregate_overload,
     format_campaign,
     format_overload,
+)
+from repro.harness.workload import (
+    SCENARIOS,
+    AggregatePoint,
+    AggregateSweep,
+    AggregateWorkload,
+    make_workload,
+    run_aggregate_overload_sweep,
+    run_aggregate_point,
+)
+from repro.harness.sweeprunner import (
+    SweepCell,
+    derive_cell_seed,
+    merged_json,
+    register_cell_runner,
+    run_cells,
 )
 from repro.harness.shardbench import (
     ShardBenchResult,
@@ -96,6 +113,19 @@ __all__ = [
     "overload_config",
     "run_overload_sweep",
     "format_overload",
+    "format_aggregate_overload",
+    "SCENARIOS",
+    "AggregatePoint",
+    "AggregateSweep",
+    "AggregateWorkload",
+    "make_workload",
+    "run_aggregate_overload_sweep",
+    "run_aggregate_point",
+    "SweepCell",
+    "derive_cell_seed",
+    "merged_json",
+    "register_cell_runner",
+    "run_cells",
     "format_table1",
     "format_campaign",
     "format_fig4",

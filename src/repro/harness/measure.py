@@ -7,12 +7,11 @@ throughput is completed operations per second of *simulated* time.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.common.units import SECOND
-from repro.obs import Observability
+from repro.obs import Observability, nearest_rank_percentile
 from repro.pbft.cluster import Cluster, build_cluster
 from repro.pbft.config import PbftConfig
 
@@ -42,11 +41,7 @@ class Measurement:
     ) -> "Measurement":
         latencies = sorted(latencies)
         def pct(p: float) -> int:
-            # Nearest-rank: the smallest value with at least p*n values <= it.
-            if not latencies:
-                return 0
-            rank = max(1, math.ceil(p * len(latencies)))
-            return latencies[min(len(latencies) - 1, rank - 1)]
+            return nearest_rank_percentile(latencies, p)
         return Measurement(
             name=name,
             tps=completed / duration_s if duration_s > 0 else 0.0,

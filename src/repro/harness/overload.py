@@ -19,10 +19,10 @@ counts.
 
 from __future__ import annotations
 
-import math
 from dataclasses import asdict, dataclass, field
 
 from repro.common.units import SECOND
+from repro.obs import nearest_rank_percentile
 from repro.pbft.cluster import Cluster, build_cluster
 from repro.pbft.config import PbftConfig
 
@@ -60,7 +60,7 @@ class OverloadPoint:
 
     multiplier: float
     offered_tps: float        # target arrival rate
-    arrived_tps: float        # arrival ticks that fired in the window
+    arrived_tps: float        # ticks that actually submitted an operation
     goodput_tps: float        # operations completed in the window
     completed: int
     source_drops: int         # ticks skipped: previous op still outstanding
@@ -70,6 +70,15 @@ class OverloadPoint:
     replica_stats: dict = field(default_factory=dict)
     client_stats: dict = field(default_factory=dict)
     view_changes: int = 0
+    # Window accounting: every tick either submits, or is dropped at the
+    # source because the client's previous op is still outstanding.  A
+    # dropped tick is offered load the cluster never saw, so it must not
+    # count toward ``arrived_tps`` — the conserved identity is
+    # ``ticks == completed + (outstanding_end - outstanding_start) +
+    # source_drops``.
+    ticks: int = 0
+    outstanding_start: int = 0
+    outstanding_end: int = 0
 
     @property
     def shed(self) -> int:
@@ -128,13 +137,6 @@ def estimate_capacity(
     return measurement.tps
 
 
-def _percentile(latencies: list[int], p: float) -> int:
-    if not latencies:
-        return 0
-    rank = max(1, math.ceil(p * len(latencies)))
-    return latencies[min(len(latencies) - 1, rank - 1)]
-
-
 def _snapshot(cluster: Cluster) -> tuple[dict, dict, int]:
     replica = {
         key: sum(r.stats[key] for r in cluster.replicas) for key in _REPLICA_STATS
@@ -161,20 +163,22 @@ def _run_point(
     num_clients = len(cluster.clients)
     interval_ns = max(1, int(num_clients * SECOND / offered_tps))
 
-    arrivals = [0] * num_clients
+    arrivals = [0] * num_clients  # ticks that actually submitted an op
     drops = [0] * num_clients
     completions: list[tuple[int, int]] = []  # (finish time, latency)
     timers: list = [None] * num_clients
 
     def tick(index: int) -> None:
-        arrivals[index] += 1
         client = cluster.clients[index]
         if client.pending is not None:
             # Open-loop source with a full outbox: the middleware allows
             # one outstanding operation per client, so the source sheds
-            # locally.  This is offered load the cluster never saw.
+            # locally.  This is offered load the cluster never saw — it
+            # counts as a drop, never as an arrival, or offered-vs-arrived
+            # ratios would overstate pressure at high multipliers.
             drops[index] += 1
         else:
+            arrivals[index] += 1
             client.invoke(
                 payload,
                 callback=lambda _res, lat: completions.append(
@@ -193,9 +197,11 @@ def _run_point(
     arrivals_before = sum(arrivals)
     drops_before = sum(drops)
     completed_before = len(completions)
+    outstanding_start = sum(1 for c in cluster.clients if c.pending is not None)
     replica_before, client_before, views_before = _snapshot(cluster)
 
     cluster.run_for(int(measure_s * SECOND))
+    outstanding_end = sum(1 for c in cluster.clients if c.pending is not None)
     replica_after, client_after, views_after = _snapshot(cluster)
     window = completions[completed_before:]
     latencies = sorted(lat for _t, lat in window)
@@ -205,16 +211,21 @@ def _run_point(
             timer.cancel()
     cluster.stop_clients()
 
+    submitted = sum(arrivals) - arrivals_before
+    source_drops = sum(drops) - drops_before
     return OverloadPoint(
         multiplier=multiplier,
         offered_tps=offered_tps,
-        arrived_tps=(sum(arrivals) - arrivals_before) / measure_s,
+        arrived_tps=submitted / measure_s,
         goodput_tps=len(window) / measure_s,
         completed=len(window),
-        source_drops=sum(drops) - drops_before,
+        source_drops=source_drops,
+        ticks=submitted + source_drops,
+        outstanding_start=outstanding_start,
+        outstanding_end=outstanding_end,
         mean_latency_ns=(sum(latencies) / len(latencies)) if latencies else 0.0,
-        p50_latency_ns=_percentile(latencies, 0.50),
-        p99_latency_ns=_percentile(latencies, 0.99),
+        p50_latency_ns=nearest_rank_percentile(latencies, 0.50),
+        p99_latency_ns=nearest_rank_percentile(latencies, 0.99),
         replica_stats={
             key: replica_after[key] - replica_before[key] for key in _REPLICA_STATS
         },

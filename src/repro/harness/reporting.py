@@ -118,6 +118,33 @@ def format_overload(sweep) -> str:
     return "\n".join(lines)
 
 
+def format_aggregate_overload(sweep) -> str:
+    """One row per multiplier of an aggregate (simulated-population) sweep."""
+    header = (
+        f"{'Mult':>5s} {'Offered':>8s} {'Arrived':>8s} {'Goodput':>8s} "
+        f"{'p50':>9s} {'p99':>9s} {'Shed':>6s} {'BUSY':>6s} {'BusySkip':>8s} "
+        f"{'SessDrop':>8s} {'HWM':>5s}"
+    )
+    lines = [
+        f"aggregate overload sweep: {sweep.sim_clients:,} simulated clients "
+        f"({sweep.scenario}) over {sweep.points[0].sessions if sweep.points else 0} "
+        f"sessions; closed-loop capacity ~{sweep.capacity_tps:.0f} ops/s "
+        f"(seed {sweep.seed}, {sweep.payload_size}B ops)",
+        header,
+        "-" * len(header),
+    ]
+    for p in sweep.points:
+        lines.append(
+            f"{p.multiplier:5.1f} {p.offered_tps:8.0f} {p.arrived_tps:8.0f} "
+            f"{p.goodput_tps:8.0f} "
+            f"{format_duration(p.p50_latency_ns):>9s} "
+            f"{format_duration(p.p99_latency_ns):>9s} "
+            f"{p.shed:6d} {p.busy_replies:6d} {p.busy_skips:8d} "
+            f"{p.session_drops:8d} {p.inflight_hwm:5d}"
+        )
+    return "\n".join(lines)
+
+
 def format_campaign(campaign) -> str:
     """One row per (schedule, seed) run of a fault campaign, worst first."""
     header = (

@@ -21,7 +21,6 @@ assertions are about simulated goodput ratios, which are deterministic.
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -34,6 +33,7 @@ from repro.apps.sqlapp import (
     tables_of_sql,
 )
 from repro.common.units import SECOND
+from repro.obs import nearest_rank_percentile
 from repro.pbft.config import PbftConfig
 from repro.shard.campaign import key_for_shard
 from repro.shard.directory import ShardDirectory
@@ -87,14 +87,10 @@ class ShardBenchResult:
 
 def _percentiles(latencies: list[int]) -> tuple[int, int]:
     latencies = sorted(latencies)
-    if not latencies:
-        return 0, 0
-
-    def pct(p: float) -> int:
-        rank = max(1, math.ceil(p * len(latencies)))
-        return latencies[min(len(latencies) - 1, rank - 1)]
-
-    return pct(0.50), pct(0.99)
+    return (
+        nearest_rank_percentile(latencies, 0.50),
+        nearest_rank_percentile(latencies, 0.99),
+    )
 
 
 def _router_latencies(cluster: ShardedCluster, skip: dict) -> list[int]:
@@ -284,21 +280,45 @@ def run_shard_bench(
     smoke: bool = False,
     seed: int = 3,
     shard_counts: tuple[int, ...] = (1, 2, 4),
+    workers: int = 1,
 ) -> ShardBenchResult:
-    """The full sharding benchmark: scaling sweep plus the SQL mix."""
+    """The full sharding benchmark: scaling sweep plus the SQL mix.
+
+    Every measurement is an independent sweep cell, so ``workers > 1``
+    farms them across processes; the cells carry the caller's seed
+    explicitly (it is part of each measurement's identity), and results
+    come back in cell order, so the bench output is identical at any
+    worker count.
+    """
+    from repro.harness.sweeprunner import SweepCell, run_cells
+
     warmup_s = 0.1 if smoke else 0.2
     measure_s = 0.25 if smoke else 0.5
     start = time.time()
-    points = [
-        run_shard_scaling_point(
-            shards, warmup_s=warmup_s, measure_s=measure_s, seed=seed
+    cells = [
+        SweepCell(
+            kind="shard-scaling",
+            scenario=f"kv-{shards}shard",
+            params=dict(
+                num_shards=shards, warmup_s=warmup_s, measure_s=measure_s
+            ),
+            seed=seed,
         )
         for shards in shard_counts
     ]
-    sql = run_shard_sql_mix(
-        warmup_s=warmup_s, measure_s=max(measure_s, 0.3), seed=seed
+    cells.append(
+        SweepCell(
+            kind="shard-sql-mix",
+            scenario="sql-mix",
+            params=dict(warmup_s=warmup_s, measure_s=max(measure_s, 0.3)),
+            seed=seed,
+        )
     )
-    return ShardBenchResult(points=points, sql=sql, wall_s=time.time() - start)
+    results = run_cells(cells, base_seed=seed, workers=workers)
+    points = [ShardPoint(**result) for result in results[:-1]]
+    return ShardBenchResult(
+        points=points, sql=results[-1], wall_s=time.time() - start
+    )
 
 
 def format_shard_bench(result: ShardBenchResult) -> str:

@@ -27,6 +27,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     StatsView,
+    nearest_rank_percentile,
 )
 from repro.obs.phases import PHASE_NAMES, phase_breakdown, request_phases
 from repro.obs.tracer import NULL_SPAN, TraceEvent, Tracer
@@ -39,6 +40,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS_NS",
+    "nearest_rank_percentile",
     "Tracer",
     "TraceEvent",
     "NULL_SPAN",

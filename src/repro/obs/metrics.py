@@ -30,6 +30,23 @@ DEFAULT_LATENCY_BUCKETS_NS: tuple[int, ...] = tuple(
 ) + (10**10,)
 
 
+def nearest_rank_percentile(sorted_values: Sequence, p: float):
+    """Nearest-rank percentile over pre-sorted values.
+
+    The smallest value with at least ``ceil(p * n)`` values <= it — the
+    definition :class:`repro.harness.measure.Measurement` has used since
+    the PR-2 bias fix.  Every harness percentile routes through here so
+    independent reimplementations cannot drift again.  ``sorted_values``
+    must already be in ascending order; an empty sequence reports 0.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ConfigError(f"percentile {p} outside (0, 1]")
+    if not sorted_values:
+        return 0
+    rank = max(1, math.ceil(p * len(sorted_values)))
+    return sorted_values[min(len(sorted_values) - 1, rank - 1)]
+
+
 class Counter:
     """A monotonically increasing integer."""
 
@@ -60,6 +77,11 @@ class Gauge:
 
     def add(self, delta) -> None:
         self.value += delta
+
+    def update_max(self, value) -> None:
+        """Track a high-water mark: keep the largest value ever seen."""
+        if value > self.value:
+            self.value = value
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value})"

@@ -38,6 +38,11 @@ class PendingOp:
     request: Request
     callback: Optional[Callable[[bytes, int], None]]
     sent_at: int
+    # Invoked with a reason string if the operation terminates without a
+    # result (oversized rejection, workload cancellation).  Session
+    # multiplexers (repro.harness.workload) rely on exactly one of
+    # callback/fail_callback firing to reclaim the session.
+    fail_callback: Optional[Callable[[str], None]] = None
     timer: object = None
     # result digest -> {replica id -> is_tentative}
     votes: dict[bytes, dict[int, bool]] = field(default_factory=dict)
@@ -131,8 +136,13 @@ class PbftClient(Node):
         op: bytes,
         readonly: bool = False,
         callback: Optional[Callable[[bytes, int], None]] = None,
+        on_fail: Optional[Callable[[str], None]] = None,
     ) -> Request:
-        """Submit one operation; at most one may be outstanding."""
+        """Submit one operation; at most one may be outstanding.
+
+        ``on_fail`` is called with a reason string if the operation
+        terminates without a result instead of completing.
+        """
         if self.pending is not None:
             raise ConfigError(f"client {self.node_id} already has a request in flight")
         if not self.joined:
@@ -146,7 +156,8 @@ class PbftClient(Node):
             big=self.config.is_big(len(op)),
         )
         self.pending = PendingOp(
-            request=request, callback=callback, sent_at=self.host.sim.now
+            request=request, callback=callback, sent_at=self.host.sim.now,
+            fail_callback=on_fail,
         )
         if self.tracer.enabled:
             self.tracer.mark((self.node_id, request.req_id), "invoke", self._track)
@@ -301,6 +312,8 @@ class PbftClient(Node):
                 self._track, f"rejected-{reason}", cat="client",
                 args={"req_id": pending.request.req_id},
             )
+        if pending.fail_callback is not None:
+            pending.fail_callback(reason)
 
     def on_reply(self, reply: Reply, env: Envelope = None) -> None:
         pending = self.pending
@@ -357,12 +370,16 @@ class PbftClient(Node):
 
     def cancel_pending(self) -> None:
         """Abort the outstanding request (used by workload teardown)."""
-        if self.pending is not None and self.pending.timer is not None:
-            self.pending.timer.cancel()
-        if self.pending is not None:
-            self.failed_ops += 1
-            self.stats["failed_ops"] += 1
+        pending = self.pending
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.failed_ops += 1
+        self.stats["failed_ops"] += 1
         self.pending = None
+        if pending.fail_callback is not None:
+            pending.fail_callback("cancelled")
 
     def stop(self) -> None:
         """Quiesce timers so the simulation can drain."""

@@ -1,0 +1,59 @@
+"""Regression test for open-loop source-drop accounting.
+
+An arrival tick that is skipped because the client's previous operation
+is still outstanding is offered load the cluster never saw.  It used to
+be counted as an arrival anyway, overstating ``arrived_tps`` at high
+multipliers; now every tick is classified exactly once and the window
+obeys a conservation identity.
+"""
+
+import pytest
+
+from repro.harness.overload import overload_config, run_overload_sweep
+
+# Pinned closed-loop capacity of overload_config() (the same anchor the
+# overload integration test pins), so no estimator run is needed.
+CAPACITY_TPS = 26_000.0
+
+
+@pytest.fixture(scope="module")
+def saturated_point():
+    # 3x offered load on a small session pool: ticks routinely land while
+    # the previous operation is still outstanding, forcing source drops.
+    config = overload_config().with_options(num_clients=6)
+    sweep = run_overload_sweep(
+        config=config,
+        multipliers=(3.0,),
+        warmup_s=0.05,
+        measure_s=0.1,
+        seed=3,
+        capacity_tps=CAPACITY_TPS,
+    )
+    return sweep.point_at(3.0)
+
+
+def test_forces_source_drops(saturated_point):
+    assert saturated_point.source_drops > 0
+
+
+def test_window_conservation_identity(saturated_point):
+    # Every tick of the measured window either submitted an operation or
+    # was dropped at the source; submitted operations either completed in
+    # the window or are still outstanding at its end:
+    #   ticks == completed + (outstanding_end - outstanding_start) + drops
+    point = saturated_point
+    assert point.ticks == (
+        point.completed
+        + (point.outstanding_end - point.outstanding_start)
+        + point.source_drops
+    )
+
+
+def test_drops_do_not_count_as_arrivals(saturated_point):
+    # arrived_tps reflects only ticks that submitted an operation.
+    point = saturated_point
+    submitted = point.ticks - point.source_drops
+    assert round(point.arrived_tps * 0.1) == submitted
+    # ...and at 3x offered load the distinction is material: offered is
+    # far above what actually arrived.
+    assert point.offered_tps > point.arrived_tps
