@@ -3,15 +3,18 @@
 
 Every built-in fault schedule — primary/backup crash and restart, primary
 partition, lossy/delaying/duplicating/reordering links, mute primary,
-equivocating primary, and the Byzantine clients (flooding, invalid-MAC
-spam, oversized requests) — runs against a fresh deterministic cluster at
-each RNG seed.  After every run five protocol invariants are checked:
+equivocating primary, the Byzantine clients (flooding, invalid-MAC spam,
+oversized requests), Markov replica churn, and a live replica replace —
+runs against a fresh deterministic cluster at each RNG seed.  After every
+run the protocol invariants are checked:
 
 * agreement (replicas never diverge),
 * no committed-op loss across view changes,
 * monotone checkpoint stability,
 * client liveness once every fault has healed,
-* honest-client liveness while a Byzantine client misbehaves.
+* honest-client liveness while a Byzantine client misbehaves,
+* membership safety (same epoch installed at the same boundary
+  everywhere).
 
 A failing run is deterministically re-executed with tracing enabled and
 dumps a Chrome trace plus a minimized event log under ``--artifacts``.

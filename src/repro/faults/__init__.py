@@ -3,9 +3,10 @@
 Declarative :class:`FaultSchedule`s (crash/restart, partitions, windowed
 link disturbances, mute and equivocating primaries) are applied to a
 running cluster by a polling :class:`FaultInjector`; the campaign runner
-sweeps schedules × RNG seeds and checks four protocol invariants after
+sweeps schedules × RNG seeds and checks the protocol invariants after
 every run — agreement, no committed-op loss, monotone checkpoint
-stability, and client liveness.  On violation it re-runs the identical
+stability, client liveness, flood liveness, cross-shard atomicity, and
+membership safety.  On violation it re-runs the identical
 (schedule, seed) pair with tracing enabled and dumps a Chrome trace plus
 a minimized event log via :mod:`repro.obs`.
 """
@@ -24,6 +25,7 @@ from repro.faults.invariants import (
     check_checkpoint_monotone,
     check_flood_liveness,
     check_liveness,
+    check_membership_safety,
     check_no_committed_loss,
 )
 from repro.faults.library import builtin_schedules
@@ -34,9 +36,11 @@ from repro.faults.schedule import (
     FloodingClient,
     InvalidMacSpammer,
     LinkDisturbance,
+    MarkovChurn,
     MutePrimary,
     OversizedClient,
     PartitionFault,
+    ReplicaReplace,
     Trigger,
 )
 
@@ -49,9 +53,11 @@ __all__ = [
     "FloodingClient",
     "InvalidMacSpammer",
     "LinkDisturbance",
+    "MarkovChurn",
     "MutePrimary",
     "OversizedClient",
     "PartitionFault",
+    "ReplicaReplace",
     "RunResult",
     "Trigger",
     "Violation",
@@ -61,6 +67,7 @@ __all__ = [
     "check_checkpoint_monotone",
     "check_flood_liveness",
     "check_liveness",
+    "check_membership_safety",
     "check_no_committed_loss",
     "run_campaign",
     "run_schedule",

@@ -3,7 +3,7 @@
 One *run* builds a fresh deterministic cluster, drives a closed-loop
 client workload, lets a :class:`~repro.faults.injector.FaultInjector`
 apply one :class:`~repro.faults.schedule.FaultSchedule`, waits for every
-fault to heal, drains outstanding operations, and then checks the four
+fault to heal, drains outstanding operations, and then checks the
 protocol invariants of :mod:`repro.faults.invariants`.  A *campaign*
 sweeps a list of schedules across a list of RNG seeds.
 
@@ -30,6 +30,7 @@ from repro.faults.invariants import (
     check_checkpoint_monotone,
     check_flood_liveness,
     check_liveness,
+    check_membership_safety,
     check_no_committed_loss,
 )
 from repro.faults.schedule import FaultSchedule
@@ -172,6 +173,7 @@ def _execute(
         + check_checkpoint_monotone(injector.stability_samples)
         + check_liveness(cluster, invoked, completed)
         + check_flood_liveness(injector.client_fault_windows, completed_at_ns)
+        + check_membership_safety(cluster)
     )
     result = RunResult(
         schedule=schedule.name,

@@ -29,9 +29,11 @@ from repro.faults.schedule import (
     FloodingClient,
     InvalidMacSpammer,
     LinkDisturbance,
+    MarkovChurn,
     MutePrimary,
     OversizedClient,
     PartitionFault,
+    ReplicaReplace,
 )
 
 
@@ -92,7 +94,11 @@ class FaultInjector:
         max_view = max((r.view for r in live), default=0)
         still_pending = []
         for fault in self.pending:
-            trigger = fault.at if isinstance(fault, CrashReplica) else fault.start
+            trigger = (
+                fault.at
+                if isinstance(fault, (CrashReplica, ReplicaReplace))
+                else fault.start
+            )
             if trigger.ready(now, max_seq, max_view):
                 self._apply(fault, max_view)
             else:
@@ -185,6 +191,10 @@ class FaultInjector:
                 stop_equivocating,
                 f"replica{primary.node_id} stops equivocating",
             )
+        elif isinstance(fault, MarkovChurn):
+            self._apply_markov_churn(fault)
+        elif isinstance(fault, ReplicaReplace):
+            self._apply_replica_replace(fault)
         elif isinstance(fault, FloodingClient):
             self._apply_flooding_client(fault)
         elif isinstance(fault, InvalidMacSpammer):
@@ -193,6 +203,114 @@ class FaultInjector:
             self._apply_oversized_client(fault)
         else:  # pragma: no cover - schedule.validate keeps this unreachable
             raise TypeError(f"unknown fault declaration {fault!r}")
+
+    # -- membership drivers ---------------------------------------------------
+
+    def _apply_markov_churn(self, fault: MarkovChurn) -> None:
+        """Alternate Exp(mean_up)/Exp(mean_down) crash/restart cycles on one
+        replica until the window closes (two-state Markov fail/repair)."""
+        cluster = self.cluster
+        slot = fault.replica
+        rng = cluster.rng.stream(f"churn-{self.schedule.name}-{slot}")
+        end = cluster.sim.now + fault.duration_ns
+        state = {"transitions": 0}
+        self.open_heals += 1
+        self._note(fault.describe())
+
+        def finish() -> None:
+            replica = cluster.replicas[slot]
+            if replica.crashed:
+                replica.restart()
+            self.open_heals -= 1
+            self._note(
+                f"churn window on replica{slot} ends "
+                f"({state['transitions']} fail/repair cycles)"
+            )
+
+        def go_down() -> None:
+            now = cluster.sim.now
+            if now >= end:
+                finish()
+                return
+            replica = cluster.replicas[slot]
+            if not replica.crashed:
+                replica.crash()
+                state["transitions"] += 1
+            down = max(1, int(rng.expovariate(1.0 / fault.mean_down_ns)))
+            cluster.sim.schedule(min(down, end - now), go_up)
+
+        def go_up() -> None:
+            now = cluster.sim.now
+            replica = cluster.replicas[slot]
+            if replica.crashed:
+                replica.restart()
+            if now >= end:
+                finish()
+                return
+            up = max(1, int(rng.expovariate(1.0 / fault.mean_up_ns)))
+            cluster.sim.schedule(min(up, end - now), go_down)
+
+        first_up = max(1, int(rng.expovariate(1.0 / fault.mean_up_ns)))
+        cluster.sim.schedule(min(first_up, fault.duration_ns), go_down)
+
+    def _apply_replica_replace(self, fault: ReplicaReplace) -> None:
+        """Order a RECONFIG_REPLACE through a client, then physically swap
+        the slot's machine and hold the heal open until it bootstraps."""
+        from repro.membership.messages import RECONFIG_REPLACE, encode_reconfig_op
+        from repro.pbft.reconfig import REPLY_RECONFIG_OK
+
+        cluster = self.cluster
+        slot = fault.slot
+        operator = self._rogue_client(register=True)
+        self.open_heals += 1
+        self._note(fault.describe())
+
+        def wait_bootstrapped() -> None:
+            replica = cluster.replicas[slot]
+            # "Bootstrapped" means actually caught up, not merely done with
+            # the recovery handshake (which finishes trivially when no peer
+            # status has arrived yet): within one checkpoint interval of
+            # the live peers' execution frontier.
+            frontier = max(
+                (
+                    r.last_exec
+                    for r in cluster.replicas
+                    if not r.crashed and r.node_id != slot
+                ),
+                default=0,
+            )
+            caught_up = (
+                not replica.crashed
+                and not replica.recovering
+                and replica.last_exec + cluster.config.checkpoint_interval
+                >= frontier
+            )
+            if caught_up:
+                self.open_heals -= 1
+                self._note(
+                    f"replica{slot} bootstrapped (last_exec {replica.last_exec})"
+                )
+            else:
+                cluster.sim.schedule(20 * MILLISECOND, wait_bootstrapped)
+
+        def swap() -> None:
+            # The new incarnation's stable checkpoint starts at 0 until the
+            # state transfer lands; the monotone invariant tracks machines,
+            # not slots, so its sample series restarts with the machine.
+            self.stability_samples[slot] = []
+            cluster.replace_replica(slot)
+            self._note(f"replica{slot} physically replaced; bootstrapping")
+            wait_bootstrapped()
+
+        def on_reply(result: bytes, _lat: int) -> None:
+            operator.stop()
+            if result != REPLY_RECONFIG_OK:
+                self.open_heals -= 1
+                self._note(f"reconfig replace slot {slot} rejected: {result!r}")
+                return
+            cluster.sim.schedule(MILLISECOND, swap)
+
+        operator.invoke(encode_reconfig_op(RECONFIG_REPLACE, slot), callback=on_reply)
 
     # -- Byzantine-client drivers -------------------------------------------
 

@@ -1,7 +1,7 @@
 """Protocol invariants checked after every fault-campaign run.
 
-Six checks, matching the paper's safety and liveness claims (plus the
-sharding layer's atomicity contract):
+Seven checks, matching the paper's safety and liveness claims (plus the
+sharding and membership layers' contracts):
 
 * **agreement** — replicas never diverge: state roots match at every
   shared stable checkpoint and execution journals agree on every shared
@@ -17,7 +17,10 @@ sharding layer's atomicity contract):
   Byzantine-client disturbances, not merely after they heal;
 * **cross-shard atomicity** (#6, sharded topologies only) — no
   transaction commits on one shard and aborts on another, regardless of
-  partitions, coordinator crashes, and recovery races.
+  partitions, coordinator crashes, and recovery races;
+* **membership safety** (#7) — replicas agree on the configuration
+  history: epoch boundaries land at the same sequence numbers
+  everywhere, and no operation executes under two different epochs.
 
 Checks return :class:`Violation` lists rather than raising, so a
 campaign can keep sweeping and report everything it found.
@@ -175,6 +178,52 @@ def check_liveness(
         )
         for client_id, req_id in missing
     ]
+
+
+def check_membership_safety(cluster: Cluster) -> list[Violation]:
+    """Invariant #7: replicas agree on the configuration history.
+
+    Two clauses, both over live replicas:
+
+    * **epoch-mark agreement** — wherever two replicas both recorded an
+      epoch boundary, they recorded it at the same sequence number: the
+      (boundary_seq, epoch) marks of one are a prefix-consistent subset
+      of the other's (a bootstrapping replica that adopted state past a
+      boundary legitimately misses older marks);
+    * **same seq, same configuration** — for every sequence number two
+      replicas both executed, :meth:`ReconfigManager.epoch_at` returns
+      the same epoch, so no operation was executed under two different
+      configurations.
+    """
+    violations: list[Violation] = []
+    live = [r for r in cluster.replicas if not r.crashed]
+    for i, a in enumerate(live):
+        for b in live[i + 1 :]:
+            by_epoch_a = {e: s for s, e in a.reconfig.epoch_marks}
+            by_epoch_b = {e: s for s, e in b.reconfig.epoch_marks}
+            for epoch in sorted(set(by_epoch_a) & set(by_epoch_b)):
+                if by_epoch_a[epoch] != by_epoch_b[epoch]:
+                    violations.append(
+                        Violation(
+                            "membership-safety",
+                            f"epoch {epoch} installed at seq "
+                            f"{by_epoch_a[epoch]} on replica{a.node_id} but "
+                            f"seq {by_epoch_b[epoch]} on replica{b.node_id}",
+                        )
+                    )
+            for seq in sorted(set(a.exec_journal) & set(b.exec_journal)):
+                ea = a.reconfig.epoch_at(seq)
+                eb = b.reconfig.epoch_at(seq)
+                if ea != eb:
+                    violations.append(
+                        Violation(
+                            "membership-safety",
+                            f"seq {seq} executed under epoch {ea} at "
+                            f"replica{a.node_id} but epoch {eb} at "
+                            f"replica{b.node_id}",
+                        )
+                    )
+    return violations
 
 
 def check_cross_shard_atomicity(groups: list[Cluster]) -> list[Violation]:

@@ -18,9 +18,11 @@ from repro.faults.schedule import (
     FloodingClient,
     InvalidMacSpammer,
     LinkDisturbance,
+    MarkovChurn,
     MutePrimary,
     OversizedClient,
     PartitionFault,
+    ReplicaReplace,
     Trigger,
 )
 
@@ -206,6 +208,46 @@ def oversized_client() -> FaultSchedule:
     )
 
 
+def replace_replica_under_loss() -> FaultSchedule:
+    return FaultSchedule(
+        name="replace-replica-under-loss",
+        description="Order a RECONFIG_REPLACE for a backup slot while every "
+        "link drops 1% of datagrams; the fresh machine must bootstrap via "
+        "state transfer with zero committed-op loss and the epoch history "
+        "agreeing group-wide (invariant #7).",
+        faults=(
+            LinkDisturbance(
+                start=Trigger(at_ns=100 * MILLISECOND),
+                duration_ns=1500 * MILLISECOND,
+                drop_probability=0.01,
+            ),
+            ReplicaReplace(
+                slot=2,
+                at=Trigger(at_ns=400 * MILLISECOND, at_seq=16),
+            ),
+        ),
+    )
+
+
+def backup_markov_churn() -> FaultSchedule:
+    return FaultSchedule(
+        name="backup-markov-churn",
+        description="A backup alternates exponentially distributed up/down "
+        "periods (two-state Markov fail/repair, up~Exp(400ms), "
+        "down~Exp(100ms)); every repair exercises restart recovery while "
+        "the rest of the group keeps the quorum alive.",
+        faults=(
+            MarkovChurn(
+                replica=3,
+                mean_up_ns=400 * MILLISECOND,
+                mean_down_ns=100 * MILLISECOND,
+                duration_ns=1500 * MILLISECOND,
+                start=Trigger(at_ns=200 * MILLISECOND),
+            ),
+        ),
+    )
+
+
 def builtin_schedules() -> list[FaultSchedule]:
     """The default campaign: every built-in schedule, in sweep order."""
     return [
@@ -220,4 +262,6 @@ def builtin_schedules() -> list[FaultSchedule]:
         flooding_client(),
         invalid_mac_spammer(),
         oversized_client(),
+        replace_replica_under_loss(),
+        backup_markov_churn(),
     ]

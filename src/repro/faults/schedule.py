@@ -221,6 +221,51 @@ class OversizedClient:
         )
 
 
+@dataclass(frozen=True)
+class MarkovChurn:
+    """Continuous-time fail/repair churn on one replica.
+
+    The replica alternates exponentially distributed up/down periods (a
+    two-state Markov chain) for ``duration_ns``: crash after ~Exp(mean_up),
+    restart after ~Exp(mean_down), repeat.  The analytic steady-state
+    availability of one replica is ``mean_up / (mean_up + mean_down)``;
+    :func:`repro.harness.membershipbench.analytic_availability` lifts that
+    to the 2f+1-of-n quorum availability the campaign measures against.
+    """
+
+    replica: int
+    mean_up_ns: int = 400 * MILLISECOND
+    mean_down_ns: int = 100 * MILLISECOND
+    duration_ns: int = 2000 * MILLISECOND
+    start: Trigger = field(default_factory=Trigger)
+
+    def describe(self) -> str:
+        return (
+            f"markov churn replica{self.replica} "
+            f"(up~Exp({self.mean_up_ns / MILLISECOND:.0f}ms), "
+            f"down~Exp({self.mean_down_ns / MILLISECOND:.0f}ms), "
+            f"{self.start.describe()}, "
+            f"{self.duration_ns / MILLISECOND:.0f}ms window)"
+        )
+
+
+@dataclass(frozen=True)
+class ReplicaReplace:
+    """Replace the replica in one slot with a brand-new machine.
+
+    The injector submits the ordered RECONFIG_REPLACE system op through a
+    client, waits for it to commit, and then performs the physical swap
+    (:meth:`repro.pbft.cluster.Cluster.replace_replica`): fresh keys,
+    empty state, bootstrap via status gossip and state transfer.
+    """
+
+    slot: int
+    at: Trigger = field(default_factory=Trigger)
+
+    def describe(self) -> str:
+        return f"replace replica{self.slot} ({self.at.describe()})"
+
+
 Fault = (
     CrashReplica
     | PartitionFault
@@ -230,6 +275,8 @@ Fault = (
     | FloodingClient
     | InvalidMacSpammer
     | OversizedClient
+    | MarkovChurn
+    | ReplicaReplace
 )
 
 
@@ -248,6 +295,20 @@ class FaultSchedule:
             if isinstance(fault, CrashReplica) and not 0 <= fault.replica < n:
                 raise ConfigError(
                     f"schedule {self.name!r} crashes unknown replica {fault.replica}"
+                )
+            if isinstance(fault, MarkovChurn):
+                if not 0 <= fault.replica < n:
+                    raise ConfigError(
+                        f"schedule {self.name!r} churns unknown replica "
+                        f"{fault.replica}"
+                    )
+                if fault.mean_up_ns <= 0 or fault.mean_down_ns <= 0:
+                    raise ConfigError(
+                        f"schedule {self.name!r}: churn means must be positive"
+                    )
+            if isinstance(fault, ReplicaReplace) and not 0 <= fault.slot < n:
+                raise ConfigError(
+                    f"schedule {self.name!r} replaces unknown slot {fault.slot}"
                 )
 
     def describe(self) -> list[str]:

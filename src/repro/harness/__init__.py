@@ -78,6 +78,15 @@ from repro.harness.shardbench import (
     run_shard_sql_mix,
     shard_bench_config,
 )
+from repro.harness.membershipbench import (
+    MEMBERSHIP_SCENARIOS,
+    MembershipScenario,
+    analytic_availability,
+    format_membership,
+    run_markov_scenario,
+    run_membership_bench,
+    run_replace_scenario,
+)
 from repro.harness.wan import run_wan_sweep, format_wan, PROFILES
 from repro.harness.analysis import summarize, messages_per_request
 
@@ -131,6 +140,13 @@ __all__ = [
     "format_fig4",
     "format_fig5",
     "format_acid",
+    "MEMBERSHIP_SCENARIOS",
+    "MembershipScenario",
+    "analytic_availability",
+    "format_membership",
+    "run_markov_scenario",
+    "run_membership_bench",
+    "run_replace_scenario",
     "run_wan_sweep",
     "format_wan",
     "PROFILES",

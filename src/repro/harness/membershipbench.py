@@ -1,0 +1,394 @@
+"""Membership campaign: measured availability vs the analytic Markov model.
+
+Two experiment families, both riding the fault-campaign machinery:
+
+* **Markov churn scenarios** — every replica independently alternates
+  exponentially distributed up/down periods (the two-state fail/repair
+  chain of "Dynamic Practical BFT", arXiv:2210.14003, and "Repairable
+  Voting Nodes", arXiv:2306.10960).  With per-replica steady-state
+  availability ``a = mean_up / (mean_up + mean_down)``, the group can
+  order requests whenever at least 2f+1 replicas are up, so the analytic
+  service availability is the binomial tail
+
+      A = sum_{k=2f+1}^{n} C(n,k) a^k (1-a)^(n-k).
+
+  The runner measures the fraction of sampled instants with >= 2f+1 live
+  replicas inside the churn window and reports it against A.
+
+* **Live replica replace** — a RECONFIG_REPLACE ordered through the
+  protocol followed by the physical machine swap, under packet loss; the
+  runner reports goodput before / during / after the bootstrap window and
+  requires zero committed-op loss plus membership safety (invariant #7).
+
+``run_membership_bench`` composes both into the BENCH_membership.json
+artifact the CI smoke job gates against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.common.units import MILLISECOND, SECOND
+from repro.faults.campaign import PAYLOAD, campaign_config
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    Violation,
+    check_agreement,
+    check_checkpoint_monotone,
+    check_flood_liveness,
+    check_liveness,
+    check_membership_safety,
+    check_no_committed_loss,
+)
+from repro.faults.schedule import (
+    FaultSchedule,
+    LinkDisturbance,
+    MarkovChurn,
+    ReplicaReplace,
+    Trigger,
+)
+from repro.obs import Observability
+from repro.pbft.cluster import Cluster, build_cluster
+
+
+@dataclass(frozen=True)
+class MembershipScenario:
+    """One Markov fail/repair regime applied to every replica."""
+
+    name: str
+    mean_up_ns: int
+    mean_down_ns: int
+    churn_ns: int = 2000 * MILLISECOND
+
+    @property
+    def replica_availability(self) -> float:
+        return self.mean_up_ns / (self.mean_up_ns + self.mean_down_ns)
+
+
+#: The standard sweep: a healthy fleet, the steady-churn regime, and a
+#: fragile one whose analytic availability drops below one half.
+MEMBERSHIP_SCENARIOS: tuple[MembershipScenario, ...] = (
+    MembershipScenario("healthy", 900 * MILLISECOND, 100 * MILLISECOND),
+    MembershipScenario("steady", 400 * MILLISECOND, 100 * MILLISECOND),
+    MembershipScenario("fragile", 250 * MILLISECOND, 250 * MILLISECOND),
+)
+
+
+def analytic_availability(f: int, mean_up_ns: int, mean_down_ns: int) -> float:
+    """Quorum availability of n=3f+1 independently churning replicas."""
+    a = mean_up_ns / (mean_up_ns + mean_down_ns)
+    n = 3 * f + 1
+    quorum = 2 * f + 1
+    return sum(
+        comb(n, k) * a**k * (1.0 - a) ** (n - k) for k in range(quorum, n + 1)
+    )
+
+
+def _run_with_injector(
+    schedule: FaultSchedule,
+    seed: int,
+    sample_window: tuple[int, int] | None,
+    run_ns: int,
+    drain_ns: int = 3 * SECOND,
+    settle_ns: int = 400 * MILLISECOND,
+):
+    """Campaign-style run with per-instant quorum-availability sampling.
+
+    Returns (cluster, injector, invoked, completed, completed_at_ns,
+    samples) where ``samples`` are booleans — ">= 2f+1 replicas live" at
+    2 ms intervals inside ``sample_window``.
+    """
+    config = campaign_config()
+    cluster = build_cluster(
+        config, seed=seed, real_crypto=False, obs=Observability()
+    )
+    injector = FaultInjector(cluster, schedule)
+    invoked: list[tuple[int, int]] = []
+    completed: list[tuple[int, int]] = []
+    completed_at_ns: list[int] = []
+    issuing = {"on": True}
+
+    for client in cluster.clients:
+
+        def submit(client=client) -> None:
+            def done(_res, _lat) -> None:
+                completed.append((client.node_id, req.req_id))
+                completed_at_ns.append(cluster.sim.now)
+                if issuing["on"]:
+                    submit(client)
+
+            req = client.invoke(PAYLOAD, callback=done)
+            invoked.append((client.node_id, req.req_id))
+
+        submit()
+
+    samples: list[bool] = []
+    if sample_window is not None:
+        start, end = sample_window
+        quorum = config.quorum
+
+        def sample() -> None:
+            now = cluster.sim.now
+            if now > end:
+                return
+            if now >= start:
+                live = sum(1 for r in cluster.replicas if not r.crashed)
+                samples.append(live >= quorum)
+            cluster.sim.schedule(2 * MILLISECOND, sample)
+
+        cluster.sim.schedule(start, sample)
+
+    injector.start()
+    step = 10 * MILLISECOND
+    deadline = cluster.sim.now + run_ns
+    hard_cap = deadline + drain_ns
+    while cluster.sim.now < deadline or (
+        not injector.quiescent and cluster.sim.now < hard_cap
+    ):
+        cluster.run_for(step)
+    issuing["on"] = False
+    drain_deadline = cluster.sim.now + drain_ns
+    while (
+        any(client.pending is not None for client in cluster.clients)
+        and cluster.sim.now < drain_deadline
+    ):
+        cluster.run_for(step)
+    cluster.run_for(settle_ns)
+    injector.stop()
+    cluster.stop_clients()
+    return cluster, injector, invoked, completed, completed_at_ns, samples
+
+
+def _check_all(
+    cluster: Cluster,
+    injector: FaultInjector,
+    invoked,
+    completed,
+    completed_at_ns,
+) -> list[Violation]:
+    return (
+        check_agreement(cluster)
+        + check_no_committed_loss(cluster, completed)
+        + check_checkpoint_monotone(injector.stability_samples)
+        + check_liveness(cluster, invoked, completed)
+        + check_flood_liveness(injector.client_fault_windows, completed_at_ns)
+        + check_membership_safety(cluster)
+    )
+
+
+def run_markov_scenario(
+    scenario: MembershipScenario, seed: int = 1, churn_ns: int | None = None
+) -> dict:
+    """Churn every replica per ``scenario``; measure quorum availability."""
+    churn_ns = churn_ns if churn_ns is not None else scenario.churn_ns
+    start_ns = 200 * MILLISECOND
+    schedule = FaultSchedule(
+        name=f"markov-{scenario.name}",
+        description=f"independent Markov churn on every replica "
+        f"(up~Exp({scenario.mean_up_ns / MILLISECOND:.0f}ms), "
+        f"down~Exp({scenario.mean_down_ns / MILLISECOND:.0f}ms))",
+        faults=tuple(
+            MarkovChurn(
+                replica=rid,
+                mean_up_ns=scenario.mean_up_ns,
+                mean_down_ns=scenario.mean_down_ns,
+                duration_ns=churn_ns,
+                start=Trigger(at_ns=start_ns),
+            )
+            for rid in range(campaign_config().n)
+        ),
+    )
+    cluster, injector, invoked, completed, completed_at_ns, samples = (
+        _run_with_injector(
+            schedule,
+            seed,
+            sample_window=(start_ns, start_ns + churn_ns),
+            run_ns=start_ns + churn_ns,
+        )
+    )
+    violations = _check_all(
+        cluster, injector, invoked, completed, completed_at_ns
+    )
+    predicted = analytic_availability(
+        cluster.config.f, scenario.mean_up_ns, scenario.mean_down_ns
+    )
+    measured = (sum(samples) / len(samples)) if samples else 0.0
+    in_window = sum(
+        1
+        for t in completed_at_ns
+        if start_ns <= t <= start_ns + churn_ns
+    )
+    return {
+        "scenario": scenario.name,
+        "seed": seed,
+        "mean_up_ms": scenario.mean_up_ns / MILLISECOND,
+        "mean_down_ms": scenario.mean_down_ns / MILLISECOND,
+        "churn_ms": churn_ns / MILLISECOND,
+        "replica_availability": scenario.replica_availability,
+        "predicted_availability": predicted,
+        "measured_availability": measured,
+        "availability_ratio": (measured / predicted) if predicted else 0.0,
+        "goodput_in_window_ops_per_s": in_window / (churn_ns / SECOND),
+        "completed_ops": len(completed),
+        "violations": [str(v) for v in violations],
+    }
+
+
+def run_replace_scenario(seed: int = 1, loss: float = 0.0) -> dict:
+    """Live replica replace: goodput dip profile and zero committed loss.
+
+    Defaults to a clean network so the before/during/after windows
+    isolate the *replace* dip — under even 1% ambient loss the campaign
+    config's goodput collapses for the whole loss window (stalled
+    congestion window healed by 100-150 ms backstops), swamping the
+    signal.  The replace-under-loss *correctness* claim is covered by
+    the ``replace-replica-under-loss`` campaign schedule instead.
+    """
+    warmup_ns = 400 * MILLISECOND
+    window_ns = 400 * MILLISECOND
+    faults: tuple = (
+        ReplicaReplace(slot=2, at=Trigger(at_ns=warmup_ns, at_seq=16)),
+    )
+    if loss:
+        faults = (
+            LinkDisturbance(
+                start=Trigger(at_ns=100 * MILLISECOND),
+                duration_ns=1900 * MILLISECOND,
+                drop_probability=loss,
+            ),
+        ) + faults
+    schedule = FaultSchedule(
+        name="bench-replace",
+        description="ordered replica replace mid-workload",
+        faults=faults,
+    )
+    cluster, injector, invoked, completed, completed_at_ns, _ = (
+        _run_with_injector(
+            schedule, seed, sample_window=None, run_ns=2000 * MILLISECOND
+        )
+    )
+    violations = _check_all(
+        cluster, injector, invoked, completed, completed_at_ns
+    )
+
+    def goodput(lo: int, hi: int) -> float:
+        if hi <= lo:
+            return 0.0
+        ops = sum(1 for t in completed_at_ns if lo <= t < hi)
+        return ops / ((hi - lo) / SECOND)
+
+    before = goodput(0, warmup_ns)
+    during = goodput(warmup_ns, warmup_ns + window_ns)
+    after_start = warmup_ns + 2 * window_ns
+    after = goodput(after_start, after_start + window_ns)
+    new_replica = cluster.replicas[2]
+    return {
+        "scenario": "replace",
+        "seed": seed,
+        "loss": loss,
+        "goodput_before_ops_per_s": before,
+        "goodput_during_ops_per_s": during,
+        "goodput_after_ops_per_s": after,
+        "completed_ops": len(completed),
+        "replaced_replica_last_exec": new_replica.last_exec,
+        "replaced_replica_epoch": new_replica.reconfig.epoch,
+        "epochs": [r.reconfig.epoch for r in cluster.replicas],
+        "violations": [str(v) for v in violations],
+    }
+
+
+#: Smoke-mode parameters: one seed, short churn.  The simulation is
+#: deterministic, so CI can regenerate these rows and diff them against
+#: the committed artifact.
+SMOKE_SEED = 1
+SMOKE_CHURN_NS = 800 * MILLISECOND
+
+
+def _summarize_scenario(scenario: MembershipScenario, runs: list[dict]) -> dict:
+    measured = sum(r["measured_availability"] for r in runs) / len(runs)
+    predicted = runs[0]["predicted_availability"]
+    ratio = (measured / predicted) if predicted else 0.0
+    return {
+        "scenario": scenario.name,
+        "mean_up_ms": scenario.mean_up_ns / MILLISECOND,
+        "mean_down_ms": scenario.mean_down_ns / MILLISECOND,
+        "replica_availability": scenario.replica_availability,
+        "predicted_availability": predicted,
+        "measured_availability": measured,
+        "availability_ratio": ratio,
+        "within_20pct": abs(ratio - 1.0) <= 0.20,
+        "violations": sorted({v for r in runs for v in r["violations"]}),
+        "per_seed": runs,
+    }
+
+
+def run_membership_bench(seeds: tuple[int, ...] = (1, 2, 3), smoke: bool = False) -> dict:
+    """The membership benchmark: BENCH_membership.json's content.
+
+    Full mode produces (a) the analytic-vs-measured availability table
+    averaged over ``seeds`` at 2 s churn windows, (b) deterministic
+    smoke-mode rows (seed 1, 800 ms churn) that the CI job regenerates
+    and gates against, and (c) the live-replace goodput profile.  Smoke
+    mode produces only (b) and (c).
+    """
+    smoke_rows = [
+        run_markov_scenario(s, seed=SMOKE_SEED, churn_ns=SMOKE_CHURN_NS)
+        for s in MEMBERSHIP_SCENARIOS
+    ]
+    replace = run_replace_scenario(seed=SMOKE_SEED)
+    result = {
+        "bench": "membership",
+        "smoke_seed": SMOKE_SEED,
+        "smoke_churn_ms": SMOKE_CHURN_NS / MILLISECOND,
+        "smoke_scenarios": smoke_rows,
+        "replace": replace,
+    }
+    if not smoke:
+        result["seeds"] = list(seeds)
+        result["scenarios"] = [
+            _summarize_scenario(
+                s, [run_markov_scenario(s, seed=seed) for seed in seeds]
+            )
+            for s in MEMBERSHIP_SCENARIOS
+        ]
+    return result
+
+
+def format_membership(results: dict) -> str:
+    lines = []
+    if "scenarios" in results:
+        lines += [
+            "Membership campaign: measured vs analytic Markov availability "
+            f"(seeds {results['seeds']}, 2000ms windows)",
+            f"{'scenario':<10} {'a(replica)':>10} {'A(pred)':>8} "
+            f"{'A(meas)':>8} {'ratio':>6}  20%?  violations",
+        ]
+        for row in results["scenarios"]:
+            lines.append(
+                f"{row['scenario']:<10} {row['replica_availability']:>10.3f} "
+                f"{row['predicted_availability']:>8.4f} "
+                f"{row['measured_availability']:>8.4f} "
+                f"{row['availability_ratio']:>6.2f}  "
+                f"{'yes' if row['within_20pct'] else 'NO ':<4} "
+                f"{len(row['violations'])}"
+            )
+    lines.append(
+        f"smoke rows (seed {results['smoke_seed']}, "
+        f"{results['smoke_churn_ms']:.0f}ms windows):"
+    )
+    for row in results["smoke_scenarios"]:
+        lines.append(
+            f"  {row['scenario']:<10} A(meas) {row['measured_availability']:.4f} "
+            f"goodput {row['goodput_in_window_ops_per_s']:.1f} op/s "
+            f"{len(row['violations'])} violations"
+        )
+    rep = results["replace"]
+    lines.append(
+        f"replace: goodput {rep['goodput_before_ops_per_s']:.0f} -> "
+        f"{rep['goodput_during_ops_per_s']:.0f} -> "
+        f"{rep['goodput_after_ops_per_s']:.0f} op/s "
+        f"(before/during/after), epochs {rep['epochs']}, "
+        f"{len(rep['violations'])} violations"
+    )
+    return "\n".join(lines)

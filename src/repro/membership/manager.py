@@ -24,6 +24,7 @@ from repro.membership.messages import (
     JoinPhase1,
     SYS_JOIN2,
     SYS_LEAVE,
+    SYS_RECONFIG,
     compute_challenge,
     compute_response,
     system_op_kind,
@@ -92,6 +93,11 @@ class MembershipManager:
         kind = system_op_kind(req.op)
         if kind == SYS_JOIN2:
             return True  # joins are from not-yet-members by definition
+        if kind == SYS_RECONFIG:
+            # Replica reconfiguration is an operator action authenticated
+            # like any request; it must not depend on the client table
+            # (the operator may be a statically configured client).
+            return True
         return req.client in self.redirection
 
     # -- phase 1 / challenge ------------------------------------------------------

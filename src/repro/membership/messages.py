@@ -19,6 +19,14 @@ from repro.pbft.wire import Decoder, Encoder
 SYSTEM_OP_PREFIX = 0xFF
 SYS_JOIN2 = 1
 SYS_LEAVE = 2
+SYS_RECONFIG = 3
+
+# Replica-reconfiguration actions (ordered system ops; see
+# repro.pbft.reconfig).  The group stays 3f+1 *slots*; a reconfiguration
+# fills a vacant slot, vacates one, or replaces a slot's incarnation.
+RECONFIG_JOIN = 1
+RECONFIG_LEAVE = 2
+RECONFIG_REPLACE = 3
 
 # Join replies are b"JOINED" + 8-byte external id.
 REPLY_PREFIX_LEN = 6
@@ -160,8 +168,49 @@ def encode_leave_op() -> bytes:
     return bytes([SYSTEM_OP_PREFIX, SYS_LEAVE])
 
 
+@dataclass(frozen=True)
+class ReconfigPayload:
+    """The system-op payload of a replica-reconfiguration request.
+
+    ``incarnation`` disambiguates successive occupants of the same slot:
+    a replace bumps it, and the epoch gate rejects agreement traffic from
+    the slot's previous incarnation afterwards.
+    """
+
+    action: int  # RECONFIG_JOIN | RECONFIG_LEAVE | RECONFIG_REPLACE
+    slot: int
+    incarnation: int
+
+    def encode_op(self) -> bytes:
+        return (
+            Encoder()
+            .u8(SYSTEM_OP_PREFIX)
+            .u8(SYS_RECONFIG)
+            .u8(self.action)
+            .u16(self.slot)
+            .u32(self.incarnation)
+            .finish()
+        )
+
+    @classmethod
+    def decode_op(cls, op: bytes) -> "ReconfigPayload":
+        dec = Decoder(op)
+        if dec.u8() != SYSTEM_OP_PREFIX or dec.u8() != SYS_RECONFIG:
+            raise ProtocolError("not a Reconfig system op")
+        action = dec.u8()
+        if action not in (RECONFIG_JOIN, RECONFIG_LEAVE, RECONFIG_REPLACE):
+            raise ProtocolError(f"unknown reconfig action {action}")
+        return cls(action=action, slot=dec.u16(), incarnation=dec.u32())
+
+
+def encode_reconfig_op(action: int, slot: int, incarnation: int = 0) -> bytes:
+    return ReconfigPayload(
+        action=action, slot=slot, incarnation=incarnation
+    ).encode_op()
+
+
 def system_op_kind(op: bytes) -> int | None:
-    """Return SYS_JOIN2/SYS_LEAVE for a system op, None otherwise."""
+    """Return SYS_JOIN2/SYS_LEAVE/SYS_RECONFIG for a system op, else None."""
     if len(op) >= 2 and op[0] == SYSTEM_OP_PREFIX:
         return op[1]
     return None

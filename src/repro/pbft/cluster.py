@@ -34,6 +34,9 @@ class Cluster:
     clients: list[PbftClient]
     apps: list[Application] = field(default_factory=list)
     obs: Observability = field(default_factory=Observability)
+    # ProactiveRecovery scheduler, attached by build_cluster when
+    # config.proactive_recovery_interval_ns is set.
+    recovery_scheduler: object = None
 
     def run_for(self, duration_ns: int) -> None:
         self.sim.run_for(duration_ns)
@@ -69,6 +72,56 @@ class Cluster:
     def stop_clients(self) -> None:
         for client in self.clients:
             client.stop()
+
+    def replace_replica(
+        self, slot: int, app_factory: Optional[Callable[[], Application]] = None
+    ) -> Replica:
+        """Physically replace the replica in ``slot`` with a fresh machine.
+
+        The deployment-side half of a RECONFIG_REPLACE: the ordered system
+        op flips the slot's incarnation and epoch inside the protocol; this
+        helper swaps the actual process — a brand-new :class:`Replica` with
+        empty state on the same host/address, fresh key material, and
+        nothing but the public directory to bootstrap from.  It comes up
+        recovering and pulls a stable checkpoint + log tail from the group.
+        """
+        from repro.pbft.reconfig import refresh_replica_keys
+
+        old = self.replicas[slot]
+        if not old.crashed:
+            old.crash()
+        # New machine, new keys: the directory (the PKI) re-issues the
+        # slot's key material; every peer's cached copies are dropped.
+        refresh_replica_keys(self, slot)
+        app = app_factory() if app_factory else NullApplication()
+        replica = Replica(
+            replica_id=slot,
+            config=self.config,
+            host=old.host,
+            keys=self.keys,
+            app=app,
+            real_crypto=old.real_crypto,
+            obs=self.obs,
+        )
+        if self.config.dynamic_clients:
+            from repro.membership.manager import MembershipManager
+
+            replica.membership = MembershipManager(replica)
+        self.replicas[slot] = replica
+        self.apps[slot] = app
+        # The constructor bound the socket; restart() rebinds and enters
+        # recovery (status gossip -> checkpoint votes -> state transfer),
+        # so release the first binding before calling it.
+        replica.socket.close()
+        replica.restart()
+        # Static-membership deployments: re-register the clients *after*
+        # restart() (restart drops client session keys, modelling a fresh
+        # machine that must relearn them — but addresses are config).
+        if not self.config.dynamic_clients:
+            for client in self.clients:
+                key = client.session_keys.get(("replica", slot))
+                replica.register_client(client.node_id, client.socket.address, key)
+        return replica
 
     def collect_metrics(self) -> None:
         """Publish simulator/fabric/host counters into the obs registry."""
@@ -173,7 +226,7 @@ def build_cluster(
                 )
         clients.append(client)
 
-    return Cluster(
+    cluster = Cluster(
         sim=sim,
         rng=rng,
         fabric=fabric,
@@ -184,3 +237,10 @@ def build_cluster(
         apps=apps,
         obs=obs,
     )
+    if config.proactive_recovery_interval_ns is not None:
+        from repro.pbft.reconfig import ProactiveRecovery
+
+        cluster.recovery_scheduler = ProactiveRecovery(
+            cluster, config.proactive_recovery_interval_ns
+        )
+    return cluster

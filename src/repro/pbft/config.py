@@ -113,6 +113,10 @@ class PbftConfig:
     # replicas pull missing batches from peers (the original's STATUS
     # message retransmission backbone).
     status_interval_ns: int = 150 * MILLISECOND
+    # Proactive recovery (repro.pbft.reconfig): each replica is key-
+    # refreshed and restarted roughly once per interval, staggered so the
+    # group never loses its quorum to recovery itself.  None disables it.
+    proactive_recovery_interval_ns: int | None = None
 
     # -- overload robustness (admission pipeline) -------------------------------
     # Per-client in-flight cap at the primary: the protocol's "each client
@@ -217,6 +221,11 @@ class PbftConfig:
             raise ConfigError(
                 "client busy-backoff cap must be at least the base interval"
             )
+        if (
+            self.proactive_recovery_interval_ns is not None
+            and self.proactive_recovery_interval_ns <= 0
+        ):
+            raise ConfigError("proactive recovery interval must be positive (or None)")
 
     def with_options(self, **overrides) -> "PbftConfig":
         """A copy with some fields replaced (dataclass ``replace`` helper)."""

@@ -66,6 +66,11 @@ class Envelope:
     auth: object  # bytes tag | Authenticator | RabinSignature | None
     sender_kind: str  # "replica" | "client"
     sender_id: int
+    # The sender's configuration epoch (repro.pbft.reconfig).  Stamped on
+    # every send; receivers gate replica agreement traffic on it so a
+    # reconfigured-away incarnation is rejected loudly.  Clients always
+    # send 0 — their requests are ordered, not epoch-bound.
+    sender_epoch: int = 0
     _size: Optional[int] = field(default=None, init=False, repr=False, compare=False)
     # Receive-side cost memo: every receiver of a broadcast charges the
     # same bytes/verify cost, so the first receiver's computation is
@@ -135,6 +140,16 @@ class KeyDirectory:
     def replica_pair_key(self, a: int, b: int) -> MacKey:
         return self.replica_session[frozenset((a, b))]
 
+    def refresh_slot(self, rid: int) -> None:
+        """Regenerate one replica slot's key material (proactive recovery
+        or slot replacement).  The directory plays the PKI: peers re-derive
+        the new pairwise keys from here, while the slot's old incarnation
+        keeps only stale copies."""
+        self.replica_keys[rid] = rabin_generate(self._rng, self.config.signature_key_bits)
+        for other in range(self.config.n):
+            if other != rid:
+                self.replica_session[frozenset((rid, other))] = MacKey.generate(self._rng)
+
 
 def replica_address(rid: int, prefix: str = "") -> Address:
     return (f"{prefix}replica{rid}", REPLICA_PORT)
@@ -190,6 +205,9 @@ class Node:
         # client retransmissions and view changes can detect.
         self.muted = False
         self.messages_muted = 0
+        # Configuration epoch stamped on every outgoing envelope; replicas
+        # keep it in sync with their ReconfigManager, clients stay at 0.
+        self.current_epoch = 0
 
     # -- key management -------------------------------------------------------
 
@@ -224,7 +242,7 @@ class Node:
             return
         self.host.charge_cpu(self._marshal_cost(msg) + self.costs.crypto.sign_ns)
         sig = rabin_sign(self._own_signing_key(), msg.auth_bytes()) if self.real_crypto else None
-        env = Envelope(msg, AUTH_SIG, sig, self.kind, self.node_id)
+        env = Envelope(msg, AUTH_SIG, sig, self.kind, self.node_id, self.current_epoch)
         self.socket.send(dst, env, env.size, kind or type(msg).__name__)
 
     def send_mac(self, dst: Address, peer_kind: str, peer_id: int, msg, kind: str = "") -> None:
@@ -239,7 +257,7 @@ class Node:
             if (self.real_crypto and key)
             else b"\0\0\0\0"
         )
-        env = Envelope(msg, AUTH_MAC, tag, self.kind, self.node_id)
+        env = Envelope(msg, AUTH_MAC, tag, self.kind, self.node_id, self.current_epoch)
         self.socket.send(dst, env, env.size, kind or type(msg).__name__)
 
     def send_plain(self, dst: Address, msg, kind: str = "") -> None:
@@ -248,7 +266,7 @@ class Node:
             self.messages_muted += 1
             return
         self.host.charge_cpu(self._marshal_cost(msg))
-        env = Envelope(msg, AUTH_NONE, None, self.kind, self.node_id)
+        env = Envelope(msg, AUTH_NONE, None, self.kind, self.node_id, self.current_epoch)
         self.socket.send(dst, env, env.size, kind or type(msg).__name__)
 
     def broadcast_to_replicas(
@@ -300,7 +318,7 @@ class Node:
                 if self.real_crypto
                 else Authenticator({rid: b"\0\0\0\0" for rid in known})
             )
-            env = Envelope(msg, AUTH_VECTOR, auth, self.kind, self.node_id)
+            env = Envelope(msg, AUTH_VECTOR, auth, self.kind, self.node_id, self.current_epoch)
             for _rid, addr in dests:
                 self.socket.send(addr, env, env.size, kind)
         else:
@@ -310,7 +328,7 @@ class Node:
                 if self.real_crypto
                 else None
             )
-            env = Envelope(msg, AUTH_SIG, sig, self.kind, self.node_id)
+            env = Envelope(msg, AUTH_SIG, sig, self.kind, self.node_id, self.current_epoch)
             for _rid, addr in dests:
                 self.socket.send(addr, env, env.size, kind)
 

@@ -215,6 +215,13 @@ class RecoveryMixin:
                 client: reply.stabilized()
                 for client, reply in stable.meta.get("client_replies", {}).items()
             }
+        else:
+            # No checkpoint has stabilized yet, so the durable image is the
+            # genesis state.  Tentatively-executed effects must not survive
+            # the crash: the fresh request store would re-execute those
+            # requests on replay, double-applying them and forking this
+            # replica's checkpoint roots from the quorum's.
+            self.state.restore(self._genesis_pages, self._genesis_tree_nodes)
         self.last_exec = stable_seq
         self.committed_upto = stable_seq
         self.next_seq = max(self.next_seq, stable_seq)
@@ -261,10 +268,38 @@ class RecoveryMixin:
         )
         self.broadcast_to_replicas(msg, exclude=self.node_id)
 
+    def _nudge_stale_view(self, peer: int) -> None:
+        """Targeted status to a peer stuck in an older view (rate-limited)."""
+        now = self.host.sim.now
+        last = self._view_nudges.get(peer)
+        if last is not None and now - last < self.config.status_interval_ns:
+            return
+        self._view_nudges[peer] = now
+        self.stats["view_nudges_sent"] += 1
+        self.send_to_replica(
+            peer,
+            StatusMsg(
+                view=self.view,
+                last_exec_seq=self.last_exec,
+                stable_seq=self.checkpoints.stable_seq,
+                sender=self.node_id,
+                recovering=self.recovering,
+            ),
+        )
+
     # -- serving peers ------------------------------------------------------------
 
     def on_status(self, msg: StatusMsg, env=None) -> None:
         peer = msg.sender
+        self._note_view_evidence(peer, msg.view)
+        if msg.view < self.view:
+            # The peer is operating in a view the group already left.  The
+            # NEW-VIEW it missed is a one-shot nobody repeats, and if the
+            # group's tail is only tentatively executed there is no
+            # committed traffic to leak the view either — the seed=320
+            # wedge.  Answer with our own status so the peer accumulates
+            # f+1 attestations and view-syncs.
+            self._nudge_stale_view(peer)
         if msg.last_exec_seq >= self.last_exec and not msg.recovering:
             return
         stable_seq = self.checkpoints.stable_seq
@@ -306,13 +341,16 @@ class RecoveryMixin:
             )
             sent += 1
             seq += 1
-        # Also help the peer catch up on view state.
-        if msg.view < self.view:
-            pass  # it will learn the view from retransmitted traffic
+        # View state is handled above: a stale-view peer got a status
+        # nudge before the retransmit loop ran.
 
     # -- replaying batches ------------------------------------------------------------
 
     def on_batch_retransmit(self, msg: BatchRetransmit, env=None) -> None:
+        # The journalled pre-prepare carries the view the batch executed
+        # in: the exact signal a restarted replica needs to re-synchronize
+        # its view (the NEW-VIEW itself was a one-shot it missed).
+        self._note_view_evidence(msg.sender, msg.pre_prepare.view)
         seq = msg.pre_prepare.seq
         if seq <= self.last_exec:
             return

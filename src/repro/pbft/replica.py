@@ -57,6 +57,7 @@ from repro.pbft.nondet import (
     TimestampProvider,
     decode_timestamp,
 )
+from repro.pbft.reconfig import ReconfigManager
 from repro.pbft.recovery import RecoveryMixin
 from repro.pbft.viewchange import ViewChangeMixin
 from repro.statemgr.checkpoints import Checkpoint, CheckpointStore
@@ -64,9 +65,15 @@ from repro.statemgr.pages import PagedState
 from repro.crypto.mac import MacKey
 
 # Operations whose first byte is this prefix are middleware system
-# requests (Join phase 2, Leave) — ordered like client requests but
-# executed by the membership manager, invisible to the application.
+# requests (Join phase 2, Leave, replica Reconfig) — ordered like client
+# requests but executed by the middleware, invisible to the application.
 SYSTEM_OP_PREFIX = 0xFF
+
+# Replica-sender message types subject to the configuration-epoch gate.
+# Exactly the agreement/view-change family: a stale incarnation must not
+# contribute votes, but the recovery family (status, retransmit, state
+# transfer) stays epoch-neutral — it is all a bootstrapping replica sends.
+_EPOCH_GATED = (PrePrepare, Prepare, Commit, ViewChangeMsg, NewViewMsg)
 
 
 class Application:
@@ -195,6 +202,13 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         # Requests a backup has seen but not yet observed ordered —
         # these keep the view-change timer armed.
         self.waiting_requests: set[bytes] = set()
+        # Highest view each peer has demonstrably installed (from status,
+        # agreement traffic, retransmits, new-views).  Drives view
+        # synchronization after restart; views only grow, so the map
+        # survives crash/restart cycles.
+        self.view_evidence: dict[int, int] = {}
+        # Rate limit for stale-view status nudges, per peer.
+        self._view_nudges: dict[int, int] = {}
 
         self.crashed = False
         # Fault injection: an equivocating primary assigns conflicting
@@ -230,9 +244,20 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         self._depth_gauge = self.obs.registry.gauge(
             f"{config.group_prefix}replica{replica_id}.pending_depth"
         )
+        # Dynamic replica membership: epoch state, ordered reconfiguration
+        # ops, and the stale-incarnation gate (repro.pbft.reconfig).
+        self.reconfig = ReconfigManager(self)
 
         app.bind_state(self.state, config.library_pages * config.page_size)
         app.attach_obs(self.obs, host.name)
+
+        # The durable image a restart falls back to before the first
+        # checkpoint stabilizes: the post-bind genesis state.  Without it,
+        # tentatively-executed effects would survive a crash (the pages are
+        # never rolled back) and be re-applied on replay, forking this
+        # replica's checkpoint roots from the quorum's.
+        self._genesis_pages = self.state.snapshot_pages()
+        self._genesis_tree_nodes = self.state.tree.snapshot_nodes()
 
         self._handlers = {
             Request: self.on_request,
@@ -266,7 +291,21 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
             return
         lagging = any(not slot.executed for slot in self.log.slots.values())
         if lagging or self.wedged or self.waiting_requests:
-            self._send_status(recovering=False)
+            # A wedge that outlives a full status interval means the
+            # certificate-only retransmits cannot help: the missing piece
+            # is a big-request body (section 2.4), and if f+1 replicas are
+            # wedged alike the next checkpoint never stabilizes either.
+            # Escalate to a recovery-style status — peers then replay full
+            # bodies, which the commit certificate already authorizes.
+            stuck = (
+                self.wedged
+                and self.wedged_since is not None
+                and self.host.sim.now - self.wedged_since
+                >= 2 * self.config.status_interval_ns
+            )
+            if stuck:
+                self.stats["wedge_escalations"] += 1
+            self._send_status(recovering=self.recovering or stuck)
         if self.transfer is not None and not self.transfer_is_stale():
             self.transfer.retry()
 
@@ -292,6 +331,7 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         caches derived from them."""
         if self.membership is not None:
             self.membership.reload_from_state()
+        self.reconfig.reload_from_state()
         self.app.on_state_installed()
 
     def lookup_client_public(self, client_id: int):
@@ -319,6 +359,29 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
     def dispatch(self, env: Envelope) -> None:
         if self.crashed:
             return
+        if env.sender_kind == "replica" and isinstance(env.msg, _EPOCH_GATED):
+            if not self.reconfig.admit_sender(env.sender_id, env.sender_epoch):
+                # A reconfigured-away incarnation (or a vacated slot) is
+                # still talking: reject loudly.  Recovery-family messages
+                # (status, retransmits, state transfer) stay epoch-neutral
+                # so a bootstrapping replica can catch up.
+                self.stats["stale_epoch_rejected"] += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        self.host.name, "stale-epoch-rejected",
+                        cat="pbft.reconfig",
+                        args={
+                            "sender": env.sender_id,
+                            "sender_epoch": env.sender_epoch,
+                            "epoch": self.current_epoch,
+                        },
+                    )
+                return
+            if env.sender_epoch > self.current_epoch:
+                # A correct peer is ahead of us across an epoch boundary;
+                # harmless (we will cross it at the same seq), but worth
+                # counting for the campaign's forensics.
+                self.stats["newer_epoch_observed"] += 1
         handler = self._handlers.get(type(env.msg))
         if handler is None:
             if self.membership is not None:
@@ -539,6 +602,21 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
     def _is_system_op(req: Request) -> bool:
         return bool(req.op) and req.op[0] == SYSTEM_OP_PREFIX
 
+    @staticmethod
+    def _is_reconfig_op(req: Request) -> bool:
+        from repro.membership.messages import SYS_RECONFIG
+
+        return (
+            len(req.op) >= 2
+            and req.op[0] == SYSTEM_OP_PREFIX
+            and req.op[1] == SYS_RECONFIG
+        )
+
+    def _execute_system_op(self, req: Request, nondet_ts: int) -> bytes:
+        if self._is_reconfig_op(req):
+            return self.reconfig.execute_system(req, nondet_ts)
+        return self.membership.execute_system(req, nondet_ts)
+
     def _execute_readonly(self, req: Request) -> None:
         """Read-only fast path: execute immediately, sequencing permitting."""
         self.host.charge_cpu(self.app.execute_cost_ns(req.op, True))
@@ -652,6 +730,8 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
     # -- agreement ------------------------------------------------------------------------
 
     def on_pre_prepare(self, pp: PrePrepare, env: Envelope = None) -> None:
+        if env is not None and env.sender_kind == "replica":
+            self._note_view_evidence(env.sender_id, pp.view)
         if self.in_view_change or pp.view != self.view:
             return
         if env is not None and (
@@ -695,6 +775,7 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         self.broadcast_to_replicas(prepare, exclude=self.node_id)
 
     def on_prepare(self, msg: Prepare, env: Envelope = None) -> None:
+        self._note_view_evidence(msg.sender, msg.view)
         if msg.view != self.view or self.in_view_change:
             return
         if not self.log.in_window(msg.seq):
@@ -729,6 +810,7 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
         self._maybe_committed(seq, view)
 
     def on_commit(self, msg: Commit, env: Envelope = None) -> None:
+        self._note_view_evidence(msg.sender, msg.view)
         if msg.view != self.view or self.in_view_change:
             return
         if not self.log.in_window(msg.seq):
@@ -871,9 +953,11 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
                     self._resend_cached_reply(req)
                 continue
             traced = self.tracer.enabled
-            if self._is_system_op(req) and self.membership is not None:
+            if self._is_system_op(req) and (
+                self.membership is not None or self._is_reconfig_op(req)
+            ):
                 cpu_start, _ = self.host.charge_cpu(0)
-                result = self.membership.execute_system(req, nondet_ts)
+                result = self._execute_system_op(req, nondet_ts)
                 cpu_end = cpu_start
             else:
                 cpu_start, _ = self.host.charge_cpu(
@@ -905,6 +989,12 @@ class Replica(ViewChangeMixin, RecoveryMixin, Node):
                 self.tracer.mark((req.client, req.req_id), "executed", self.host.name)
             if not silent:
                 self._send_reply(reply, req)
+        if pp.seq % self.config.checkpoint_interval == 0:
+            # Checkpoint boundary: whatever reconfiguration is pending —
+            # including one accepted in this very batch — takes effect for
+            # seqs beyond the boundary.  Before end_of_execution, so the
+            # updated epoch record is inside the checkpoint taken below.
+            self.reconfig.apply_pending(pp.seq)
         self.exec_journal[pp.seq] = (pp, [r for r in requests if r is not None])
         self.state.end_of_execution()
         # Execution is strictly in-order, so this batch is exactly the slot

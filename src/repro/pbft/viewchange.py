@@ -242,6 +242,7 @@ class ViewChangeMixin:
         return msg.stable_seq == min_s and msg.pre_prepares == expected
 
     def on_new_view(self, msg: NewViewMsg) -> None:
+        self._note_view_evidence(msg.sender, msg.view)
         if msg.view <= self.view:
             return
         if msg.sender != self.primary_of(msg.view):
@@ -257,6 +258,85 @@ class ViewChangeMixin:
             self.start_view_change(msg.view + 1)
             return
         self._enter_view(msg.view, msg)
+
+    # -- view synchronization (restart liveness) ---------------------------------------
+
+    def _note_view_evidence(self, rid: int, view: int) -> None:
+        """Track the highest view each peer has demonstrably installed.
+
+        A restarted (or long-partitioned) replica can come back into a
+        group that moved past its view while it was down.  The ordinary
+        paths to learn the new view — the NEW-VIEW broadcast, or f+1
+        view-change votes — are one-shot messages it already missed, and
+        peers never repeat them.  Evidence of *installed* views instead
+        leaks continuously: status gossip, agreement traffic, and batch
+        retransmissions all carry the sender's view.  Once f+1 distinct
+        peers attest to views above ours, at least one correct replica
+        installed such a view, so adopting it is safe (the NEW-VIEW
+        certificate already convinced a quorum; we only need the number).
+        """
+        if rid == self.node_id or view <= 0:
+            return
+        if view > self.view_evidence.get(rid, 0):
+            self.view_evidence[rid] = view
+        # Re-evaluate even when the evidence is not news: the threshold may
+        # have been reached while we were mid-view-change (sync is deferred
+        # then), and peers keep repeating the same attested view via status
+        # gossip rather than ever sending a fresh, higher one.
+        self._maybe_sync_view()
+
+    def _maybe_sync_view(self) -> None:
+        if self.crashed or self.in_view_change:
+            return
+        ahead = sorted(
+            (v for v in self.view_evidence.values() if v > self.view),
+            reverse=True,
+        )
+        if len(ahead) <= self.config.f:
+            return
+        # The f+1'th highest attested view: at least one attester is
+        # correct, so a quorum really certified some view >= target.
+        target = ahead[self.config.f]
+        if target <= self.view:
+            return
+        if self.primary_of(target) == self.node_id:
+            # We would be the primary of the target view, but we hold no
+            # NEW-VIEW certificate to justify proposing in it.  Blindly
+            # adopting primaryship could equivocate against the O set the
+            # real certificate fixed.  Stay put: the group's view-change
+            # protocol will move past us to a view we can safely follow.
+            return
+        self._sync_to_view(target)
+
+    def _sync_to_view(self, view: int) -> None:
+        """Adopt ``view`` without a first-hand NEW-VIEW certificate.
+
+        Equivalent to arriving in ``view`` as a backup with an empty O set:
+        roll back tentative work, reset the batching queue, and let status
+        gossip plus client retransmissions rebuild the log in the new view.
+        """
+        self._rollback_uncommitted()
+        self.view = view
+        self.pending_new_view = view
+        self.view_changes = {v: m for v, m in self.view_changes.items() if v > view}
+        self._disarm_vc_timer()
+        self.stats["view_syncs"] += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.host.name, "view-sync", cat="pbft.viewchange",
+                args={"view": view},
+            )
+        # Same queue handoff as a deposed primary entering a view as
+        # backup: clients retransmit, the new primary orders.
+        for req in self.pending_requests:
+            self.waiting_requests.add(req.digest)
+        self.pending_requests = []
+        self.queued_digests = set()
+        self.admission.reset_inflight()
+        self._depth_gauge.set(0)
+        self._send_status(recovering=self.recovering)
+        if self._has_outstanding_work():
+            self._arm_vc_timer()
 
     # -- installation ------------------------------------------------------------------
 

@@ -53,7 +53,13 @@ def test_threshold_keys():
 
 def test_fault_campaign_smoke():
     out = run_example("fault_campaign.py", args=("--smoke",))
-    assert "11/11 runs passed all invariants" in out
+    assert "13/13 runs passed all invariants" in out
+
+
+def test_membership_campaign_smoke():
+    out = run_example("membership_campaign.py", args=("--smoke",))
+    assert "0 violations" in out
+    assert "baseline gate passed" in out
 
 
 @pytest.mark.slow

@@ -165,6 +165,36 @@ def test_stale_state_transfer_is_abandoned_regression():
     assert abandoned >= 1
 
 
+def test_restarted_ex_primary_view_sync_regression():
+    """Pinned from hypothesis (seed=320 falsifying example).
+
+    The primary crashed at 73 ms and restarted at 373 ms, after the group
+    installed view 1.  The group's tail batch was only *tentatively*
+    executed (no commit quorum without the restarted replica), so status
+    responses exported nothing at view 1 — no recurring traffic carried
+    the view number, the NEW-VIEW was a one-shot the replica missed, and
+    the ex-primary sat in view 0 "as primary" forever: views ended at
+    [0, 1, 1, 1] with no 2f+1 quorum ever re-forming.  Two mechanisms fix
+    it: peers answer a stale-view status with their own status (the
+    nudge), and a replica adopts the f+1'th highest attested view seen
+    across distinct peers (view synchronization).
+    """
+    schedule = dict(seed=320, loss=0.01, crash_replica=0,
+                    crash_at_ms=73, restart_after_ms=300)
+    cluster = run_faulty_cluster(**schedule, run_ms=3500)
+    assert_safety(cluster)
+    assert cluster.total_completed() > 100
+    # The restarted ex-primary adopted the group's view without holding a
+    # first-hand NEW-VIEW certificate.
+    assert cluster.replicas[0].stats["view_syncs"] >= 1
+    # A 2f+1 quorum re-formed and made real progress together.
+    views = {r.view for r in cluster.replicas}
+    assert len(views) == 1, f"views never converged: {views}"
+    top = max(r.last_exec for r in cluster.replicas)
+    caught_up = sum(1 for r in cluster.replicas if r.last_exec >= top - 32)
+    assert caught_up >= 3, [r.last_exec for r in cluster.replicas]
+
+
 def test_slow_recovery_corner_eventually_progresses_regression():
     """Pinned from hypothesis (seed=62 falsifying example).
 

@@ -1,0 +1,169 @@
+"""Unit tests for the epoch/reconfiguration record (repro.pbft.reconfig)."""
+
+from types import SimpleNamespace
+
+from repro.membership.messages import (
+    RECONFIG_JOIN,
+    RECONFIG_LEAVE,
+    RECONFIG_REPLACE,
+    ReconfigPayload,
+    encode_reconfig_op,
+)
+from repro.pbft.cluster import build_cluster
+from repro.pbft.config import PbftConfig
+from repro.pbft.reconfig import (
+    _HEADER,
+    REPLY_RECONFIG_BAD,
+    REPLY_RECONFIG_BUSY,
+    REPLY_RECONFIG_OK,
+    ReconfigManager,
+)
+
+
+def make_replica():
+    config = PbftConfig(
+        num_clients=1, checkpoint_interval=8, log_window=16
+    )
+    cluster = build_cluster(config, seed=7, real_crypto=False)
+    return cluster.replicas[0]
+
+
+def reconfig_req(action, slot, incarnation=0):
+    return SimpleNamespace(op=encode_reconfig_op(action, slot, incarnation))
+
+
+def test_fresh_state_decodes_to_defaults():
+    """No initial persist: the record region stays all-zero (bit-identical
+    to the seed's state) until the first reconfiguration executes."""
+    replica = make_replica()
+    manager = replica.reconfig
+    raw = replica.state.read(manager.base_offset, _HEADER.size)
+    assert raw == bytes(_HEADER.size)
+    manager.reload_from_state()
+    assert manager.epoch == 0
+    assert manager.pending is None
+    assert manager.epoch_marks == [(0, 0)]
+    assert all(s.active and s.incarnation == 0 for s in manager.slots)
+
+
+def test_record_roundtrip():
+    replica = make_replica()
+    manager = replica.reconfig
+    manager.epoch = 3
+    manager.slots[1].active = False
+    manager.slots[1].changed_epoch = 2
+    manager.slots[2].incarnation = 5
+    manager.slots[2].changed_epoch = 3
+    manager.pending = ReconfigPayload(
+        action=RECONFIG_REPLACE, slot=0, incarnation=9
+    )
+    manager.epoch_marks = [(0, 0), (16, 1), (24, 2), (40, 3)]
+    manager._persist()
+
+    fresh = ReconfigManager(replica)
+    fresh.reload_from_state()
+    assert fresh.epoch == 3
+    assert fresh.pending == manager.pending
+    assert fresh.epoch_marks == manager.epoch_marks
+    assert [
+        (s.active, s.incarnation, s.changed_epoch) for s in fresh.slots
+    ] == [
+        (s.active, s.incarnation, s.changed_epoch) for s in manager.slots
+    ]
+
+
+def test_epoch_at_uses_boundary_marks():
+    manager = make_replica().reconfig
+    manager.epoch_marks = [(0, 0), (16, 1), (32, 2)]
+    # The boundary batch itself executes under the old epoch; the new
+    # epoch governs strictly greater sequence numbers.
+    assert manager.epoch_at(1) == 0
+    assert manager.epoch_at(16) == 0
+    assert manager.epoch_at(17) == 1
+    assert manager.epoch_at(32) == 1
+    assert manager.epoch_at(33) == 2
+    assert manager.epoch_at(1000) == 2
+
+
+def test_admit_sender_gate():
+    manager = make_replica().reconfig
+    manager.slots[1].active = False
+    manager.slots[2].changed_epoch = 4
+    assert not manager.admit_sender(-1, 0)
+    assert not manager.admit_sender(99, 0)
+    assert not manager.admit_sender(1, 10)  # inactive slot
+    assert not manager.admit_sender(2, 3)  # stale incarnation
+    assert manager.admit_sender(2, 4)
+    # An honest continuing slot lagging the boundary is admitted: its
+    # identity did not change at the reconfiguration.
+    assert manager.admit_sender(0, 0)
+
+
+def test_execute_system_replies():
+    manager = make_replica().reconfig
+    assert (
+        manager.execute_system(SimpleNamespace(op=b"\x00junk"), 0)
+        == REPLY_RECONFIG_BAD
+    )
+    # Joining an occupied slot / leaving a vacant one are malformed.
+    assert (
+        manager.execute_system(reconfig_req(RECONFIG_JOIN, 1), 0)
+        == REPLY_RECONFIG_BAD
+    )
+    manager.slots[1].active = False
+    assert (
+        manager.execute_system(reconfig_req(RECONFIG_LEAVE, 1), 0)
+        == REPLY_RECONFIG_BAD
+    )
+    assert (
+        manager.execute_system(reconfig_req(RECONFIG_REPLACE, 2), 0)
+        == REPLY_RECONFIG_OK
+    )
+    assert manager.pending is not None
+    # One reconfiguration per epoch transition.
+    assert (
+        manager.execute_system(reconfig_req(RECONFIG_JOIN, 1), 0)
+        == REPLY_RECONFIG_BUSY
+    )
+
+
+def test_apply_pending_at_boundary():
+    replica = make_replica()
+    manager = replica.reconfig
+    manager.execute_system(reconfig_req(RECONFIG_REPLACE, 2), 0)
+    manager.apply_pending(8)
+    assert manager.epoch == 1
+    assert manager.pending is None
+    assert manager.slots[2].incarnation == 1
+    assert manager.slots[2].changed_epoch == 1
+    assert manager.epoch_marks[-1] == (8, 1)
+    assert replica.current_epoch == 1
+
+    manager.execute_system(reconfig_req(RECONFIG_LEAVE, 1), 0)
+    manager.apply_pending(16)
+    assert manager.epoch == 2
+    assert not manager.slots[1].active
+    assert manager.epoch_marks[-1] == (16, 2)
+
+    manager.execute_system(reconfig_req(RECONFIG_JOIN, 1, incarnation=7), 0)
+    manager.apply_pending(24)
+    assert manager.slots[1].active
+    assert manager.slots[1].incarnation == 7
+    assert manager.epoch_at(24) == 2
+    assert manager.epoch_at(25) == 3
+
+
+def test_reload_survives_via_persisted_record():
+    """apply_pending persists before the checkpoint is taken, so a reload
+    (state transfer / restart path) reproduces the installed epoch."""
+    replica = make_replica()
+    manager = replica.reconfig
+    manager.execute_system(reconfig_req(RECONFIG_REPLACE, 3), 0)
+    manager.apply_pending(8)
+    replica.current_epoch = 0  # simulate amnesia
+    manager.epoch = 0
+    manager.epoch_marks = [(0, 0)]
+    manager.reload_from_state()
+    assert manager.epoch == 1
+    assert manager.epoch_marks[-1] == (8, 1)
+    assert replica.current_epoch == 1
