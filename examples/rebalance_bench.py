@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Live-rebalancing bench: goodput before, during, and after a hot-range move.
+
+Builds a 2-shard deployment (each shard a 4-replica PBFT group on one
+simulated fabric) with closed-loop routers driving a skewed workload, then
+migrates the hottest key sub-range from shard 0 to shard 1 while traffic
+keeps flowing.  A separate control run measures the same workload against
+an already-even placement.
+
+Run:  python examples/rebalance_bench.py [--smoke] [--out BENCH_rebalance.json]
+
+Gates (simulated-time ratios, deterministic):
+  * goodput during the move  >= 60% of steady state — only the moving
+    range's clients may stall;
+  * goodput after the move   >= 95% of steady state — the move leaves no
+    residual cost beyond the source group's tombstone checks;
+  * goodput after the move within 5% of the evenly-placed control — the
+    live move actually buys the balanced placement.
+
+Default mode writes the results to --out (the committed baseline).
+--smoke shortens the windows, enforces the gates, and compares the
+during-move ratio against the committed baseline with a tolerance — the
+CI gate.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from repro.harness.rebalancebench import (
+    format_rebalance_bench,
+    run_rebalance_bench,
+)
+
+DURING_FLOOR = 0.60
+AFTER_FLOOR = 0.95
+EVEN_FLOOR = 0.95
+RATIO_TOLERANCE = 0.20
+
+
+def to_json(result, smoke: bool) -> dict:
+    return {
+        "schema": 1,
+        "what": "live shard rebalancing: goodput around a hot-range move",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "smoke": smoke,
+        "goodput": {
+            "before_tps": round(result.before_tps, 1),
+            "during_tps": round(result.during_tps, 1),
+            "after_tps": round(result.after_tps, 1),
+            "even_control_tps": round(result.even_tps, 1),
+            "during_ratio": round(result.during_ratio, 3),
+            "after_ratio": round(result.after_ratio, 3),
+            "after_vs_even": round(result.after_vs_even, 3),
+            "during_floor": DURING_FLOOR,
+            "after_floor": AFTER_FLOOR,
+            "even_floor": EVEN_FLOOR,
+        },
+        "move": {
+            "duration_ms": round(result.move_ms, 1),
+            "chunks": result.chunks,
+            "frozen_refusals": result.frozen_refusals,
+            "wrong_shard_redirects": result.wrong_shard_redirects,
+        },
+        "routers": result.routers,
+        "wall_s": round(result.wall_s, 1),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short windows; enforce the goodput gates and compare the "
+        "during-move ratio against --baseline instead of overwriting it",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, help="RNG seed (default 3)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_rebalance.json", metavar="FILE",
+        help="write results here (default BENCH_rebalance.json)",
+    )
+    parser.add_argument(
+        "--baseline", default="BENCH_rebalance.json", metavar="FILE",
+        help="committed baseline to compare against in --smoke mode",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=RATIO_TOLERANCE,
+        help="allowed fractional drop of the during-move ratio vs the "
+        "baseline (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    result = run_rebalance_bench(smoke=args.smoke, seed=args.seed)
+    print(format_rebalance_bench(result))
+    print(f"(total bench wall time {result.wall_s:.1f}s)")
+
+    failed = False
+    if result.during_ratio < DURING_FLOOR:
+        print(
+            f"FAIL: goodput during the move is {result.during_ratio:.0%} "
+            f"of steady state (floor {DURING_FLOOR:.0%})",
+            file=sys.stderr,
+        )
+        failed = True
+    if result.after_ratio < AFTER_FLOOR:
+        print(
+            f"FAIL: goodput after the move is {result.after_ratio:.0%} "
+            f"of steady state (floor {AFTER_FLOOR:.0%})",
+            file=sys.stderr,
+        )
+        failed = True
+    if result.after_vs_even < EVEN_FLOOR:
+        print(
+            f"FAIL: post-move goodput is {result.after_vs_even:.0%} of the "
+            f"evenly-placed control (floor {EVEN_FLOOR:.0%})",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print(
+        f"rebalance gates OK: during {result.during_ratio:.0%}, "
+        f"after {result.after_ratio:.0%}, "
+        f"vs even control {result.after_vs_even:.0%}"
+    )
+
+    if args.smoke:
+        if os.path.abspath(args.out) != os.path.abspath(args.baseline):
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(to_json(result, smoke=True), fh, indent=2)
+            print(f"wrote {args.out}")
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; nothing to compare",
+                  file=sys.stderr)
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        floor = baseline["goodput"]["during_ratio"] * (1 - args.tolerance)
+        if result.during_ratio < floor:
+            print(
+                f"REGRESSION: during-move ratio {result.during_ratio:.2f} "
+                f"below baseline-derived floor {floor:.2f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"perf-smoke OK: during-move ratio within tolerance "
+            f"(floor {floor:.2f})"
+        )
+        return 0
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(to_json(result, smoke=False), fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,3 +124,58 @@ class KvApplication(Application):
         raw = self.state.read(self._slot_offset(slot), self.slot_size)
         _in_use, _digest, length = _SLOT.unpack(raw[: _SLOT.size])
         return b"\x01" + raw[_SLOT.size : _SLOT.size + length]
+
+    # -- live rebalancing hooks (driven by repro.shard.txapp) -----------------
+    # The migration unit for a kv store is a hash range over the first four
+    # digest bytes — the same position the shard directory routes by, so
+    # "what the directory sends here" and "what migration moves away" are
+    # the same set by construction.
+
+    def _range_of(self, unit) -> tuple[int, int]:
+        if unit[0] != "range":
+            raise StateError("kv stores migrate key ranges, not tables")
+        return unit[1], unit[2]
+
+    def migrate_export(self, unit, cursor: int, budget: int):
+        """Serialize (digest, value) records for slots >= ``cursor`` whose
+        position falls in the unit, up to ~``budget`` bytes; returns
+        (chunk, next_cursor, done).  Deterministic given frozen contents."""
+        lo, hi = self._range_of(unit)
+        records = []
+        used = 0
+        slot = cursor
+        while slot < self.num_slots and used < budget:
+            raw = self.state.read(self._slot_offset(slot), self.slot_size)
+            in_use, digest, length = _SLOT.unpack(raw[: _SLOT.size])
+            if in_use and lo <= int.from_bytes(digest[:4], "big") < hi:
+                records.append((digest, raw[_SLOT.size : _SLOT.size + length]))
+                used += _SLOT.size + length
+            slot += 1
+        enc = Encoder()
+        enc.sequence(records, lambda e, r: e.raw(r[0]).blob(r[1]))
+        return enc.finish(), slot, slot >= self.num_slots
+
+    def migrate_install(self, unit, chunk: bytes) -> None:
+        self._range_of(unit)
+        dec = Decoder(chunk)
+        for _ in range(dec.u32()):
+            digest = dec.raw(16)
+            value = dec.blob()
+            slot, _exists = self._find_slot(digest)
+            offset = self._slot_offset(slot)
+            self.state.modify(offset, self.slot_size)
+            self.state.write(offset, _SLOT.pack(1, digest, len(value)) + value)
+
+    def migrate_purge(self, unit) -> None:
+        """Clear every slot in the unit.  Safe under linear probing because
+        ``_find_slot`` scans all slots rather than stopping at the first
+        free one, so emptying a slot never hides a later chain member."""
+        lo, hi = self._range_of(unit)
+        empty = _SLOT.pack(0, bytes(16), 0)
+        for slot in range(self.num_slots):
+            offset = self._slot_offset(slot)
+            raw = self.state.read(offset, _SLOT.size)
+            in_use, digest, _length = _SLOT.unpack(raw)
+            if in_use and lo <= int.from_bytes(digest[:4], "big") < hi:
+                self.state.modify(offset, _SLOT.size)
+                self.state.write(offset, empty)

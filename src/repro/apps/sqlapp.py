@@ -315,3 +315,53 @@ class SqlApplication(Application):
         if not idbuf:
             return None
         return int.from_bytes(md5_digest(idbuf)[:6], "big")
+
+    # -- live rebalancing hooks (driven by repro.shard.txapp) -----------------
+    # The migration unit for SQL is a whole table — the same unit the
+    # shard directory places and the transaction layer locks.  The
+    # destination group's schema must already define the table (groups are
+    # built from a common schema); rows arrive as encoded records and are
+    # re-inserted positionally, so rowids are reassigned deterministically
+    # at the destination.
+
+    def _table_of(self, unit) -> str:
+        if unit[0] != "table":
+            raise SqlError("SQL applications migrate tables, not key ranges")
+        return unit[1]
+
+    def migrate_export(self, unit, cursor: int, budget: int):
+        """Rows ``cursor..`` of ``SELECT * FROM <table>``, up to ~``budget``
+        encoded bytes; returns (chunk, next_cursor, done).  The scan order
+        is the B-tree's, identical at every replica; the table is frozen,
+        so re-running the SELECT per chunk sees stable contents."""
+        table = self._table_of(unit)
+        result = self.db.execute(f"SELECT * FROM {table}")
+        rows = result.rows if isinstance(result, ResultSet) else []
+        self._accumulated_ns += self._statement_cost_ns(self.db.last_stats)
+        records = []
+        used = 0
+        index = cursor
+        while index < len(rows) and used < budget:
+            record = encode_record(list(rows[index]))
+            records.append(record)
+            used += len(record)
+            index += 1
+        enc = Encoder()
+        enc.sequence(records, lambda e, r: e.blob(r))
+        return enc.finish(), index, index >= len(rows)
+
+    def migrate_install(self, unit, chunk: bytes) -> None:
+        table = self._table_of(unit)
+        dec = Decoder(chunk)
+        for _ in range(dec.u32()):
+            row = tuple(decode_record(dec.blob()))
+            placeholders = ", ".join("?" for _ in row)
+            self.db.execute(
+                f"INSERT INTO {table} VALUES ({placeholders})", row
+            )
+            self._accumulated_ns += self._statement_cost_ns(self.db.last_stats)
+
+    def migrate_purge(self, unit) -> None:
+        table = self._table_of(unit)
+        self.db.execute(f"DELETE FROM {table}")
+        self._accumulated_ns += self._statement_cost_ns(self.db.last_stats)

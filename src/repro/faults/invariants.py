@@ -1,6 +1,6 @@
 """Protocol invariants checked after every fault-campaign run.
 
-Seven checks, matching the paper's safety and liveness claims (plus the
+Eight checks, matching the paper's safety and liveness claims (plus the
 sharding and membership layers' contracts):
 
 * **agreement** — replicas never diverge: state roots match at every
@@ -20,7 +20,11 @@ sharding and membership layers' contracts):
   partitions, coordinator crashes, and recovery races;
 * **membership safety** (#7) — replicas agree on the configuration
   history: epoch boundaries land at the same sequence numbers
-  everywhere, and no operation executes under two different epochs.
+  everywhere, and no operation executes under two different epochs;
+* **migration safety** (#8, sharded topologies only) — across a live
+  rebalance no committed write is lost and no key is served by two
+  groups at once: every committed key is readable at exactly the group
+  the final directory names as its owner.
 
 Checks return :class:`Violation` lists rather than raising, so a
 campaign can keep sweeping and report everything it found.
@@ -280,4 +284,70 @@ def check_cross_shard_atomicity(groups: list[Cluster]) -> list[Violation]:
                     f"txn {txid.hex()[:8]} has mixed outcomes: {detail}",
                 )
             )
+    return violations
+
+
+def check_migration_safety(
+    groups: list[Cluster],
+    directory,
+    writes: dict[bytes, bytes],
+) -> list[Violation]:
+    """Invariant #8: a live migration loses nothing and splits nothing.
+
+    ``writes`` maps every key the workload observed as *committed* to its
+    last committed value.  After the run (and any mid-run rebalancing),
+    two things must hold against the kv replies of each group's live
+    replicas:
+
+    * **nothing lost** — the group the final directory names as the
+      key's owner serves the committed value;
+    * **nothing split** — no *other* group still serves the key: the
+      source of a move must answer with a redirect or a miss, never with
+      data, or a stale router could read (and a retried write could
+      land) on both sides of a finished move.
+
+    Reads go through the replicas' own execute path (readonly), so a
+    frozen or tombstoned unit answers exactly as it would answer a
+    client.
+    """
+    from repro.apps.kvstore import encode_get
+    from repro.shard.txapp import is_tx_reply
+
+    violations: list[Violation] = []
+    readers = []
+    for group in groups:
+        replica = next((r for r in group.replicas if not r.crashed), None)
+        readers.append(replica.app if replica is not None else None)
+    for key, value in sorted(writes.items()):
+        owner = directory.shard_of_key(key)
+        for shard, app in enumerate(readers):
+            if app is None:
+                continue
+            reply = app.execute(encode_get(key), 0, 0, True)
+            served = not is_tx_reply(reply) and reply[:1] == b"\x01"
+            if shard == owner:
+                if not served:
+                    violations.append(
+                        Violation(
+                            "migration-safety",
+                            f"committed key {key!r} unreadable at its owner "
+                            f"shard {shard}",
+                        )
+                    )
+                elif value not in reply:
+                    violations.append(
+                        Violation(
+                            "migration-safety",
+                            f"owner shard {shard} serves a wrong value for "
+                            f"committed key {key!r}",
+                        )
+                    )
+            elif served:
+                violations.append(
+                    Violation(
+                        "migration-safety",
+                        f"key {key!r} is served by shard {shard} AND its "
+                        f"owner shard {owner} after the move",
+                    )
+                )
     return violations

@@ -8,16 +8,20 @@ step is ordered in some group's own PBFT log.  See DESIGN.md §9.
 """
 
 from repro.shard.campaign import (
+    CHURN_REGRESSION_SEED,
     ShardScenario,
     key_for_shard,
     prefix_schedule,
+    rebalance_scenarios,
+    rebalance_smoke_scenarios,
     run_shard_campaign,
     run_shard_scenario,
     shard_campaign_config,
     shard_scenarios,
     smoke_scenarios,
 )
-from repro.shard.directory import ShardDirectory
+from repro.shard.directory import ShardDirectory, key_position
+from repro.shard.rebalance import MoveRecord, ShardRebalancer
 from repro.shard.router import (
     KvShardCodec,
     ShardRouter,
@@ -42,9 +46,15 @@ from repro.shard.txapp import (
 
 __all__ = [
     "ShardDirectory",
+    "key_position",
+    "MoveRecord",
+    "ShardRebalancer",
+    "CHURN_REGRESSION_SEED",
     "ShardScenario",
     "key_for_shard",
     "prefix_schedule",
+    "rebalance_scenarios",
+    "rebalance_smoke_scenarios",
     "run_shard_campaign",
     "run_shard_scenario",
     "shard_campaign_config",

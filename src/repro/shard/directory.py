@@ -5,24 +5,78 @@ router and every replica computing a placement must agree, and the fault
 campaign replays runs bit-for-bit — so the directory never consults
 clocks, load, or randomness:
 
-* **keys** hash onto shards (first 4 bytes of the MD5 digest, the same
-  digest the kvstore already computes per key), so any byte string has a
-  well-defined home without per-key state;
+* **keys** hash onto a 32-bit position (first 4 bytes of the MD5 digest,
+  the same digest the kvstore already computes per key); the position
+  either falls inside an explicitly *moved range* — a half-open
+  ``[lo, hi)`` interval rebalancing carved out and handed to one shard —
+  or defaults to **range partitioning**: the hash space is split into
+  ``num_shards`` equal contiguous stripes (``position * num_shards >>
+  32``).  Contiguous default stripes are what make live rebalancing
+  possible at all: any ``[lo, hi)`` sub-range of one stripe has a single
+  current owner, so it can be frozen there and handed to another group
+  as one unit (a modular default would interleave adjacent positions
+  across every shard);
 * **tables** are placed by an explicit assignment map (SQL tables are
   few and heavy; hashing them would make co-location accidents
   permanent).  Unknown tables are a routing *error*, not a hash
   fallback — a typo must fail loudly rather than silently creating a
   one-table shard.
 
-Reassigning a table bumps ``version``; routers compare versions to
-discover that a cached placement went stale (the "re-route after config
-change" path).
+Every reconfiguration — a table reassignment or a range move — bumps
+``version`` and appends a snapshot to the **version history**, so any
+past placement can be re-derived (``placement_at``) and two parties can
+compare versions to discover that a cached route went stale.  Routers
+holding a stale copy heal through the replicas' ``WRONG_SHARD`` redirect
+replies, which carry the authoritative ``(unit, shard, version)`` fact:
+``apply_move`` / ``apply_table`` install such a learned fact if and only
+if it is newer than what the copy already holds.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from repro.common.errors import ShardError
 from repro.crypto.digests import md5_digest
+
+# The hash space keys are placed in: 32-bit positions from the first four
+# digest bytes.  Ranges are half-open [lo, hi) with 0 <= lo < hi <= HASH_SPACE.
+HASH_SPACE = 1 << 32
+
+
+def key_position(key: bytes) -> int:
+    """A key's position in the 32-bit hash space (pure, shared by every
+    router, replica, and rebalancer)."""
+    return int.from_bytes(md5_digest(key)[:4], "big")
+
+
+class PlacementView:
+    """A frozen placement at one directory version (pure lookups only)."""
+
+    __slots__ = ("num_shards", "version", "_tables", "_ranges")
+
+    def __init__(self, num_shards, version, tables, ranges):
+        self.num_shards = num_shards
+        self.version = version
+        self._tables = tables
+        self._ranges = ranges  # sorted, disjoint (lo, hi, shard) triples
+
+    def shard_of_key(self, key: bytes) -> int:
+        return self.shard_of_position(key_position(key))
+
+    def shard_of_position(self, position: int) -> int:
+        index = bisect_right(self._ranges, (position, HASH_SPACE + 1)) - 1
+        if index >= 0:
+            lo, hi, shard = self._ranges[index]
+            if lo <= position < hi:
+                return shard
+        return (position * self.num_shards) >> 32
+
+    def shard_of_table(self, table: str) -> int:
+        shard = self._tables.get(table.lower())
+        if shard is None:
+            raise ShardError(f"table {table!r} is not in the shard directory")
+        return shard
 
 
 class ShardDirectory:
@@ -38,9 +92,16 @@ class ShardDirectory:
         self.num_shards = num_shards
         self.version = 0
         self._tables: dict[str, int] = {}
+        # Moved ranges: sorted, pairwise-disjoint (lo, hi, shard) triples.
+        # Positions outside every range fall back to position % num_shards.
+        self._ranges: list[tuple[int, int, int]] = []
         for table, shard in (table_map or {}).items():
             self._check_shard(shard)
             self._tables[table.lower()] = shard
+        # history[i] is the placement as of the i'th recorded version;
+        # versions learned out of band (apply_move on a stale copy) may
+        # skip numbers, so snapshots carry their version explicitly.
+        self._history: list[PlacementView] = [self._snapshot()]
 
     def _check_shard(self, shard: int) -> None:
         if not 0 <= shard < self.num_shards:
@@ -48,11 +109,31 @@ class ShardDirectory:
                 f"shard {shard} out of range (deployment has {self.num_shards})"
             )
 
+    def _snapshot(self) -> PlacementView:
+        return PlacementView(
+            self.num_shards, self.version, dict(self._tables),
+            tuple(self._ranges),
+        )
+
+    def _bump(self, to_version: int | None = None) -> None:
+        if to_version is None:
+            to_version = self.version + 1
+        if to_version <= self.version:
+            raise ShardError(
+                f"directory version must advance ({self.version} -> {to_version})"
+            )
+        self.version = to_version
+        self._history.append(self._snapshot())
+
     # -- placement -----------------------------------------------------------
 
     def shard_of_key(self, key: bytes) -> int:
-        """Home shard of a kv key: pure hash placement."""
-        return int.from_bytes(md5_digest(key)[:4], "big") % self.num_shards
+        """Home shard of a kv key: moved range if one covers its position,
+        else pure hash placement."""
+        return self._history[-1].shard_of_position(key_position(key))
+
+    def shard_of_position(self, position: int) -> int:
+        return self._history[-1].shard_of_position(position)
 
     def shard_of_table(self, table: str) -> int:
         """Home shard of a SQL table; unknown tables are routing errors."""
@@ -67,10 +148,133 @@ class ShardDirectory:
     def tables(self) -> dict[str, int]:
         return dict(self._tables)
 
+    def ranges(self) -> tuple[tuple[int, int, int], ...]:
+        """The moved ranges, sorted and disjoint."""
+        return tuple(self._ranges)
+
+    def default_stripe(self, shard: int) -> tuple[int, int]:
+        """The contiguous ``[lo, hi)`` stripe ``shard`` owns by default
+        (before any moves) — the pool rebalancing carves sub-ranges from."""
+        self._check_shard(shard)
+        lo = (shard * HASH_SPACE + self.num_shards - 1) // self.num_shards
+        hi = ((shard + 1) * HASH_SPACE + self.num_shards - 1) // self.num_shards
+        return lo, hi
+
+    def owner_of_range(self, lo: int, hi: int) -> int:
+        """The single shard currently owning all of ``[lo, hi)``.
+
+        Raises if the range straddles an ownership boundary — such a
+        range has no one source group and cannot migrate as one unit.
+        """
+        if not 0 <= lo < hi <= HASH_SPACE:
+            raise ShardError(
+                f"bad range [{lo}, {hi}) — need 0 <= lo < hi <= 2^32"
+            )
+        view = self._history[-1]
+        points = {lo}
+        for shard in range(1, self.num_shards):
+            boundary = (shard * HASH_SPACE + self.num_shards - 1) // self.num_shards
+            if lo < boundary < hi:
+                points.add(boundary)
+        for range_lo, range_hi, _shard in self._ranges:
+            if lo < range_lo < hi:
+                points.add(range_lo)
+            if lo < range_hi < hi:
+                points.add(range_hi)
+        owners = {view.shard_of_position(p) for p in points}
+        if len(owners) != 1:
+            raise ShardError(
+                f"range [{lo}, {hi}) spans shards {sorted(owners)}; "
+                "migrate each owner's part separately"
+            )
+        return owners.pop()
+
+    def placement_at(self, version: int) -> PlacementView:
+        """The placement as of ``version`` (the latest snapshot <= it)."""
+        if version < 0 or version > self.version:
+            raise ShardError(
+                f"version {version} outside recorded history 0..{self.version}"
+            )
+        view = self._history[0]
+        for snapshot in self._history:
+            if snapshot.version > version:
+                break
+            view = snapshot
+        return view
+
+    def clone(self) -> "ShardDirectory":
+        """An independent copy (a router's private view of the placement)."""
+        copy = ShardDirectory(self.num_shards)
+        copy._tables = dict(self._tables)
+        copy._ranges = list(self._ranges)
+        copy.version = self.version
+        copy._history = [copy._snapshot()]
+        return copy
+
     # -- reconfiguration -----------------------------------------------------
 
     def assign_table(self, table: str, shard: int) -> None:
         """(Re)place a table; bumps ``version`` so cached routes go stale."""
         self._check_shard(shard)
         self._tables[table.lower()] = shard
-        self.version += 1
+        self._bump()
+
+    def move_range(self, lo: int, hi: int, shard: int) -> None:
+        """Hand the key range ``[lo, hi)`` to ``shard``; bumps ``version``.
+
+        Overlapping parts of previously moved ranges are carved away, so
+        the range set stays disjoint and the newest move wins — exactly
+        one shard owns any position at any version.
+        """
+        self._check_shard(shard)
+        self._install_range(lo, hi, shard)
+        self._bump()
+
+    def _install_range(self, lo: int, hi: int, shard: int) -> None:
+        if not 0 <= lo < hi <= HASH_SPACE:
+            raise ShardError(
+                f"bad range [{lo}, {hi}) — need 0 <= lo < hi <= 2^32"
+            )
+        kept: list[tuple[int, int, int]] = []
+        for old_lo, old_hi, old_shard in self._ranges:
+            if old_hi <= lo or old_lo >= hi:
+                kept.append((old_lo, old_hi, old_shard))
+                continue
+            if old_lo < lo:
+                kept.append((old_lo, lo, old_shard))
+            if old_hi > hi:
+                kept.append((hi, old_hi, old_shard))
+        kept.append((lo, hi, shard))
+        kept.sort()
+        merged: list[tuple[int, int, int]] = []
+        for entry in kept:
+            if merged and merged[-1][2] == entry[2] and merged[-1][1] == entry[0]:
+                merged[-1] = (merged[-1][0], entry[1], entry[2])
+            else:
+                merged.append(entry)
+        self._ranges = merged
+
+    # -- learned facts (the WRONG_SHARD healing path) -------------------------
+
+    def apply_move(self, lo: int, hi: int, shard: int, version: int) -> bool:
+        """Install a range move learned from a redirect, if it is news.
+
+        Returns True when applied.  A fact at or below the local version
+        is stale (this copy already reflects it or something newer) and
+        is ignored — redirects can arrive out of order.
+        """
+        if version <= self.version:
+            return False
+        self._check_shard(shard)
+        self._install_range(lo, hi, shard)
+        self._bump(to_version=version)
+        return True
+
+    def apply_table(self, table: str, shard: int, version: int) -> bool:
+        """Install a table reassignment learned from a redirect, if newer."""
+        if version <= self.version:
+            return False
+        self._check_shard(shard)
+        self._tables[table.lower()] = shard
+        self._bump(to_version=version)
+        return True

@@ -38,9 +38,11 @@ from repro.shard.txapp import (
     DECISION_ABORT,
     DECISION_COMMIT,
     ST_DECISION,
+    ST_FROZEN,
     ST_LOCKED,
     ST_OK,
     ST_TOMBSTONE,
+    ST_WRONG_SHARD,
     decode_tx_reply,
     encode_abort,
     encode_commit,
@@ -164,6 +166,9 @@ class ShardRouter:
         outcome_retry_limit: int = 3,
         locked_retry_limit: int = 4,
         locked_backoff_ns: int = 10 * MILLISECOND,
+        redirect_retry_limit: int = 3,
+        frozen_retry_limit: int = 10,
+        frozen_backoff_ns: int = 20 * MILLISECOND,
     ) -> None:
         self.router_id = router_id
         self.directory = directory
@@ -175,6 +180,16 @@ class ShardRouter:
         self.outcome_retry_limit = outcome_retry_limit
         self.locked_retry_limit = locked_retry_limit
         self.locked_backoff_ns = locked_backoff_ns
+        # Rebalancing resilience: a WRONG_SHARD redirect re-routes after
+        # installing the learned placement fact (version-compared, and
+        # vouched for by f+1 matching replica replies — a single lying
+        # replica can never form the quorum the underlying PBFT client
+        # requires, so a Byzantine redirect cannot plant a false route);
+        # an ST_FROZEN refusal backs off and retries while the unit is
+        # mid-migration.
+        self.redirect_retry_limit = redirect_retry_limit
+        self.frozen_retry_limit = frozen_retry_limit
+        self.frozen_backoff_ns = frozen_backoff_ns
         self._txn_seq = 0
         self._active: Optional[_Txn] = None
         self._single_active = False
@@ -267,7 +282,14 @@ class ShardRouter:
         self._single_active = True
         self._invoke_single(op, shards[0], callback, readonly, attempt=0)
 
-    def _invoke_single(self, op, shard, callback, readonly, attempt) -> None:
+    def _invoke_single(self, op, shard, callback, readonly, attempt,
+                       redirects: int = 0, frozen: int = 0) -> None:
+        def fail(reason: str) -> None:
+            self._single_active = False
+            self.stats["failed_singles"] += 1
+            if callback is not None:
+                callback(TxnResult(b"", False, reason=reason))
+
         def on_reply(result: bytes, _latency: int) -> None:
             if self.crashed:
                 return
@@ -283,15 +305,47 @@ class ShardRouter:
                         lambda: self.sim.schedule(
                             self.locked_backoff_ns * (attempt + 1),
                             lambda: self._invoke_single(
-                                op, shard, callback, readonly, attempt + 1
+                                op, shard, callback, readonly, attempt + 1,
+                                redirects, frozen,
                             ),
                         ),
                     )
                     return
-                self._single_active = False
-                self.stats["failed_singles"] += 1
-                if callback is not None:
-                    callback(TxnResult(b"", False, reason="locked"))
+                if tx.status == ST_WRONG_SHARD:
+                    # The unit moved: install the learned fact (a no-op if
+                    # our directory already knows something newer) and
+                    # re-route.  Each redirect carries a strictly newer
+                    # version than the route that drew it, so the retry
+                    # count is bounded by the moves we are behind.
+                    self.stats["wrong_shard_redirects"] += 1
+                    if redirects < self.redirect_retry_limit:
+                        self._learn_fact(tx)
+                        new_shards = self.codec.shards_of(op)
+                        if len(new_shards) == 1 and new_shards[0] != shard:
+                            self._invoke_single(
+                                op, new_shards[0], callback, readonly,
+                                attempt, redirects + 1, frozen,
+                            )
+                            return
+                    fail("wrong-shard")
+                    return
+                if tx.status == ST_FROZEN:
+                    # Mid-migration: the unit will thaw at the source (on
+                    # abort), redirect from it (on commit), or activate at
+                    # the destination — back off and retry in place.
+                    self.stats["frozen_refusals"] += 1
+                    if frozen < self.frozen_retry_limit:
+                        self.sim.schedule(
+                            self.frozen_backoff_ns * (frozen + 1),
+                            lambda: self._invoke_single(
+                                op, shard, callback, readonly, attempt,
+                                redirects, frozen + 1,
+                            ),
+                        )
+                        return
+                    fail("frozen")
+                    return
+                fail("locked")
                 return
             self._single_active = False
             self.completed_singles += 1
@@ -300,6 +354,14 @@ class ShardRouter:
                 callback(TxnResult(b"", True, replies=(result,)))
 
         self._client_invoke(shard, op, on_reply, readonly=readonly)
+
+    def _learn_fact(self, tx) -> None:
+        """Install the placement fact a WRONG_SHARD redirect carries."""
+        unit = tx.unit
+        if unit[0] == "range":
+            self.directory.apply_move(unit[1], unit[2], tx.shard, tx.version)
+        else:
+            self.directory.apply_table(unit[1], tx.shard, tx.version)
 
     # -- recovery -------------------------------------------------------------
 
@@ -403,6 +465,19 @@ class ShardRouter:
                 self.stats["lock_conflicts"] += 1
             elif tx.status == ST_TOMBSTONE:
                 txn.reason = "tombstone"
+            elif tx.status == ST_WRONG_SHARD:
+                # A participant's unit moved mid-flight: vote no (the
+                # transaction aborts presumed-abort), but learn the fact
+                # so the caller's retry routes to the new home.
+                txn.reason = "wrong-shard"
+                self._learn_fact(tx)
+                self.stats["wrong_shard_redirects"] += 1
+            elif tx.status == ST_FROZEN:
+                # Mid-migration: abort now; the caller may retry once the
+                # move settles.  Prepares must not wait out a freeze —
+                # held locks on other shards would stall their traffic.
+                txn.reason = "frozen"
+                self.stats["frozen_refusals"] += 1
         txn.votes[shard] = vote
         if not vote:
             self._decide(txn, DECISION_ABORT)

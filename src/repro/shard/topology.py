@@ -46,10 +46,47 @@ class ShardedCluster:
     codec: object
     reserve_router: ShardRouter  # used by reconcile(), not by workloads
     rng: RngStreams = field(default_factory=lambda: RngStreams(1))
+    # Lazily creates additional routers (same registration path as the
+    # build-time ones); index advances monotonically so client ids and
+    # ports never collide.
+    router_factory: Optional[Callable[[int], ShardRouter]] = None
+    next_router_index: int = 0
 
     @property
     def num_shards(self) -> int:
         return len(self.groups)
+
+    def add_router(self, private_directory: bool = False) -> ShardRouter:
+        """Create one more router after build time (not added to
+        ``routers``, so existing workloads and RNG draws are untouched).
+
+        With ``private_directory`` the new router routes by its own
+        clone of the authoritative directory as of now — the stale-copy
+        starting point the WRONG_SHARD healing path is tested against.
+        """
+        if self.router_factory is None:
+            raise RuntimeError("this deployment was built without a router factory")
+        router = self.router_factory(self.next_router_index)
+        self.next_router_index += 1
+        if private_directory:
+            private = self.directory.clone()
+            router.directory = private
+            router.codec = type(self.codec)(private)
+        return router
+
+    def make_rebalancer(self, **kwargs) -> "ShardRebalancer":
+        """A live-migration driver with its own per-group client set."""
+        from repro.shard.rebalance import ShardRebalancer
+
+        donor = self.add_router()
+        return ShardRebalancer(
+            sim=self.sim,
+            directory=self.directory,
+            clients=donor.clients,
+            groups=self.groups,
+            obs=self.obs,
+            **kwargs,
+        )
 
     def run_for(self, duration_ns: int) -> None:
         self.sim.run_for(duration_ns)
@@ -255,4 +292,6 @@ def build_sharded_cluster(
         codec=codec,
         reserve_router=reserve,
         rng=master_rng,
+        router_factory=make_router,
+        next_router_index=num_routers + 1,
     )

@@ -23,6 +23,18 @@ lives in pages reserved at the front of the wrapped application's state
 partition, so checkpoints, rollback, and state transfer carry it exactly
 like application data: a replica that catches up via state transfer also
 catches up on locks.
+
+The same wrapper carries the shard side of **live rebalancing** (DESIGN.md
+§12): a *migration unit* — a kv key range or a SQL table — can be frozen
+here (the source), copied chunk by chunk into another group (the
+destination), activated there, and finally committed here, leaving a
+**moved tombstone** that answers every later operation on the unit with a
+``WRONG_SHARD`` redirect carrying the authoritative ``(unit, shard,
+version)`` fact.  Every migration step is an ordinary operation ordered
+through the group's PBFT log, so the replicas of a group always agree on
+what is frozen, what has arrived, and what has left — and all of it
+persists in the same reserved pages, so a replica that crashes and
+catches up via state transfer also catches up on the migration.
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ from repro.common.errors import StateError
 from repro.common.units import MICROSECOND
 from repro.pbft.replica import Application
 from repro.pbft.wire import Decoder, Encoder
+from repro.shard.directory import key_position
 
 # -- operation opcodes (first byte; 0xFF is the middleware's) -----------------
 TXOP_PREPARE = 0xB1
@@ -43,10 +56,25 @@ TXOP_RESOLVE = 0xB5
 TXOP_STATUS = 0xB6
 TXOP_FORGET = 0xB7
 
+# Migration opcodes (live rebalancing; DESIGN.md §12).
+TXOP_MIG_FREEZE = 0xB8    # source: stop writes to a unit, report lock holders
+TXOP_MIG_EXPORT = 0xB9    # source: serialize one chunk of the frozen unit
+TXOP_MIG_BEGIN = 0xBA     # destination: freeze the incoming unit
+TXOP_MIG_INSTALL = 0xBB   # destination: apply one chunk (idempotent by index)
+TXOP_MIG_ACTIVATE = 0xBC  # destination: own the unit, start serving it
+TXOP_MIG_COMMIT = 0xBD    # source: purge the unit, leave a moved tombstone
+TXOP_MIG_ABORT = 0xBE     # either side: cancel an in-flight migration
+TXOP_MIG_STATUS = 0xBF    # either side: where did this migration get to?
+
+_MIG_OPS = frozenset(
+    (TXOP_MIG_FREEZE, TXOP_MIG_EXPORT, TXOP_MIG_BEGIN, TXOP_MIG_INSTALL,
+     TXOP_MIG_ACTIVATE, TXOP_MIG_COMMIT, TXOP_MIG_ABORT, TXOP_MIG_STATUS)
+)
+
 _TX_OPS = frozenset(
     (TXOP_PREPARE, TXOP_COMMIT, TXOP_ABORT, TXOP_DECIDE, TXOP_RESOLVE,
      TXOP_STATUS, TXOP_FORGET)
-)
+) | _MIG_OPS
 
 # -- shard-layer reply marker --------------------------------------------------
 # Replies from the transaction layer start with this byte so routers can
@@ -58,14 +86,67 @@ ST_LOCKED = 0x02
 ST_TOMBSTONE = 0x03
 ST_DECISION = 0x04
 ST_UNKNOWN = 0x05
+ST_FROZEN = 0x06       # unit is mid-migration; retry after a short backoff
+ST_WRONG_SHARD = 0x07  # unit moved away; reply carries (unit, shard, version)
+ST_MIG = 0x08          # reply to a migration op; payload is op-specific
+
 ST_ERR = 0x00
 
 DECISION_ABORT = 0
 DECISION_COMMIT = 1
 
 TXID_BYTES = 16
+MIGID_BYTES = TXID_BYTES
 
 _STATE_MAGIC = 0x54585331  # "TXS1"
+
+# Migration roles and phases (wire + persisted encoding).
+ROLE_SRC = 0
+ROLE_DST = 1
+
+MIG_UNKNOWN = 0   # this shard holds no record of the migration
+MIG_SRC_ACTIVE = 1
+MIG_DST_ACTIVE = 2
+MIG_MOVED = 3     # source side committed: unit purged, tombstone live
+MIG_OWNED = 4     # destination side activated: unit served here
+
+# -- migration units ----------------------------------------------------------
+# A unit is what moves between groups as one atom: a kv key range in the
+# 32-bit hash space, ("range", lo, hi) with half-open [lo, hi), or a whole
+# SQL table, ("table", name).
+
+UNIT_RANGE = 0
+UNIT_TABLE = 1
+
+
+def encode_unit(enc: Encoder, unit) -> None:
+    if unit[0] == "range":
+        enc.u8(UNIT_RANGE).u64(unit[1]).u64(unit[2])
+    elif unit[0] == "table":
+        enc.u8(UNIT_TABLE).blob(unit[1].encode())
+    else:
+        raise StateError(f"unknown migration unit kind {unit[0]!r}")
+
+
+def decode_unit(dec: Decoder):
+    kind = dec.u8()
+    if kind == UNIT_RANGE:
+        return ("range", dec.u64(), dec.u64())
+    if kind == UNIT_TABLE:
+        return ("table", dec.blob().decode())
+    raise StateError(f"unknown migration unit wire kind {kind}")
+
+
+def unit_covers(unit, lock_key: bytes) -> bool:
+    """Does a migration unit cover this lock key?
+
+    Range units cover kv keys by hash position (the same position the
+    directory routes by); table units cover exactly the ``table:<name>``
+    lock unit the SQL ``keys_of`` emits.
+    """
+    if unit[0] == "range":
+        return unit[1] <= key_position(lock_key) < unit[2]
+    return lock_key == b"table:" + unit[1].encode()
 
 
 # -- operation encoding (used by routers and tests) ---------------------------
@@ -108,20 +189,108 @@ def encode_forget(txid: bytes) -> bytes:
     return Encoder().u8(TXOP_FORGET).raw(txid).finish()
 
 
+# -- migration op encoding (used by the rebalancer and tests) -----------------
+
+def encode_mig_freeze(mig_id: bytes, unit, dst: int) -> bytes:
+    enc = Encoder().u8(TXOP_MIG_FREEZE).raw(mig_id)
+    encode_unit(enc, unit)
+    return enc.u16(dst).finish()
+
+
+def encode_mig_export(mig_id: bytes, cursor: int, budget: int) -> bytes:
+    return (
+        Encoder().u8(TXOP_MIG_EXPORT).raw(mig_id)
+        .u64(cursor).u32(budget).finish()
+    )
+
+
+def encode_mig_begin(mig_id: bytes, unit, src: int) -> bytes:
+    enc = Encoder().u8(TXOP_MIG_BEGIN).raw(mig_id)
+    encode_unit(enc, unit)
+    return enc.u16(src).finish()
+
+
+def encode_mig_install(mig_id: bytes, chunk_index: int, chunk: bytes) -> bytes:
+    return (
+        Encoder().u8(TXOP_MIG_INSTALL).raw(mig_id)
+        .u32(chunk_index).blob(chunk).finish()
+    )
+
+
+def encode_mig_activate(mig_id: bytes, unit, version: int) -> bytes:
+    enc = Encoder().u8(TXOP_MIG_ACTIVATE).raw(mig_id)
+    encode_unit(enc, unit)
+    return enc.u32(version).finish()
+
+
+def encode_mig_commit(mig_id: bytes, unit, dst: int, version: int) -> bytes:
+    enc = Encoder().u8(TXOP_MIG_COMMIT).raw(mig_id)
+    encode_unit(enc, unit)
+    return enc.u16(dst).u32(version).finish()
+
+
+def encode_mig_abort(mig_id: bytes) -> bytes:
+    return Encoder().u8(TXOP_MIG_ABORT).raw(mig_id).finish()
+
+
+def encode_mig_status(mig_id: bytes) -> bytes:
+    return Encoder().u8(TXOP_MIG_STATUS).raw(mig_id).finish()
+
+
+# -- migration reply payloads (inside an ST_MIG reply) ------------------------
+
+def decode_freeze_payload(payload: bytes) -> tuple:
+    """FREEZE reply: the prepared transactions still holding locks on the
+    unit, as (txid, coordinator_shard) pairs — the rebalancer drains or
+    presumed-abort-resolves these before exporting."""
+    dec = Decoder(payload)
+    return tuple(
+        (dec.raw(TXID_BYTES), dec.u16()) for _ in range(dec.u32())
+    )
+
+
+def decode_export_payload(payload: bytes):
+    """EXPORT reply: (chunk, next_cursor, done)."""
+    dec = Decoder(payload)
+    next_cursor = dec.u64()
+    done = bool(dec.u8())
+    return dec.blob(), next_cursor, done
+
+
+def decode_install_payload(payload: bytes):
+    """INSTALL reply: (applied, chunks_done)."""
+    dec = Decoder(payload)
+    return bool(dec.u8()), dec.u32()
+
+
+def decode_status_payload(payload: bytes):
+    """STATUS reply: (phase, chunks_done) — phase is one of the MIG_*
+    constants."""
+    dec = Decoder(payload)
+    return dec.u8(), dec.u32()
+
+
 class TxReply:
     """A decoded shard-layer reply."""
 
     __slots__ = ("status", "decision", "holder_txid", "holder_coordinator",
-                 "inner_replies", "message")
+                 "inner_replies", "message", "unit", "shard", "version",
+                 "payload")
 
     def __init__(self, status: int, decision: int = 0, holder_txid: bytes = b"",
-                 holder_coordinator: int = 0, inner_replies=(), message: str = ""):
+                 holder_coordinator: int = 0, inner_replies=(), message: str = "",
+                 unit=None, shard: int = 0, version: int = 0,
+                 payload: bytes = b""):
         self.status = status
         self.decision = decision
         self.holder_txid = holder_txid
         self.holder_coordinator = holder_coordinator
         self.inner_replies = inner_replies
         self.message = message
+        self.unit = unit
+        self.shard = shard
+        self.version = version
+        self.payload = payload
 
 
 def is_tx_reply(reply: bytes) -> bool:
@@ -141,6 +310,11 @@ def decode_tx_reply(reply: bytes) -> TxReply:
     if status == ST_OK:
         count = dec.u32()
         return TxReply(status, inner_replies=tuple(dec.blob() for _ in range(count)))
+    if status == ST_WRONG_SHARD:
+        unit = decode_unit(dec)
+        return TxReply(status, unit=unit, shard=dec.u16(), version=dec.u32())
+    if status == ST_MIG:
+        return TxReply(status, payload=dec.blob())
     if status == ST_ERR:
         return TxReply(status, message=dec.blob().decode())
     return TxReply(status)
@@ -169,6 +343,30 @@ def _reply_decision(decision: int) -> bytes:
 
 def _reply_err(message: str) -> bytes:
     return Encoder().u8(REPLY_MAGIC).u8(ST_ERR).blob(message.encode()).finish()
+
+
+def _reply_wrong_shard(unit, shard: int, version: int) -> bytes:
+    enc = Encoder().u8(REPLY_MAGIC).u8(ST_WRONG_SHARD)
+    encode_unit(enc, unit)
+    return enc.u16(shard).u32(version).finish()
+
+
+def _reply_mig(payload: bytes = b"") -> bytes:
+    return Encoder().u8(REPLY_MAGIC).u8(ST_MIG).blob(payload).finish()
+
+
+class Migration:
+    """One in-flight migration this shard participates in (either role)."""
+
+    __slots__ = ("mig_id", "role", "unit", "peer", "chunks_done")
+
+    def __init__(self, mig_id: bytes, role: int, unit, peer: int,
+                 chunks_done: int = 0):
+        self.mig_id = mig_id
+        self.role = role
+        self.unit = unit
+        self.peer = peer
+        self.chunks_done = chunks_done
 
 
 class PreparedTx:
@@ -225,6 +423,22 @@ class ShardTxApplication(Application):
         self._locks: dict[bytes, bytes] = {}  # lock key -> holder txid
         self._outcomes: dict[bytes, int] = {}  # participant-side: applied result
         self._decisions: dict[bytes, int] = {}  # coordinator-side: the decision
+        # Live rebalancing (DESIGN.md §12), all replicated alongside the
+        # transaction tables:
+        #   _migrations — in-flight migrations (either role); their units
+        #     are frozen: writes are refused with ST_FROZEN until the
+        #     migration commits, aborts, or (destination) activates.
+        #   _moved — source-side tombstones: the unit left, every later
+        #     op on it draws a WRONG_SHARD redirect with the new home.
+        #   _owned — destination-side facts: the unit arrived and is
+        #     served here (makes ACTIVATE/INSTALL re-drives idempotent).
+        # Moved/owned facts are healing accelerators capped oldest-first
+        # at ``moved_retain_limit`` — the authoritative placement is the
+        # published directory, which every new router clones.
+        self._migrations: dict[bytes, Migration] = {}
+        self._moved: dict[bytes, tuple] = {}  # mig_id -> (unit, dst, version)
+        self._owned: dict[bytes, tuple] = {}  # mig_id -> (unit, version)
+        self.moved_retain_limit = 64
         self._accumulated_ns = 0
         self._stats = None
         self._tracer = None
@@ -257,6 +471,9 @@ class ShardTxApplication(Application):
         return self.inner.authorize_join(idbuf)
 
     def execute_cost_ns(self, op: bytes, readonly: bool) -> int:
+        if op and op[0] in _MIG_OPS:
+            # Chunk transfer charges the bulk cost via take_accumulated_cost.
+            return 10 * MICROSECOND
         if op and op[0] in _TX_OPS:
             return 3 * MICROSECOND
         return self.inner.execute_cost_ns(op, readonly)
@@ -283,8 +500,14 @@ class ShardTxApplication(Application):
     def execute(self, op: bytes, client_id: int, nondet_ts: int, readonly: bool) -> bytes:
         kind = op[0] if op else 0
         if kind not in _TX_OPS:
-            # A plain single-shard operation: honor transaction locks so
-            # isolation holds between the direct path and the 2PC path.
+            # A plain single-shard operation: honor migration state first
+            # (a moved unit redirects, a frozen unit refuses writes), then
+            # transaction locks, so isolation holds between the direct
+            # path and the 2PC path.
+            if self._moved or self._migrations:
+                block = self._migration_block(tuple(self.keys_of(op)), readonly)
+                if block is not None:
+                    return block
             for key in self.keys_of(op):
                 holder = self._locks.get(key)
                 if holder is not None:
@@ -307,7 +530,45 @@ class ShardTxApplication(Application):
             return self._on_resolve(txid)
         if kind == TXOP_FORGET:
             return self._on_forget(txid)
+        if kind == TXOP_MIG_FREEZE:
+            return self._on_mig_freeze(dec, txid)
+        if kind == TXOP_MIG_EXPORT:
+            return self._on_mig_export(dec, txid)
+        if kind == TXOP_MIG_BEGIN:
+            return self._on_mig_begin(dec, txid)
+        if kind == TXOP_MIG_INSTALL:
+            return self._on_mig_install(dec, txid)
+        if kind == TXOP_MIG_ACTIVATE:
+            return self._on_mig_activate(dec, txid)
+        if kind == TXOP_MIG_COMMIT:
+            return self._on_mig_commit(dec, txid)
+        if kind == TXOP_MIG_ABORT:
+            return self._on_mig_abort(txid)
+        if kind == TXOP_MIG_STATUS:
+            return self._on_mig_status(txid)
         return self._on_status(txid)
+
+    def _migration_block(self, keys, readonly: bool):
+        """The migration-layer verdict for an op touching ``keys``:
+        a WRONG_SHARD redirect (unit moved away), an ST_FROZEN refusal
+        (unit mid-migration), or None (proceed).
+
+        Reads stay allowed on a *source*-frozen unit — the data is still
+        authoritative here until MIG_COMMIT purges it, and no write can
+        change it meanwhile.  A *destination* unit refuses reads too: its
+        data is half-installed until MIG_ACTIVATE.
+        """
+        for key in keys:
+            for unit, dst, version in self._moved.values():
+                if unit_covers(unit, key):
+                    self._count("wrong_shard_replies")
+                    return _reply_wrong_shard(unit, dst, version)
+            for mig in self._migrations.values():
+                if (not readonly or mig.role == ROLE_DST) and \
+                        unit_covers(mig.unit, key):
+                    self._count("frozen_refusals")
+                    return _reply(ST_FROZEN)
+        return None
 
     def _on_prepare(self, dec: Decoder, txid: bytes, client_id: int) -> bytes:
         self._count("prepares")
@@ -322,6 +583,12 @@ class ShardTxApplication(Application):
         participants = tuple(dec.u16() for _ in range(dec.u32()))
         ops = tuple(dec.blob() for _ in range(dec.u32()))
         keys = tuple(dec.blob() for _ in range(dec.u32()))
+        if self._moved or self._migrations:
+            # A prepare acquires locks (a write): frozen and moved units
+            # both refuse, so no new holder can appear mid-migration.
+            block = self._migration_block(keys, False)
+            if block is not None:
+                return block
         for key in keys:
             holder = self._locks.get(key)
             if holder is not None and holder != txid:
@@ -424,6 +691,165 @@ class ShardTxApplication(Application):
             return _reply_decision(outcome)
         return _reply(ST_UNKNOWN)
 
+    # -- migration handlers (live rebalancing, DESIGN.md §12) -----------------
+
+    def _on_mig_freeze(self, dec: Decoder, mig_id: bytes) -> bytes:
+        unit = decode_unit(dec)
+        dst = dec.u16()
+        if mig_id in self._moved:
+            # Already committed: re-freeze is a no-op with no holders.
+            return _reply_mig(Encoder().u32(0).finish())
+        mig = self._migrations.get(mig_id)
+        if mig is None:
+            mig = Migration(mig_id, ROLE_SRC, unit, dst)
+            self._migrations[mig_id] = mig
+            self._count("migrations_frozen")
+            self._persist()
+            self._mark("mig_freeze", mig_id)
+        # Report the prepared transactions still holding locks on the
+        # unit; the freeze blocks new ones, the rebalancer drains these.
+        holders = [
+            (txid, self._prepared[txid].coordinator)
+            for txid in sorted(self._prepared)
+            if any(unit_covers(mig.unit, k) for k in self._prepared[txid].keys)
+        ]
+        enc = Encoder()
+        enc.sequence(holders, lambda e, h: e.raw(h[0]).u16(h[1]))
+        return _reply_mig(enc.finish())
+
+    def _on_mig_export(self, dec: Decoder, mig_id: bytes) -> bytes:
+        mig = self._migrations.get(mig_id)
+        if mig is None or mig.role != ROLE_SRC:
+            return _reply_err("export without an active source migration")
+        for txid, entry in self._prepared.items():
+            if any(unit_covers(mig.unit, k) for k in entry.keys):
+                return _reply_err("export before prepared holders drained")
+        cursor = dec.u64()
+        budget = dec.u32()
+        export = getattr(self.inner, "migrate_export", None)
+        if export is None:
+            return _reply_err("application does not support migration")
+        # Deterministic: the unit is frozen, so every replica serializes
+        # the identical chunk for the identical (cursor, budget).
+        chunk, next_cursor, done = export(mig.unit, cursor, budget)
+        self._accumulated_ns += 2 * len(chunk)
+        self._count("chunks_exported")
+        enc = Encoder().u64(next_cursor).u8(1 if done else 0).blob(chunk)
+        return _reply_mig(enc.finish())
+
+    def _on_mig_begin(self, dec: Decoder, mig_id: bytes) -> bytes:
+        unit = decode_unit(dec)
+        src = dec.u16()
+        if mig_id in self._owned:
+            return _reply_mig()  # already activated; re-drive is a no-op
+        if mig_id not in self._migrations:
+            self._migrations[mig_id] = Migration(mig_id, ROLE_DST, unit, src)
+            self._count("migrations_incoming")
+            self._persist()
+            self._mark("mig_begin", mig_id)
+        return _reply_mig()
+
+    def _on_mig_install(self, dec: Decoder, mig_id: bytes) -> bytes:
+        chunk_index = dec.u32()
+        chunk = dec.blob()
+        mig = self._migrations.get(mig_id)
+        if mig is None:
+            if mig_id in self._owned:
+                # Post-activation re-drive: everything is already in.
+                return _reply_mig(Encoder().u8(0).u32(0).finish())
+            return _reply_err("install without MIG_BEGIN")
+        if mig.role != ROLE_DST:
+            return _reply_err("install at the migration source")
+        if chunk_index < mig.chunks_done:
+            # A rebalancer re-driving after a crash re-exports from
+            # cursor 0; chunks already installed dedupe by index.
+            self._count("chunks_deduped")
+            return _reply_mig(Encoder().u8(0).u32(mig.chunks_done).finish())
+        if chunk_index > mig.chunks_done:
+            return _reply_err(
+                f"install gap: chunk {chunk_index} after {mig.chunks_done}"
+            )
+        install = getattr(self.inner, "migrate_install", None)
+        if install is None:
+            return _reply_err("application does not support migration")
+        install(mig.unit, chunk)
+        self._accumulated_ns += 2 * len(chunk)
+        mig.chunks_done += 1
+        self._count("chunks_installed")
+        self._persist()
+        return _reply_mig(Encoder().u8(1).u32(mig.chunks_done).finish())
+
+    def _on_mig_activate(self, dec: Decoder, mig_id: bytes) -> bytes:
+        unit = decode_unit(dec)
+        version = dec.u32()
+        if mig_id in self._owned:
+            return _reply_mig()  # idempotent
+        mig = self._migrations.get(mig_id)
+        if mig is None or mig.role != ROLE_DST:
+            return _reply_err("activate without an incoming migration")
+        del self._migrations[mig_id]
+        self._owned[mig_id] = (unit, version)
+        self._trim_facts()
+        self._count("migrations_activated")
+        self._persist()
+        self._mark("mig_activate", mig_id)
+        return _reply_mig()
+
+    def _on_mig_commit(self, dec: Decoder, mig_id: bytes) -> bytes:
+        unit = decode_unit(dec)
+        dst = dec.u16()
+        version = dec.u32()
+        if mig_id in self._moved:
+            return _reply_mig()  # idempotent
+        mig = self._migrations.get(mig_id)
+        if mig is None or mig.role != ROLE_SRC:
+            return _reply_err("commit without an active source migration")
+        purge = getattr(self.inner, "migrate_purge", None)
+        if purge is None:
+            return _reply_err("application does not support migration")
+        purge(mig.unit)
+        del self._migrations[mig_id]
+        self._moved[mig_id] = (mig.unit, dst, version)
+        self._trim_facts()
+        self._count("migrations_committed")
+        self._persist()
+        self._mark("mig_commit", mig_id)
+        return _reply_mig()
+
+    def _on_mig_abort(self, mig_id: bytes) -> bytes:
+        mig = self._migrations.pop(mig_id, None)
+        if mig is not None:
+            if mig.role == ROLE_DST:
+                # Drop the half-installed copy; the source still has it all.
+                purge = getattr(self.inner, "migrate_purge", None)
+                if purge is not None:
+                    purge(mig.unit)
+            self._count("migrations_aborted")
+            self._persist()
+            self._mark("mig_abort", mig_id)
+        return _reply_mig()
+
+    def _on_mig_status(self, mig_id: bytes) -> bytes:
+        if mig_id in self._moved:
+            phase, chunks = MIG_MOVED, 0
+        elif mig_id in self._owned:
+            phase, chunks = MIG_OWNED, 0
+        else:
+            mig = self._migrations.get(mig_id)
+            if mig is None:
+                phase, chunks = MIG_UNKNOWN, 0
+            else:
+                phase = MIG_SRC_ACTIVE if mig.role == ROLE_SRC else MIG_DST_ACTIVE
+                chunks = mig.chunks_done
+        return _reply_mig(Encoder().u8(phase).u32(chunks).finish())
+
+    def _trim_facts(self) -> None:
+        while len(self._moved) > self.moved_retain_limit:
+            del self._moved[next(iter(self._moved))]
+            self._count("moved_facts_evicted")
+        while len(self._owned) > self.moved_retain_limit:
+            del self._owned[next(iter(self._owned))]
+
     def _gc(self) -> None:
         """Bound the finished-transaction tables (oldest evicted first).
 
@@ -466,6 +892,24 @@ class ShardTxApplication(Application):
     def decisions(self) -> dict[bytes, int]:
         return dict(self._decisions)
 
+    def migrations(self) -> dict[bytes, tuple]:
+        """In-flight migrations: mig_id -> (role, unit, peer, chunks_done)."""
+        return {
+            mig_id: (mig.role, mig.unit, mig.peer, mig.chunks_done)
+            for mig_id, mig in self._migrations.items()
+        }
+
+    def moved_units(self) -> dict[bytes, tuple]:
+        """Source-side tombstones: mig_id -> (unit, dst_shard, version)."""
+        return dict(self._moved)
+
+    def owned_units(self) -> dict[bytes, tuple]:
+        """Destination-side facts: mig_id -> (unit, version)."""
+        return dict(self._owned)
+
+    def frozen_units(self) -> tuple:
+        return tuple(mig.unit for mig in self._migrations.values())
+
     # -- replicated persistence ----------------------------------------------
 
     def _persist(self) -> None:
@@ -493,6 +937,23 @@ class ShardTxApplication(Application):
         enc.u32(len(self._decisions))
         for txid, decision in self._decisions.items():
             enc.raw(txid).u8(decision)
+        # Migration state persists in insertion order too (moved/owned
+        # facts are evicted oldest-first, so the order is itself state).
+        enc.u32(len(self._migrations))
+        for mig_id, mig in self._migrations.items():
+            enc.raw(mig_id).u8(mig.role)
+            encode_unit(enc, mig.unit)
+            enc.u16(mig.peer).u32(mig.chunks_done)
+        enc.u32(len(self._moved))
+        for mig_id, (unit, dst, version) in self._moved.items():
+            enc.raw(mig_id)
+            encode_unit(enc, unit)
+            enc.u16(dst).u32(version)
+        enc.u32(len(self._owned))
+        for mig_id, (unit, version) in self._owned.items():
+            enc.raw(mig_id)
+            encode_unit(enc, unit)
+            enc.u32(version)
         payload = enc.finish()
         if len(payload) + 8 > self.tx_bytes:
             raise StateError(
@@ -508,6 +969,9 @@ class ShardTxApplication(Application):
         self._locks = {}
         self._outcomes = {}
         self._decisions = {}
+        self._migrations = {}
+        self._moved = {}
+        self._owned = {}
         header = Decoder(self.state.read(self.tx_offset, 8))
         if header.u32() != _STATE_MAGIC:
             return  # fresh region
@@ -531,3 +995,21 @@ class ShardTxApplication(Application):
         for _ in range(dec.u32()):
             txid = dec.raw(TXID_BYTES)
             self._decisions[txid] = dec.u8()
+        if dec.finished():
+            return  # state persisted before migrations existed
+        for _ in range(dec.u32()):
+            mig_id = dec.raw(MIGID_BYTES)
+            role = dec.u8()
+            unit = decode_unit(dec)
+            peer = dec.u16()
+            chunks_done = dec.u32()
+            self._migrations[mig_id] = Migration(mig_id, role, unit, peer,
+                                                 chunks_done)
+        for _ in range(dec.u32()):
+            mig_id = dec.raw(MIGID_BYTES)
+            unit = decode_unit(dec)
+            self._moved[mig_id] = (unit, dec.u16(), dec.u32())
+        for _ in range(dec.u32()):
+            mig_id = dec.raw(MIGID_BYTES)
+            unit = decode_unit(dec)
+            self._owned[mig_id] = (unit, dec.u32())

@@ -56,6 +56,12 @@ def test_fault_campaign_smoke():
     assert "13/13 runs passed all invariants" in out
 
 
+def test_rebalance_campaign_smoke():
+    out = run_example("rebalance_campaign.py", args=("--smoke",))
+    assert "4/4 runs passed all invariants" in out
+    assert "rebalance-under-churn" in out
+
+
 def test_membership_campaign_smoke():
     out = run_example("membership_campaign.py", args=("--smoke",))
     assert "0 violations" in out

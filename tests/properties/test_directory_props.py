@@ -1,0 +1,159 @@
+"""Property tests: the shard directory under arbitrary reconfiguration.
+
+Three invariants the rebalancer and every router lean on:
+
+* the version is strictly monotone under any assign/move sequence;
+* routing is a pure function of the directory contents — replaying the
+  same sequence rebuilds the same placement, and any recorded version
+  keeps answering the way it did when it was current;
+* at every version, every position in the hash space is owned by exactly
+  one shard (ranges stay sorted and pairwise disjoint).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.shard.directory import HASH_SPACE, ShardDirectory
+
+NUM_SHARDS = 4
+
+positions = st.integers(min_value=0, max_value=HASH_SPACE - 1)
+shards = st.integers(min_value=0, max_value=NUM_SHARDS - 1)
+tables = st.sampled_from(["orders", "users", "ledger"])
+
+
+@st.composite
+def ranges(draw):
+    lo = draw(st.integers(min_value=0, max_value=HASH_SPACE - 2))
+    hi = draw(st.integers(min_value=lo + 1, max_value=HASH_SPACE))
+    return lo, hi
+
+
+reconfigs = st.lists(
+    st.one_of(
+        st.tuples(st.just("table"), tables, shards),
+        st.tuples(st.just("range"), ranges(), shards),
+    ),
+    max_size=30,
+)
+
+
+def apply_all(directory, ops):
+    for op in ops:
+        if op[0] == "table":
+            directory.assign_table(op[1], op[2])
+        else:
+            (lo, hi), shard = op[1], op[2]
+            directory.move_range(lo, hi, shard)
+
+
+def probe_positions(directory):
+    """Positions worth checking: every boundary and its neighbours."""
+    probes = {0, HASH_SPACE - 1, HASH_SPACE // 2}
+    for lo, hi, _shard in directory.ranges():
+        probes.update({lo, hi - 1})
+        if lo > 0:
+            probes.add(lo - 1)
+        if hi < HASH_SPACE:
+            probes.add(hi)
+    return sorted(probes)
+
+
+@given(ops=reconfigs)
+@settings(max_examples=60, deadline=None)
+def test_version_is_strictly_monotone(ops):
+    directory = ShardDirectory(NUM_SHARDS)
+    seen = [directory.version]
+    for op in ops:
+        apply_all(directory, [op])
+        assert directory.version > seen[-1]
+        seen.append(directory.version)
+
+
+@given(ops=reconfigs, probes=st.lists(positions, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_routing_is_deterministic(ops, probes):
+    first = ShardDirectory(NUM_SHARDS)
+    second = ShardDirectory(NUM_SHARDS)
+    apply_all(first, ops)
+    apply_all(second, ops)
+    for position in probes + probe_positions(first):
+        assert first.shard_of_position(position) == \
+            second.shard_of_position(position)
+    assert first.tables() == second.tables()
+    assert first.ranges() == second.ranges()
+    # A clone answers identically too (the stale-router starting point).
+    clone = first.clone()
+    for position in probes:
+        assert clone.shard_of_position(position) == \
+            first.shard_of_position(position)
+
+
+@given(ops=reconfigs, probes=st.lists(positions, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_every_position_owned_by_exactly_one_shard_at_every_version(
+    ops, probes
+):
+    directory = ShardDirectory(NUM_SHARDS)
+    apply_all(directory, ops)
+    # Ranges stay sorted and pairwise disjoint after any move sequence.
+    recorded = directory.ranges()
+    for (lo, hi, _s), (next_lo, _next_hi, _ns) in zip(recorded, recorded[1:]):
+        assert lo < hi <= next_lo
+    # Placement is total and single-valued at every recorded version.
+    for version in range(directory.version + 1):
+        view = directory.placement_at(version)
+        for position in probes + probe_positions(directory):
+            owner = view.shard_of_position(position)
+            assert 0 <= owner < NUM_SHARDS
+
+
+@given(ops=reconfigs, probes=st.lists(positions, min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_history_is_immutable(ops, probes):
+    """Later reconfiguration never rewrites what an old version answered."""
+    directory = ShardDirectory(NUM_SHARDS)
+    midpoint = len(ops) // 2
+    apply_all(directory, ops[:midpoint])
+    frozen_version = directory.version
+    before = {p: directory.shard_of_position(p) for p in probes}
+    apply_all(directory, ops[midpoint:])
+    view = directory.placement_at(frozen_version)
+    for position, owner in before.items():
+        assert view.shard_of_position(position) == owner
+
+
+@given(ops=reconfigs, move=ranges(), shard=shards)
+@settings(max_examples=60, deadline=None)
+def test_stale_learned_facts_are_ignored(ops, move, shard):
+    """apply_move only installs news: a fact at or below the local
+    version leaves placement untouched (redirects arrive out of order)."""
+    directory = ShardDirectory(NUM_SHARDS)
+    apply_all(directory, ops)
+    version = directory.version
+    snapshot = directory.ranges()
+    lo, hi = move
+    assert not directory.apply_move(lo, hi, shard, version)
+    assert directory.version == version
+    assert directory.ranges() == snapshot
+    assert directory.apply_move(lo, hi, shard, version + 5)
+    assert directory.version == version + 5
+    assert directory.shard_of_position(lo) == shard
+
+
+@given(ops=reconfigs)
+@settings(max_examples=40, deadline=None)
+def test_owner_of_range_agrees_with_point_lookups(ops):
+    directory = ShardDirectory(NUM_SHARDS)
+    apply_all(directory, ops)
+    from repro.common.errors import ShardError
+    candidates = []
+    for shard in range(NUM_SHARDS):
+        candidates.append(directory.default_stripe(shard))
+    candidates.extend((lo, hi) for lo, hi, _s in directory.ranges())
+    for lo, hi in candidates:
+        try:
+            owner = directory.owner_of_range(lo, hi)
+        except ShardError:
+            continue  # straddles a boundary: correctly refused
+        for position in (lo, (lo + hi) // 2, hi - 1):
+            assert directory.shard_of_position(position) == owner

@@ -1,0 +1,268 @@
+"""Migration-op unit tests: freeze, copy, activate, commit, tombstones.
+
+Drives a pair of kv-backed ShardTxApplications directly (source shard 0,
+destination shard 1), standing in for two groups' PBFT logs — the full
+protocol over real state, without a cluster.
+"""
+
+from repro.apps.kvstore import KvApplication, encode_get, encode_put, keys_of_op
+from repro.shard.directory import key_position
+from repro.shard.txapp import (
+    MIG_DST_ACTIVE,
+    MIG_MOVED,
+    MIG_OWNED,
+    MIG_SRC_ACTIVE,
+    MIG_UNKNOWN,
+    ST_ERR,
+    ST_FROZEN,
+    ST_MIG,
+    ST_OK,
+    ST_WRONG_SHARD,
+    ShardTxApplication,
+    decode_export_payload,
+    decode_freeze_payload,
+    decode_install_payload,
+    decode_status_payload,
+    decode_tx_reply,
+    encode_mig_abort,
+    encode_mig_activate,
+    encode_mig_begin,
+    encode_mig_commit,
+    encode_mig_export,
+    encode_mig_freeze,
+    encode_mig_install,
+    encode_mig_status,
+    encode_prepare,
+)
+from repro.statemgr.pages import PagedState
+
+
+MIG = (7).to_bytes(16, "big")
+TXID = (99).to_bytes(16, "big")
+HALF = 1 << 31
+LOW_UNIT = ("range", 0, HALF)  # the lower half of the hash space
+
+
+def make_kv_app(shard_id: int) -> ShardTxApplication:
+    app = ShardTxApplication(
+        KvApplication(num_slots=64, value_size=32), keys_of=keys_of_op,
+        shard_id=shard_id, tx_pages=4,
+    )
+    app.bind_state(PagedState(num_pages=24, page_size=512), 0)
+    return app
+
+
+def key_in(lo: int, hi: int, tag: str) -> bytes:
+    for i in range(10_000):
+        key = f"{tag}-{i}".encode()
+        if lo <= key_position(key) < hi:
+            return key
+    raise AssertionError("no key found in range")
+
+
+def run(app, op, readonly=False, client=1):
+    return app.execute(op, client, 0, readonly)
+
+
+def mig_payload(reply: bytes) -> bytes:
+    tx = decode_tx_reply(reply)
+    assert tx.status == ST_MIG, decode_tx_reply(reply).message
+    return tx.payload
+
+
+def migrate(src, dst, unit=LOW_UNIT, mig=MIG, budget=64):
+    """Drive the whole protocol between two apps; returns chunk count."""
+    holders = decode_freeze_payload(
+        mig_payload(run(src, encode_mig_freeze(mig, unit, dst.shard_id)))
+    )
+    assert holders == ()
+    mig_payload(run(dst, encode_mig_begin(mig, unit, src.shard_id)))
+    cursor, index = 0, 0
+    while True:
+        chunk, cursor, done = decode_export_payload(
+            mig_payload(run(src, encode_mig_export(mig, cursor, budget)))
+        )
+        applied, _count = decode_install_payload(
+            mig_payload(run(dst, encode_mig_install(mig, index, chunk)))
+        )
+        index += 1
+        if done:
+            break
+    mig_payload(run(dst, encode_mig_activate(mig, unit, 1)))
+    mig_payload(run(src, encode_mig_commit(mig, unit, dst.shard_id, 1)))
+    return index
+
+
+class TestFreeze:
+    def test_freeze_blocks_writes_allows_reads(self):
+        src = make_kv_app(0)
+        key = key_in(0, HALF, "frozen")
+        assert run(src, encode_put(key, b"v1"))[:1] == b"\x01"
+        run(src, encode_mig_freeze(MIG, LOW_UNIT, 1))
+        blocked = decode_tx_reply(run(src, encode_put(key, b"v2")))
+        assert blocked.status == ST_FROZEN
+        # Reads still serve: the data is authoritative here until commit.
+        assert b"v1" in run(src, encode_get(key), readonly=True)
+        # Keys outside the unit are untouched by the freeze.
+        other = key_in(HALF, 1 << 32, "other")
+        assert run(src, encode_put(other, b"w"))[:1] == b"\x01"
+
+    def test_freeze_reports_prepared_holders_and_blocks_new_prepares(self):
+        src = make_kv_app(0)
+        key = key_in(0, HALF, "held")
+        prepare = encode_prepare(TXID, 0, (0,), [encode_put(key, b"x")], [key])
+        assert decode_tx_reply(run(src, prepare)).status == ST_OK
+        holders = decode_freeze_payload(
+            mig_payload(run(src, encode_mig_freeze(MIG, LOW_UNIT, 1)))
+        )
+        assert holders == ((TXID, 0),)
+        # Export refuses while a holder could still commit into the unit.
+        export = decode_tx_reply(run(src, encode_mig_export(MIG, 0, 256)))
+        assert export.status == ST_ERR
+        # New prepares touching the unit are refused outright.
+        other_txid = (5).to_bytes(16, "big")
+        prepare2 = encode_prepare(
+            other_txid, 0, (0,), [encode_put(key, b"y")], [key]
+        )
+        assert decode_tx_reply(run(src, prepare2)).status == ST_FROZEN
+
+
+class TestFullMigration:
+    def test_moves_exactly_the_unit_and_leaves_a_tombstone(self):
+        src, dst = make_kv_app(0), make_kv_app(1)
+        inside = [key_in(0, HALF, f"in{i}") for i in range(8)]
+        outside = [key_in(HALF, 1 << 32, f"out{i}") for i in range(4)]
+        for key in inside + outside:
+            run(src, encode_put(key, b"val-" + key))
+        chunks = migrate(src, dst)
+        assert chunks >= 2  # the budget forced a multi-chunk copy
+        # Destination serves every moved key; source redirects with the
+        # authoritative (unit, shard, version) fact, reads included.
+        for key in inside:
+            assert b"val-" + key in run(dst, encode_get(key), readonly=True)
+            redirect = decode_tx_reply(run(src, encode_get(key), readonly=True))
+            assert redirect.status == ST_WRONG_SHARD
+            assert redirect.shard == 1
+            assert redirect.version == 1
+            assert redirect.unit == LOW_UNIT
+            write = decode_tx_reply(run(src, encode_put(key, b"stale")))
+            assert write.status == ST_WRONG_SHARD
+        # Keys outside the unit never left the source.
+        for key in outside:
+            assert b"val-" + key in run(src, encode_get(key), readonly=True)
+            assert run(dst, encode_get(key), readonly=True)[:1] == b"\x00"
+        assert src.moved_units()[MIG] == (LOW_UNIT, 1, 1)
+        assert dst.owned_units()[MIG] == (LOW_UNIT, 1)
+        assert src.frozen_units() == () and dst.frozen_units() == ()
+
+    def test_steps_are_idempotent(self):
+        src, dst = make_kv_app(0), make_kv_app(1)
+        key = key_in(0, HALF, "idem")
+        run(src, encode_put(key, b"v"))
+        migrate(src, dst)
+        # Re-driving every step (a resumed driver) changes nothing.
+        holders = decode_freeze_payload(
+            mig_payload(run(src, encode_mig_freeze(MIG, LOW_UNIT, 1)))
+        )
+        assert holders == ()
+        mig_payload(run(dst, encode_mig_begin(MIG, LOW_UNIT, 0)))
+        applied, _ = decode_install_payload(
+            mig_payload(run(dst, encode_mig_install(MIG, 0, b"")))
+        )
+        assert not applied
+        mig_payload(run(dst, encode_mig_activate(MIG, LOW_UNIT, 1)))
+        mig_payload(run(src, encode_mig_commit(MIG, LOW_UNIT, 1, 1)))
+        assert b"v" in run(dst, encode_get(key), readonly=True)
+
+    def test_install_gap_is_refused(self):
+        src, dst = make_kv_app(0), make_kv_app(1)
+        run(src, encode_mig_freeze(MIG, LOW_UNIT, 1))
+        run(dst, encode_mig_begin(MIG, LOW_UNIT, 0))
+        gap = decode_tx_reply(run(dst, encode_mig_install(MIG, 3, b"")))
+        assert gap.status == ST_ERR
+
+    def test_status_reports_phases(self):
+        src, dst = make_kv_app(0), make_kv_app(1)
+        status = lambda app: decode_status_payload(
+            mig_payload(run(app, encode_mig_status(MIG)))
+        )[0]
+        assert status(src) == MIG_UNKNOWN
+        run(src, encode_mig_freeze(MIG, LOW_UNIT, 1))
+        assert status(src) == MIG_SRC_ACTIVE
+        run(dst, encode_mig_begin(MIG, LOW_UNIT, 0))
+        assert status(dst) == MIG_DST_ACTIVE
+        run(dst, encode_mig_activate(MIG, LOW_UNIT, 1))
+        assert status(dst) == MIG_OWNED
+        run(src, encode_mig_commit(MIG, LOW_UNIT, 1, 1))
+        assert status(src) == MIG_MOVED
+
+
+class TestAbort:
+    def test_abort_thaws_source_and_purges_destination(self):
+        src, dst = make_kv_app(0), make_kv_app(1)
+        key = key_in(0, HALF, "abort")
+        run(src, encode_put(key, b"v"))
+        run(src, encode_mig_freeze(MIG, LOW_UNIT, 1))
+        run(dst, encode_mig_begin(MIG, LOW_UNIT, 0))
+        chunk, _cur, _done = decode_export_payload(
+            mig_payload(run(src, encode_mig_export(MIG, 0, 4096)))
+        )
+        run(dst, encode_mig_install(MIG, 0, chunk))
+        run(src, encode_mig_abort(MIG))
+        run(dst, encode_mig_abort(MIG))
+        # The source serves writes again; the half-copied data is gone
+        # from the destination.
+        assert run(src, encode_put(key, b"v2"))[:1] == b"\x01"
+        assert run(dst, encode_get(key), readonly=True)[:1] == b"\x00"
+        assert src.migrations() == {} and dst.migrations() == {}
+
+
+class TestPersistence:
+    def test_migration_state_survives_reload(self):
+        state_src = PagedState(num_pages=24, page_size=512)
+        state_dst = PagedState(num_pages=24, page_size=512)
+        src = ShardTxApplication(
+            KvApplication(num_slots=64, value_size=32), keys_of=keys_of_op,
+            shard_id=0, tx_pages=4,
+        )
+        src.bind_state(state_src, 0)
+        dst = ShardTxApplication(
+            KvApplication(num_slots=64, value_size=32), keys_of=keys_of_op,
+            shard_id=1, tx_pages=4,
+        )
+        dst.bind_state(state_dst, 0)
+        key = key_in(0, HALF, "persist")
+        run(src, encode_put(key, b"v"))
+        migrate(src, dst)
+
+        # A replica catching up via state transfer loads the same tables.
+        src2 = ShardTxApplication(
+            KvApplication(num_slots=64, value_size=32), keys_of=keys_of_op,
+            shard_id=0, tx_pages=4,
+        )
+        src2.bind_state(state_src, 0)
+        dst2 = ShardTxApplication(
+            KvApplication(num_slots=64, value_size=32), keys_of=keys_of_op,
+            shard_id=1, tx_pages=4,
+        )
+        dst2.bind_state(state_dst, 0)
+        assert src2.moved_units() == {MIG: (LOW_UNIT, 1, 1)}
+        assert dst2.owned_units() == {MIG: (LOW_UNIT, 1)}
+        redirect = decode_tx_reply(run(src2, encode_get(key), readonly=True))
+        assert redirect.status == ST_WRONG_SHARD
+        assert b"v" in run(dst2, encode_get(key), readonly=True)
+
+    def test_moved_facts_are_bounded(self):
+        src = make_kv_app(0)
+        dst = make_kv_app(1)
+        src.moved_retain_limit = 4
+        lo_step = HALF // 8
+        for i in range(6):
+            mig = (1000 + i).to_bytes(16, "big")
+            unit = ("range", i * lo_step, (i + 1) * lo_step)
+            run(src, encode_mig_freeze(mig, unit, 1))
+            run(src, encode_mig_commit(mig, unit, 1, i + 1))
+        assert len(src.moved_units()) == 4
+        # Oldest facts were evicted first.
+        assert (1000).to_bytes(16, "big") not in src.moved_units()
+        assert (1005).to_bytes(16, "big") in src.moved_units()
